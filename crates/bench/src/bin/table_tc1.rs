@@ -1,0 +1,28 @@
+//! E1/E1b — paper §5 "Results for test case 1".
+//!
+//! Cluster run: all four preconditioners, P sweep.
+//! `--machine origin`: the paper's Origin-3800 companion table (Schur 1 vs
+//! Block 2 at larger P, different partition seed, loaded-machine model).
+
+use parapre_bench::{dump_grid, load_case, print_table, Cli};
+use parapre_core::{CaseId, PrecondKind};
+
+fn main() {
+    let cli = Cli::parse(&[2, 4, 8, 16]);
+    let case = load_case(CaseId::Tc1, &cli);
+    if cli.has_flag("--dump-grid") {
+        dump_grid(&case);
+        return;
+    }
+    if cli.machine.name == "Origin3800" {
+        // Paper's Origin table: Schur 1 vs Block 2, P = 8..64.
+        let cli = Cli { ranks: or_default(&cli.ranks, &[8, 16, 32]), ..cli.clone() };
+        print_table(&case, &cli, &[PrecondKind::Schur1, PrecondKind::Block2]);
+    } else {
+        print_table(&case, &cli, &PrecondKind::ALL);
+    }
+}
+
+fn or_default(ranks: &[usize], def: &[usize]) -> Vec<usize> {
+    if ranks == [2, 4, 8, 16] { def.to_vec() } else { ranks.to_vec() }
+}

@@ -1,0 +1,16 @@
+//! E2/E2b — paper §5 "Results for test case 2" (3-D Poisson).
+//!
+//! `--machine origin`: Schur 2 vs Block 2 companion table.
+
+use parapre_bench::{load_case, print_table, Cli};
+use parapre_core::{CaseId, PrecondKind};
+
+fn main() {
+    let cli = Cli::parse(&[2, 4, 8, 16]);
+    let case = load_case(CaseId::Tc2, &cli);
+    if cli.machine.name == "Origin3800" {
+        print_table(&case, &cli, &[PrecondKind::Schur2, PrecondKind::Block2]);
+    } else {
+        print_table(&case, &cli, &PrecondKind::ALL);
+    }
+}

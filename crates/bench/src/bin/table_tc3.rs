@@ -1,0 +1,16 @@
+//! E3 — paper §5 "Results for test case 3" (unstructured grid).
+//!
+//! `--dump-grid` prints the mesh statistics standing in for Fig. 3.
+
+use parapre_bench::{dump_grid, load_case, print_table, Cli};
+use parapre_core::{CaseId, PrecondKind};
+
+fn main() {
+    let cli = Cli::parse(&[2, 4, 8, 16]);
+    let case = load_case(CaseId::Tc3, &cli);
+    if cli.has_flag("--dump-grid") {
+        dump_grid(&case);
+        return;
+    }
+    print_table(&case, &cli, &PrecondKind::ALL);
+}

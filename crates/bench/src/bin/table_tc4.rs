@@ -1,0 +1,10 @@
+//! E4 — paper §5 "Results for test case 4" (heat equation, M + dt*K).
+
+use parapre_bench::{load_case, print_table, Cli};
+use parapre_core::{CaseId, PrecondKind};
+
+fn main() {
+    let cli = Cli::parse(&[2, 4, 8, 16]);
+    let case = load_case(CaseId::Tc4, &cli);
+    print_table(&case, &cli, &PrecondKind::ALL);
+}

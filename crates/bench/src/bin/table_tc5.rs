@@ -1,0 +1,17 @@
+//! E5/E5b — paper §5 "Results for test case 5" (convection-dominated).
+//!
+//! The Origin companion run demonstrates the paper's footnote: Schur 2 can
+//! fail to converge under an unfortunate partition (reported as `n.c.`).
+
+use parapre_bench::{load_case, print_table, Cli};
+use parapre_core::{CaseId, PrecondKind};
+
+fn main() {
+    let cli = Cli::parse(&[2, 4, 8, 16]);
+    let case = load_case(CaseId::Tc5, &cli);
+    if cli.machine.name == "Origin3800" {
+        print_table(&case, &cli, &[PrecondKind::Schur1, PrecondKind::Schur2, PrecondKind::Block2]);
+    } else {
+        print_table(&case, &cli, &PrecondKind::ALL);
+    }
+}

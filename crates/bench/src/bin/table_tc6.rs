@@ -1,0 +1,22 @@
+//! E6 — paper §5 "Results for test case 6" (linear elasticity).
+//!
+//! The paper reports only Schur 1 / Schur 2 (the block preconditioners
+//! "have trouble producing satisfactory convergence"); pass --all to sweep
+//! all four and observe exactly that. `--dump-grid` stands in for Fig. 5.
+
+use parapre_bench::{dump_grid, load_case, print_table, Cli};
+use parapre_core::{CaseId, PrecondKind};
+
+fn main() {
+    let cli = Cli::parse(&[2, 4, 8, 16]);
+    let case = load_case(CaseId::Tc6, &cli);
+    if cli.has_flag("--dump-grid") {
+        dump_grid(&case);
+        return;
+    }
+    if cli.has_flag("--all") {
+        print_table(&case, &cli, &PrecondKind::ALL);
+    } else {
+        print_table(&case, &cli, &[PrecondKind::Schur1, PrecondKind::Schur2]);
+    }
+}

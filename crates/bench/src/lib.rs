@@ -1,0 +1,175 @@
+//! # parapre-bench
+//!
+//! Harness library shared by the `table_*` binaries (one per table of the
+//! paper's §5) and the criterion benches. See DESIGN.md §6 for the full
+//! experiment index and EXPERIMENTS.md for paper-vs-measured records.
+//!
+//! Every binary accepts:
+//!
+//! ```text
+//! --size tiny|default|full     grid preset (default: default)
+//! --machine cluster|origin     α–β machine profile (default: cluster)
+//! --ranks 2,4,8,16             P sweep (default per table)
+//! --scheme general|boxes|rcb   partitioning scheme (default: general)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parapre_core::{
+    build_case, run_case, AssembledCase, CaseId, CaseSize, PrecondKind, RunConfig,
+};
+use parapre_core::runner::PartitionScheme;
+use parapre_mpisim::MachineModel;
+
+/// Parsed command-line options for a table binary.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Grid preset.
+    pub size: CaseSize,
+    /// Machine profile.
+    pub machine: MachineModel,
+    /// Processor counts to sweep.
+    pub ranks: Vec<usize>,
+    /// Partitioning scheme.
+    pub scheme: PartitionScheme,
+    /// Leftover flags (table-specific).
+    pub extra: Vec<String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, with a table-specific default rank sweep.
+    pub fn parse(default_ranks: &[usize]) -> Cli {
+        let mut cli = Cli {
+            size: CaseSize::Default,
+            machine: MachineModel::linux_cluster(),
+            ranks: default_ranks.to_vec(),
+            scheme: PartitionScheme::General,
+            extra: Vec::new(),
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--size" => {
+                    i += 1;
+                    cli.size = match args[i].as_str() {
+                        "tiny" => CaseSize::Tiny,
+                        "default" => CaseSize::Default,
+                        "full" => CaseSize::Full,
+                        other => panic!("unknown --size {other}"),
+                    };
+                }
+                "--machine" => {
+                    i += 1;
+                    cli.machine = match args[i].as_str() {
+                        "cluster" => MachineModel::linux_cluster(),
+                        "origin" => MachineModel::origin_3800(),
+                        other => panic!("unknown --machine {other}"),
+                    };
+                }
+                "--ranks" => {
+                    i += 1;
+                    cli.ranks = args[i]
+                        .split(',')
+                        .map(|s| s.parse().expect("rank count"))
+                        .collect();
+                }
+                "--scheme" => {
+                    i += 1;
+                    cli.scheme = match args[i].as_str() {
+                        "general" => PartitionScheme::General,
+                        "boxes" => PartitionScheme::Boxes,
+                        "rcb" => PartitionScheme::Rcb,
+                        other => panic!("unknown --scheme {other}"),
+                    };
+                }
+                other => cli.extra.push(other.to_string()),
+            }
+            i += 1;
+        }
+        cli
+    }
+
+    /// True when the given extra flag was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.extra.iter().any(|f| f == flag)
+    }
+}
+
+/// Builds a [`RunConfig`] for one table cell under these CLI options.
+pub fn cell_config(cli: &Cli, kind: PrecondKind, p: usize) -> RunConfig {
+    let mut cfg = RunConfig::paper(kind, p);
+    cfg.machine = cli.machine;
+    cfg.scheme = cli.scheme;
+    cfg
+}
+
+/// Prints the paper-format table for a case: one row per P, `#itr` and
+/// `time` (host wall + α–β modeled) per preconditioner column.
+pub fn print_table(case: &AssembledCase, cli: &Cli, kinds: &[PrecondKind]) {
+    println!("{}", case.id.name());
+    println!(
+        "grid: {}; unknowns: {}; machine: {}; scheme: {:?}",
+        case.grid_desc,
+        case.n_unknowns(),
+        cli.machine.name,
+        cli.scheme,
+    );
+    print!("{:>4}", "P");
+    for k in kinds {
+        print!(" | {:^26}", k.label());
+    }
+    println!();
+    print!("{:>4}", "");
+    for _ in kinds {
+        print!(" | {:>5} {:>9} {:>10}", "#itr", "wall(s)", "model(s)");
+    }
+    println!();
+    for &p in &cli.ranks {
+        print!("{p:>4}");
+        for &kind in kinds {
+            let cfg = cell_config(cli, kind, p);
+            let res = run_case(case, &cfg);
+            if res.converged {
+                print!(
+                    " | {:>5} {:>9.3} {:>10.3}",
+                    res.iterations, res.wall_seconds, res.modeled_seconds
+                );
+            } else {
+                print!(" | {:>5} {:>9} {:>10}", "--", "n.c.", "n.c.");
+            }
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Convenience: builds the case for a table binary and prints a header.
+pub fn load_case(id: CaseId, cli: &Cli) -> AssembledCase {
+    eprintln!("[parapre] assembling {} at {:?} size ...", id.name(), cli.size);
+    let case = build_case(id, cli.size);
+    eprintln!("[parapre] {} unknowns", case.n_unknowns());
+    case
+}
+
+/// Dumps mesh statistics for the `--dump-grid` figure substitutes (paper
+/// Figs. 3 and 5 are grid illustrations).
+pub fn dump_grid(case: &AssembledCase) {
+    println!("# grid dump: {}", case.grid_desc);
+    println!("# nodes: {}", case.n_nodes());
+    let adj = &case.node_adjacency;
+    let degrees: Vec<usize> = (0..adj.n()).map(|v| adj.neighbors(v).len()).collect();
+    let min = degrees.iter().min().copied().unwrap_or(0);
+    let max = degrees.iter().max().copied().unwrap_or(0);
+    let mean = degrees.iter().sum::<usize>() as f64 / degrees.len().max(1) as f64;
+    println!("# vertex degree: min {min}, mean {mean:.2}, max {max}");
+    let (mut xmin, mut xmax, mut ymin, mut ymax) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for p in &case.node_coords {
+        xmin = xmin.min(p[0]);
+        xmax = xmax.max(p[0]);
+        ymin = ymin.min(p[1]);
+        ymax = ymax.max(p[1]);
+    }
+    println!("# bounding box: [{xmin:.3}, {xmax:.3}] x [{ymin:.3}, {ymax:.3}]");
+}

@@ -1,0 +1,442 @@
+//! Distributed right-preconditioned (F)GMRES with restart.
+//!
+//! The same Arnoldi/Givens machinery as `parapre-krylov::gmres`, but every
+//! inner product and norm is a distributed reduction and the operator and
+//! preconditioner act on the rank's owned unknowns (communicating
+//! internally as needed). Control flow is SPMD-deterministic: every rank
+//! takes the same branches because all stopping decisions are made on
+//! all-reduced quantities.
+
+use crate::{tags, DistMatrix};
+use parapre_mpisim::Comm;
+use std::cell::RefCell;
+
+/// A distributed linear operator on owned-unknown vectors.
+pub trait DistOp {
+    /// Length of this rank's owned part.
+    fn n_owned(&self) -> usize;
+    /// `y = A x` (may communicate).
+    fn apply(&self, comm: &mut Comm, x: &[f64], y: &mut [f64]);
+}
+
+/// A distributed preconditioner `z = M⁻¹ r` on owned-unknown vectors.
+pub trait DistPrecond {
+    /// `z = M⁻¹ r` (may communicate; may be flexible/inner-iterative).
+    fn apply(&self, comm: &mut Comm, r: &[f64], z: &mut [f64]);
+}
+
+impl<T: DistPrecond + ?Sized> DistPrecond for Box<T> {
+    fn apply(&self, comm: &mut Comm, r: &[f64], z: &mut [f64]) {
+        (**self).apply(comm, r, z)
+    }
+}
+
+impl<T: DistPrecond + ?Sized> DistPrecond for &T {
+    fn apply(&self, comm: &mut Comm, r: &[f64], z: &mut [f64]) {
+        (**self).apply(comm, r, z)
+    }
+}
+
+/// Identity distributed preconditioner.
+pub struct IdentityDistPrecond;
+
+impl DistPrecond for IdentityDistPrecond {
+    fn apply(&self, _comm: &mut Comm, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+impl DistOp for DistMatrix {
+    fn n_owned(&self) -> usize {
+        self.layout.n_owned()
+    }
+    fn apply(&self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+        thread_local! {
+            static SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+        }
+        SCRATCH.with(|s| {
+            let mut ext = s.borrow_mut();
+            ext.resize(self.layout.n_local(), 0.0);
+            ext[..x.len()].copy_from_slice(x);
+            self.matvec(comm, &mut ext, y);
+        });
+    }
+}
+
+/// Stopping and restart parameters (paper: FGMRES(20), `‖r‖/‖r₀‖ ≤ 1e-6`).
+#[derive(Debug, Clone, Copy)]
+pub struct DistGmresConfig {
+    /// Restart length.
+    pub restart: usize,
+    /// Total iteration budget.
+    pub max_iters: usize,
+    /// Relative residual target.
+    pub rel_tol: f64,
+    /// Absolute residual floor.
+    pub abs_tol: f64,
+    /// Record residual history (rank-identical).
+    pub record_history: bool,
+    /// Flexible variant (store `Z = M⁻¹V`); required when the
+    /// preconditioner involves inner iterations.
+    pub flexible: bool,
+}
+
+impl Default for DistGmresConfig {
+    fn default() -> Self {
+        DistGmresConfig {
+            restart: 20,
+            max_iters: 1000,
+            rel_tol: 1e-6,
+            abs_tol: 1e-300,
+            record_history: false,
+            flexible: true,
+        }
+    }
+}
+
+impl DistGmresConfig {
+    /// Fixed-effort inner-solver configuration (single cycle of `iters`).
+    pub fn inner(iters: usize) -> Self {
+        DistGmresConfig {
+            restart: iters.max(1),
+            max_iters: iters.max(1),
+            rel_tol: 1e-12,
+            abs_tol: 1e-300,
+            record_history: false,
+            flexible: false,
+        }
+    }
+}
+
+/// Result of a distributed solve (identical on every rank).
+#[derive(Debug, Clone)]
+pub struct DistSolveReport {
+    /// Tolerance met.
+    pub converged: bool,
+    /// Iterations (matvecs) performed.
+    pub iterations: usize,
+    /// Final `‖r‖/‖r₀‖`.
+    pub final_relres: f64,
+    /// Residual estimates per iteration when recording was requested.
+    pub residual_history: Vec<f64>,
+}
+
+/// The distributed restarted (F)GMRES driver.
+#[derive(Debug, Clone)]
+pub struct DistGmres {
+    /// Solver parameters.
+    pub config: DistGmresConfig,
+}
+
+impl DistGmres {
+    /// Creates a solver.
+    pub fn new(config: DistGmresConfig) -> Self {
+        DistGmres { config }
+    }
+
+    /// Solves `A x = b` over the rank's owned unknowns, `x` updated in
+    /// place (initial guess on entry).
+    pub fn solve<A: DistOp, M: DistPrecond>(
+        &self,
+        comm: &mut Comm,
+        a: &A,
+        m: &M,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> DistSolveReport {
+        let n = a.n_owned();
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        let cfg = &self.config;
+        let restart = cfg.restart.max(1);
+
+        let mut report = DistSolveReport {
+            converged: false,
+            iterations: 0,
+            final_relres: f64::NAN,
+            residual_history: Vec::new(),
+        };
+
+        let dot = |comm: &mut Comm, u: &[f64], v: &[f64]| -> f64 {
+            let local: f64 = u.iter().zip(v).map(|(a, b)| a * b).sum();
+            comm.allreduce_sum(local, tags::REDUCE)
+        };
+
+        let mut r = vec![0.0; n];
+        let mut w = vec![0.0; n];
+        let mut z = vec![0.0; n];
+
+        a.apply(comm, x, &mut r);
+        for (ri, &bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        let r0_norm = dot(comm, &r, &r).sqrt();
+        if cfg.record_history {
+            report.residual_history.push(r0_norm);
+        }
+        if r0_norm <= cfg.abs_tol {
+            report.converged = true;
+            report.final_relres = 0.0;
+            return report;
+        }
+        let target = (cfg.rel_tol * r0_norm).max(cfg.abs_tol);
+
+        let mut v: Vec<Vec<f64>> = Vec::with_capacity(restart + 1);
+        let mut zdirs: Vec<Vec<f64>> = Vec::new();
+        let mut h: Vec<Vec<f64>> = Vec::with_capacity(restart);
+        let mut givens: Vec<(f64, f64)> = Vec::with_capacity(restart);
+        let mut g = vec![0.0; restart + 1];
+        let mut total_iters = 0usize;
+        let mut beta = r0_norm;
+
+        loop {
+            v.clear();
+            zdirs.clear();
+            h.clear();
+            givens.clear();
+            g.fill(0.0);
+            g[0] = beta;
+            let mut v0 = r.clone();
+            for vi in &mut v0 {
+                *vi /= beta;
+            }
+            v.push(v0);
+
+            let mut k = 0usize;
+            let mut cycle_done = false;
+            while k < restart && total_iters < cfg.max_iters && !cycle_done {
+                m.apply(comm, &v[k], &mut z);
+                if cfg.flexible {
+                    zdirs.push(z.clone());
+                }
+                a.apply(comm, &z, &mut w);
+                total_iters += 1;
+
+                let mut hcol = vec![0.0; k + 2];
+                for (i, vi) in v.iter().enumerate() {
+                    let hik = dot(comm, &w, vi);
+                    hcol[i] = hik;
+                    for (wj, &vj) in w.iter_mut().zip(vi) {
+                        *wj -= hik * vj;
+                    }
+                }
+                let wnorm = dot(comm, &w, &w).sqrt();
+                hcol[k + 1] = wnorm;
+                for (i, &(c, s)) in givens.iter().enumerate() {
+                    let t = c * hcol[i] + s * hcol[i + 1];
+                    hcol[i + 1] = -s * hcol[i] + c * hcol[i + 1];
+                    hcol[i] = t;
+                }
+                let (c, s) = givens_rotation(hcol[k], hcol[k + 1]);
+                hcol[k] = c * hcol[k] + s * hcol[k + 1];
+                hcol[k + 1] = 0.0;
+                givens.push((c, s));
+                let gk = g[k];
+                g[k] = c * gk;
+                g[k + 1] = -s * gk;
+                h.push(hcol);
+                k += 1;
+
+                let res_est = g[k].abs();
+                if cfg.record_history {
+                    report.residual_history.push(res_est);
+                }
+                if res_est <= target || wnorm == 0.0 {
+                    cycle_done = true;
+                } else if k < restart {
+                    let mut vk = w.clone();
+                    for vi in &mut vk {
+                        *vi /= wnorm;
+                    }
+                    v.push(vk);
+                }
+            }
+
+            // Form the update from this cycle.
+            if k > 0 {
+                let mut y = vec![0.0; k];
+                for i in (0..k).rev() {
+                    let mut acc = g[i];
+                    for (j, hj) in h.iter().enumerate().take(k).skip(i + 1) {
+                        acc -= hj[i] * y[j];
+                    }
+                    y[i] = acc / h[i][i];
+                }
+                if cfg.flexible {
+                    for (j, zj) in zdirs.iter().enumerate().take(k) {
+                        for (xi, &zji) in x.iter_mut().zip(zj) {
+                            *xi += y[j] * zji;
+                        }
+                    }
+                } else {
+                    let mut u = vec![0.0; n];
+                    for (j, vj) in v.iter().enumerate().take(k) {
+                        for (ui, &vji) in u.iter_mut().zip(vj) {
+                            *ui += y[j] * vji;
+                        }
+                    }
+                    m.apply(comm, &u, &mut z);
+                    for (xi, &zi) in x.iter_mut().zip(&z) {
+                        *xi += zi;
+                    }
+                }
+            }
+
+            // True residual and the shared stopping decision.
+            a.apply(comm, x, &mut r);
+            for (ri, &bi) in r.iter_mut().zip(b) {
+                *ri = bi - *ri;
+            }
+            beta = dot(comm, &r, &r).sqrt();
+            report.iterations = total_iters;
+            report.final_relres = beta / r0_norm;
+            if beta <= target {
+                report.converged = true;
+                return report;
+            }
+            if total_iters >= cfg.max_iters {
+                return report;
+            }
+        }
+    }
+}
+
+fn givens_rotation(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a == 0.0 {
+        (0.0, 1.0)
+    } else {
+        let r = a.hypot(b);
+        (a / r, b / r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gather_vector, scatter_vector, DistMatrix};
+    use parapre_fem::{bc, poisson, LinearSystem};
+    use parapre_grid::structured::unit_square;
+    use parapre_mpisim::Universe;
+    use parapre_partition::partition_graph;
+    use parapre_sparse::Csr;
+
+    fn tc1_small(nx: usize) -> (Csr, Vec<f64>, Vec<u32>) {
+        let mesh = unit_square(nx, nx);
+        let (a, b) = poisson::assemble_2d(&mesh, poisson::rhs_tc1);
+        let mut sys = LinearSystem { a, b };
+        let boundary = mesh.boundary_nodes();
+        let fixed: Vec<(usize, f64)> = boundary
+            .iter()
+            .enumerate()
+            .filter(|&(_, &on)| on)
+            .map(|(i, _)| (i, poisson::exact_tc1(mesh.coords[i][0], mesh.coords[i][1])))
+            .collect();
+        bc::apply_dirichlet(&mut sys, &fixed);
+        let part = partition_graph(&mesh.adjacency(), 4, 7);
+        (sys.a, sys.b, part.owner)
+    }
+
+    #[test]
+    fn distributed_gmres_matches_sequential_solution() {
+        let (a, b, owner) = tc1_small(10);
+        let n = a.n_rows();
+        // Sequential reference.
+        let mut x_seq = vec![0.0; n];
+        let rep = parapre_krylov::Gmres::new(parapre_krylov::GmresConfig {
+            max_iters: 500,
+            rel_tol: 1e-10,
+            ..Default::default()
+        })
+        .solve(&a, &parapre_krylov::IdentityPrecond::new(n), &b, &mut x_seq);
+        assert!(rep.converged);
+
+        let (a_ref, b_ref, owner_ref) = (&a, &b, &owner);
+        let results = Universe::run(4, |comm| {
+            let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), 4);
+            let b_loc = scatter_vector(&dm.layout, b_ref);
+            let mut x = vec![0.0; dm.layout.n_owned()];
+            let rep = DistGmres::new(DistGmresConfig {
+                max_iters: 500,
+                rel_tol: 1e-10,
+                ..Default::default()
+            })
+            .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
+            assert!(rep.converged);
+            gather_vector(comm, &dm.layout, &x, b_ref.len())
+        });
+        let x_dist = results[0].as_ref().expect("gathered on rank 0");
+        for (u, v) in x_dist.iter().zip(&x_seq) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn iteration_counts_equal_sequential_gmres() {
+        // Unpreconditioned GMRES iteration counts are partition-independent
+        // (the Krylov space is the same): distributed must match sequential.
+        let (a, b, owner) = tc1_small(8);
+        let n = a.n_rows();
+        let mut x_seq = vec![0.0; n];
+        let rep_seq = parapre_krylov::Gmres::new(parapre_krylov::GmresConfig {
+            max_iters: 300,
+            ..Default::default()
+        })
+        .solve(&a, &parapre_krylov::IdentityPrecond::new(n), &b, &mut x_seq);
+
+        let (a_ref, b_ref, owner_ref) = (&a, &b, &owner);
+        let iters = Universe::run(4, |comm| {
+            let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), 4);
+            let b_loc = scatter_vector(&dm.layout, b_ref);
+            let mut x = vec![0.0; dm.layout.n_owned()];
+            let rep = DistGmres::new(DistGmresConfig { max_iters: 300, ..Default::default() })
+                .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
+            (rep.iterations, rep.converged)
+        });
+        for &(it, conv) in &iters {
+            assert!(conv);
+            assert_eq!(it, rep_seq.iterations);
+        }
+    }
+
+    #[test]
+    fn report_identical_on_all_ranks() {
+        let (a, b, owner) = tc1_small(8);
+        let (a_ref, b_ref, owner_ref) = (&a, &b, &owner);
+        let reports = Universe::run(4, |comm| {
+            let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), 4);
+            let b_loc = scatter_vector(&dm.layout, b_ref);
+            let mut x = vec![0.0; dm.layout.n_owned()];
+            let rep = DistGmres::new(DistGmresConfig {
+                record_history: true,
+                ..Default::default()
+            })
+            .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
+            (rep.iterations, rep.final_relres, rep.residual_history)
+        });
+        for r in &reports[1..] {
+            assert_eq!(r.0, reports[0].0);
+            assert_eq!(r.1, reports[0].1);
+            assert_eq!(r.2, reports[0].2);
+        }
+    }
+
+    #[test]
+    fn works_on_a_single_rank() {
+        let (a, b, owner0) = tc1_small(6);
+        let owner: Vec<u32> = owner0.iter().map(|_| 0).collect();
+        let (a_ref, b_ref, owner_ref) = (&a, &b, &owner);
+        let out = Universe::run(1, |comm| {
+            let dm = DistMatrix::from_global(a_ref, owner_ref, 0, 1);
+            assert_eq!(dm.layout.n_ghost, 0);
+            assert_eq!(dm.layout.n_interface, 0);
+            let b_loc = scatter_vector(&dm.layout, b_ref);
+            let mut x = vec![0.0; dm.layout.n_owned()];
+            let rep = DistGmres::new(Default::default())
+                .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
+            rep.converged
+        });
+        assert!(out[0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the distributed layer: for any partition of any
+//! grid, the distributed operators must agree with their global
+//! counterparts.
+
+use parapre_dist::{gather_vector, scatter_vector, DistMatrix};
+use parapre_fem::poisson;
+use parapre_grid::structured::unit_square;
+use parapre_mpisim::Universe;
+use parapre_partition::partition_graph;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn matvec_matches_global_for_any_partition(
+        nx in 4usize..14,
+        p in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mesh = unit_square(nx, nx);
+        let (a, _) = poisson::assemble_2d(&mesh, |_, _| 1.0);
+        let part = partition_graph(&mesh.adjacency(), p, seed);
+        let n = a.n_rows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).sin()).collect();
+        let want = a.mul_vec(&x);
+        let (a_ref, owner_ref, x_ref) = (&a, &part.owner, &x);
+        let results = Universe::run(p, move |comm| {
+            let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), p);
+            let mut ext = vec![0.0; dm.layout.n_local()];
+            let owned = scatter_vector(&dm.layout, x_ref);
+            ext[..dm.layout.n_owned()].copy_from_slice(&owned);
+            let mut y = vec![0.0; dm.layout.n_owned()];
+            dm.matvec(comm, &mut ext, &mut y);
+            gather_vector(comm, &dm.layout, &y, x_ref.len())
+        });
+        let got = results[0].as_ref().expect("rank 0 gathers");
+        for (u, v) in got.iter().zip(&want) {
+            prop_assert!((u - v).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn classification_counts_add_up(
+        nx in 4usize..14,
+        p in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mesh = unit_square(nx, nx);
+        let (a, _) = poisson::assemble_2d(&mesh, |_, _| 0.0);
+        let part = partition_graph(&mesh.adjacency(), p, seed);
+        let (a_ref, owner_ref) = (&a, &part.owner);
+        let out = Universe::run(p, move |comm| {
+            let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), p);
+            (dm.layout.n_internal, dm.layout.n_interface, dm.layout.n_ghost)
+        });
+        let owned_total: usize = out.iter().map(|&(i, f, _)| i + f).sum();
+        prop_assert_eq!(owned_total, a.n_rows());
+        // Ghost counts are consistent with the send plans: total ghosts =
+        // total entries in everyone's send lists (each ghost appears in
+        // exactly one owner's send list for this rank).
+        let ghosts_total: usize = out.iter().map(|&(_, _, g)| g).sum();
+        prop_assert!(ghosts_total > 0 || p == 1);
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip(
+        nx in 4usize..12,
+        p in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mesh = unit_square(nx, nx);
+        let (a, _) = poisson::assemble_2d(&mesh, |_, _| 0.0);
+        let part = partition_graph(&mesh.adjacency(), p, seed);
+        let n = a.n_rows();
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let (a_ref, owner_ref, x_ref) = (&a, &part.owner, &x);
+        let results = Universe::run(p, move |comm| {
+            let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), p);
+            let local = scatter_vector(&dm.layout, x_ref);
+            gather_vector(comm, &dm.layout, &local, x_ref.len())
+        });
+        prop_assert_eq!(results[0].as_ref().unwrap(), &x);
+    }
+}

@@ -1,0 +1,165 @@
+//! Convection–diffusion `v·∇u = ∇²u` with streamline upwinding
+//! (paper Test Case 5, Fig. 4).
+//!
+//! The paper makes the flow convection-dominated (`|v| = 1000`, direction
+//! `θ = π/4`) and notes that "we have to use one type of upwind weighting
+//! functions, resulting in an unsymmetric system matrix". We implement the
+//! standard streamline-upwind Petrov–Galerkin (SUPG) weighting for P1
+//! triangles: test functions `w = φ + τ v·∇φ` with the optimal
+//! `τ = (h/2|v|)(coth Pe − 1/Pe)`, `Pe = |v|h/2` (unit diffusivity).
+//!
+//! Boundary conditions (paper Fig. 4): `u = 0` on the bottom (`y = 0`) and
+//! on the lower part of the left side (`x = 0, y ≤ 1/4`); `u = 1` on the
+//! upper part of the left side; homogeneous Neumann on the right and top.
+
+use crate::elements::TriGeom;
+use parapre_grid::Mesh2d;
+use parapre_sparse::{Coo, Csr};
+
+/// The paper's convection magnitude.
+pub const V_MAG: f64 = 1000.0;
+/// The paper's convection angle θ = π/4.
+pub const THETA: f64 = std::f64::consts::FRAC_PI_4;
+
+/// Optimal SUPG parameter for element size `h` and speed `vnorm`
+/// (unit diffusivity).
+fn tau_supg(h: f64, vnorm: f64) -> f64 {
+    if vnorm <= 0.0 {
+        return 0.0;
+    }
+    let pe = 0.5 * vnorm * h;
+    let xi = if pe > 20.0 {
+        1.0 - 1.0 / pe // coth(pe) → 1 for large Pe
+    } else if pe < 1e-8 {
+        pe / 3.0
+    } else {
+        1.0 / pe.tanh() - 1.0 / pe
+    };
+    0.5 * h / vnorm * xi
+}
+
+/// Assembles the SUPG-stabilized operator
+/// `∫ ∇u·∇w + (v·∇u) w` with `w = φ + τ v·∇φ` (zero load).
+pub fn assemble_2d(mesh: &Mesh2d, vx: f64, vy: f64) -> (Csr, Vec<f64>) {
+    let n = mesh.n_nodes();
+    let mut coo = Coo::with_capacity(n, n, 9 * mesh.n_elems());
+    let b = vec![0.0; n];
+    let vnorm = vx.hypot(vy);
+    for tri in &mesh.triangles {
+        let g = TriGeom::new([
+            mesh.coords[tri[0]],
+            mesh.coords[tri[1]],
+            mesh.coords[tri[2]],
+        ]);
+        let tau = tau_supg(g.h, vnorm);
+        // v·∇φ_i is constant per element.
+        let vg: [f64; 3] = std::array::from_fn(|i| vx * g.grad[i][0] + vy * g.grad[i][1]);
+        for i in 0..3 {
+            for j in 0..3 {
+                // Diffusion (Galerkin; SUPG diffusion term vanishes for P1).
+                let diff = g.area
+                    * (g.grad[i][0] * g.grad[j][0] + g.grad[i][1] * g.grad[j][1]);
+                // Convection, Galerkin part: ∫ (v·∇φ_j) φ_i = (v·∇φ_j)·area/3.
+                let conv = vg[j] * g.area / 3.0;
+                // SUPG stabilization: τ ∫ (v·∇φ_j)(v·∇φ_i).
+                let supg = tau * vg[j] * vg[i] * g.area;
+                coo.push(tri[i], tri[j], diff + conv + supg);
+            }
+        }
+    }
+    (coo.to_csr(), b)
+}
+
+/// The paper's inlet profile on `x = 0`: `u = 0` for `y ≤ 1/4`, else `u = 1`.
+pub fn inlet_value(y: f64) -> f64 {
+    if y <= 0.25 {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+/// Collects the Test Case 5 Dirichlet set on a unit-square mesh.
+pub fn dirichlet_tc5(coords: &[[f64; 2]]) -> Vec<(usize, f64)> {
+    let eps = 1e-12;
+    coords
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| {
+            if p[1].abs() < eps {
+                Some((i, 0.0)) // bottom
+            } else if p[0].abs() < eps {
+                Some((i, inlet_value(p[1]))) // left inlet
+            } else {
+                None // right/top: natural (Neumann)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bc;
+    use parapre_grid::structured::unit_square;
+    use parapre_krylov::{Gmres, GmresConfig, Ilut, IlutConfig};
+
+    #[test]
+    fn matrix_is_unsymmetric() {
+        let mesh = unit_square(8, 8);
+        let (a, _) = assemble_2d(&mesh, V_MAG * THETA.cos(), V_MAG * THETA.sin());
+        assert!(!a.is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn tau_limits() {
+        // Diffusion-dominated limit: τ → h²/12 (Pe → 0).
+        let t0 = tau_supg(0.1, 1e-9);
+        assert!((t0 - 0.1f64.powi(2) / 12.0).abs() < 1e-6, "{t0}");
+        // Convection-dominated: τ ≈ h/(2|v|).
+        let t = tau_supg(0.1, 1000.0);
+        assert!((t - 0.05 / 1000.0).abs() / t < 0.05);
+        assert_eq!(tau_supg(0.1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn solution_bounded_and_front_transported() {
+        // Solve TC5 on a coarse grid; the discontinuity enters at
+        // (0, 0.25) and is carried along θ = π/4. Check the solution stays
+        // in [0,1] up to small over/undershoot and that the upper-left is
+        // ≈1 while lower-right is ≈0.
+        let nx = 21;
+        let mesh = unit_square(nx, nx);
+        let (a, b) = assemble_2d(&mesh, V_MAG * THETA.cos(), V_MAG * THETA.sin());
+        let mut sys = crate::LinearSystem { a, b };
+        bc::apply_dirichlet(&mut sys, &dirichlet_tc5(&mesh.coords));
+        let n = sys.b.len();
+        let mut x = vec![0.0; n];
+        let f = Ilut::factor(&sys.a, &IlutConfig { drop_tol: 1e-4, fill: 30 }).unwrap();
+        let rep = Gmres::new(GmresConfig { max_iters: 800, ..Default::default() })
+            .solve(&sys.a, &f, &sys.b, &mut x);
+        assert!(rep.converged, "relres {}", rep.final_relres);
+        let at = |ix: usize, iy: usize| x[iy * nx + ix];
+        // Upper-left region (above the front): carried inlet value 1.
+        assert!(at(2, nx - 2) > 0.8, "upper left {}", at(2, nx - 2));
+        // Lower-right region (below the front): value 0.
+        assert!(at(nx - 2, 2).abs() < 0.2, "lower right {}", at(nx - 2, 2));
+        // SUPG keeps over/undershoot moderate.
+        let (lo, hi) = x.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+        assert!(lo > -0.3 && hi < 1.3, "range [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn dirichlet_set_matches_paper_figure() {
+        let mesh = unit_square(5, 5);
+        let set = dirichlet_tc5(&mesh.coords);
+        // Bottom row: 5 nodes at 0; left column above y=0: 4 nodes.
+        assert_eq!(set.len(), 5 + 4);
+        // u = 1 nodes exist (left side above 1/4).
+        assert!(set.iter().any(|&(_, v)| v == 1.0));
+        // Corner (0,0) is 0 (bottom wins; same value anyway).
+        assert!(set.iter().any(|&(i, v)| i == 0 && v == 0.0));
+    }
+}

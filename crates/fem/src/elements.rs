@@ -1,0 +1,235 @@
+//! Exact P1 element integrals on triangles and tetrahedra.
+
+/// Geometry of a P1 triangle: area and constant basis gradients.
+#[derive(Debug, Clone, Copy)]
+pub struct TriGeom {
+    /// Element area.
+    pub area: f64,
+    /// `grad[i] = ∇λᵢ` (constant over the element).
+    pub grad: [[f64; 2]; 3],
+    /// Element centroid.
+    pub centroid: [f64; 2],
+    /// Longest edge length (mesh-size measure for stabilization).
+    pub h: f64,
+}
+
+impl TriGeom {
+    /// Computes the geometry from vertex coordinates (CCW order).
+    pub fn new(p: [[f64; 2]; 3]) -> Self {
+        let [a, b, c] = p;
+        let det = (b[0] - a[0]) * (c[1] - a[1]) - (c[0] - a[0]) * (b[1] - a[1]);
+        let area = 0.5 * det;
+        debug_assert!(area > 0.0, "triangle not CCW or degenerate");
+        let inv = 1.0 / det;
+        // ∇λ_0 = (y_b − y_c, x_c − x_b)/det, cyclic.
+        let grad = [
+            [(b[1] - c[1]) * inv, (c[0] - b[0]) * inv],
+            [(c[1] - a[1]) * inv, (a[0] - c[0]) * inv],
+            [(a[1] - b[1]) * inv, (b[0] - a[0]) * inv],
+        ];
+        let centroid = [(a[0] + b[0] + c[0]) / 3.0, (a[1] + b[1] + c[1]) / 3.0];
+        let e = |u: [f64; 2], v: [f64; 2]| ((u[0] - v[0]).powi(2) + (u[1] - v[1]).powi(2)).sqrt();
+        let h = e(a, b).max(e(b, c)).max(e(c, a));
+        TriGeom { area, grad, centroid, h }
+    }
+
+    /// Stiffness element matrix `∫ ∇φⱼ·∇φᵢ`.
+    pub fn stiffness(&self) -> [[f64; 3]; 3] {
+        let mut k = [[0.0; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                k[i][j] = self.area
+                    * (self.grad[i][0] * self.grad[j][0] + self.grad[i][1] * self.grad[j][1]);
+            }
+        }
+        k
+    }
+
+    /// Mass element matrix `∫ φⱼ φᵢ = (area/12)(1 + δᵢⱼ)`.
+    pub fn mass(&self) -> [[f64; 3]; 3] {
+        let m = self.area / 12.0;
+        let mut out = [[m; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            row[i] = 2.0 * m;
+        }
+        out
+    }
+
+    /// Load vector for `∫ f φᵢ` with one-point (centroid) quadrature.
+    pub fn load(&self, f_centroid: f64) -> [f64; 3] {
+        [f_centroid * self.area / 3.0; 3]
+    }
+}
+
+/// Geometry of a P1 tetrahedron.
+#[derive(Debug, Clone, Copy)]
+pub struct TetGeom {
+    /// Element volume.
+    pub volume: f64,
+    /// `grad[i] = ∇λᵢ`.
+    pub grad: [[f64; 3]; 4],
+    /// Element centroid.
+    pub centroid: [f64; 3],
+}
+
+impl TetGeom {
+    /// Computes the geometry from vertex coordinates (positive orientation).
+    pub fn new(p: [[f64; 3]; 4]) -> Self {
+        let [a, b, c, d] = p;
+        let u = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+        let v = [c[0] - a[0], c[1] - a[1], c[2] - a[2]];
+        let w = [d[0] - a[0], d[1] - a[1], d[2] - a[2]];
+        let det = u[0] * (v[1] * w[2] - v[2] * w[1]) - u[1] * (v[0] * w[2] - v[2] * w[0])
+            + u[2] * (v[0] * w[1] - v[1] * w[0]);
+        let volume = det / 6.0;
+        debug_assert!(volume > 0.0, "tet inverted or degenerate");
+        // Gradients from the inverse Jacobian: rows of J^{-T} give the
+        // gradients of λ₁..λ₃; λ₀ = 1 − λ₁ − λ₂ − λ₃.
+        let inv = 1.0 / det;
+        let cross = |x: [f64; 3], y: [f64; 3]| {
+            [
+                x[1] * y[2] - x[2] * y[1],
+                x[2] * y[0] - x[0] * y[2],
+                x[0] * y[1] - x[1] * y[0],
+            ]
+        };
+        let g1 = cross(v, w);
+        let g2 = cross(w, u);
+        let g3 = cross(u, v);
+        let grad1 = [g1[0] * inv, g1[1] * inv, g1[2] * inv];
+        let grad2 = [g2[0] * inv, g2[1] * inv, g2[2] * inv];
+        let grad3 = [g3[0] * inv, g3[1] * inv, g3[2] * inv];
+        let grad0 = [
+            -grad1[0] - grad2[0] - grad3[0],
+            -grad1[1] - grad2[1] - grad3[1],
+            -grad1[2] - grad2[2] - grad3[2],
+        ];
+        let centroid = [
+            (a[0] + b[0] + c[0] + d[0]) / 4.0,
+            (a[1] + b[1] + c[1] + d[1]) / 4.0,
+            (a[2] + b[2] + c[2] + d[2]) / 4.0,
+        ];
+        TetGeom { volume, grad: [grad0, grad1, grad2, grad3], centroid }
+    }
+
+    /// Stiffness element matrix `∫ ∇φⱼ·∇φᵢ`.
+    pub fn stiffness(&self) -> [[f64; 4]; 4] {
+        let mut k = [[0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                k[i][j] = self.volume
+                    * (self.grad[i][0] * self.grad[j][0]
+                        + self.grad[i][1] * self.grad[j][1]
+                        + self.grad[i][2] * self.grad[j][2]);
+            }
+        }
+        k
+    }
+
+    /// Mass element matrix `∫ φⱼ φᵢ = (V/20)(1 + δᵢⱼ)`.
+    pub fn mass(&self) -> [[f64; 4]; 4] {
+        let m = self.volume / 20.0;
+        let mut out = [[m; 4]; 4];
+        for (i, row) in out.iter_mut().enumerate() {
+            row[i] = 2.0 * m;
+        }
+        out
+    }
+
+    /// Load vector with centroid quadrature.
+    pub fn load(&self, f_centroid: f64) -> [f64; 4] {
+        [f_centroid * self.volume / 4.0; 4]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_triangle() {
+        let g = TriGeom::new([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]);
+        assert!((g.area - 0.5).abs() < 1e-15);
+        // Gradients: λ0 = 1-x-y, λ1 = x, λ2 = y.
+        assert_eq!(g.grad[0], [-1.0, -1.0]);
+        assert_eq!(g.grad[1], [1.0, 0.0]);
+        assert_eq!(g.grad[2], [0.0, 1.0]);
+    }
+
+    #[test]
+    fn triangle_basis_gradients_sum_to_zero() {
+        let g = TriGeom::new([[0.2, 0.1], [1.3, 0.4], [0.5, 1.7]]);
+        for d in 0..2 {
+            let s: f64 = (0..3).map(|i| g.grad[i][d]).sum();
+            assert!(s.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn triangle_stiffness_rows_sum_to_zero() {
+        // K 1 = 0 because constants are in the kernel of the gradient.
+        let g = TriGeom::new([[0.0, 0.0], [2.0, 0.3], [0.4, 1.5]]);
+        let k = g.stiffness();
+        for row in &k {
+            let s: f64 = row.iter().sum();
+            assert!(s.abs() < 1e-13);
+        }
+        // Symmetry.
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((k[i][j] - k[j][i]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_mass_integrates_one() {
+        let g = TriGeom::new([[0.0, 0.0], [3.0, 0.0], [0.0, 2.0]]);
+        let m = g.mass();
+        let total: f64 = m.iter().flatten().sum();
+        assert!((total - g.area).abs() < 1e-13);
+    }
+
+    #[test]
+    fn reference_tet() {
+        let g = TetGeom::new([
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ]);
+        assert!((g.volume - 1.0 / 6.0).abs() < 1e-15);
+        assert_eq!(g.grad[1], [1.0, 0.0, 0.0]);
+        assert_eq!(g.grad[2], [0.0, 1.0, 0.0]);
+        assert_eq!(g.grad[3], [0.0, 0.0, 1.0]);
+        assert_eq!(g.grad[0], [-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn tet_stiffness_rows_sum_to_zero() {
+        let g = TetGeom::new([
+            [0.1, 0.0, 0.2],
+            [1.2, 0.1, 0.0],
+            [0.3, 1.4, 0.1],
+            [0.2, 0.3, 1.1],
+        ]);
+        let k = g.stiffness();
+        for row in &k {
+            let s: f64 = row.iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tet_mass_integrates_one() {
+        let g = TetGeom::new([
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ]);
+        let m = g.mass();
+        let total: f64 = m.iter().flatten().sum();
+        assert!((total - g.volume).abs() < 1e-15);
+    }
+}

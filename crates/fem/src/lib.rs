@@ -1,0 +1,63 @@
+//! # parapre-fem
+//!
+//! P1 (linear) finite-element discretization of the paper's PDE suite
+//! (Cai & Sosonkina, IPPS 2003, §3):
+//!
+//! * [`poisson`] — `−∇²u = f` on triangles (2-D) and tetrahedra (3-D),
+//!   Test Cases 1–3;
+//! * [`heat`] — one implicit-Euler step of `u_t = ∇²u`, producing
+//!   `A = M + Δt·K` (paper eq. 13), Test Case 4;
+//! * [`convection`] — the convection–diffusion equation `v·∇u = ∇²u` with
+//!   streamline-upwind Petrov–Galerkin weighting (the paper's "upwind
+//!   weighting functions"), Test Case 5;
+//! * [`elasticity`] — the plane linear-elasticity operator
+//!   `−µ∇²u − (µ+λ)∇(∇·u)` with two displacement dofs per node,
+//!   Test Case 6;
+//! * [`bc`] — Dirichlet row elimination (homogeneous Neumann conditions are
+//!   natural for P1 and need no action);
+//! * [`submesh`] — per-subdomain mesh extraction for the paper's
+//!   *distributed discretization* (§1.1): every rank keeps the elements
+//!   touching its owned nodes so all owned matrix rows assemble without
+//!   communication ("minimum overlap").
+//!
+//! Element integrals use exact formulas for P1 simplices (one-point
+//! quadrature for load terms), assembled into [`parapre_sparse::Coo`] and
+//! finalized as CSR.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bc;
+pub mod convection;
+pub mod elasticity;
+pub mod elements;
+pub mod heat;
+pub mod norms;
+pub mod poisson;
+pub mod submesh;
+pub mod varcoeff;
+
+use parapre_sparse::Csr;
+
+/// An assembled linear system `A x = b`.
+#[derive(Debug, Clone)]
+pub struct LinearSystem {
+    /// System matrix.
+    pub a: Csr,
+    /// Right-hand side.
+    pub b: Vec<f64>,
+}
+
+impl LinearSystem {
+    /// Residual norm `‖b − A x‖₂` of a candidate solution.
+    pub fn residual_norm(&self, x: &[f64]) -> f64 {
+        let mut ax = vec![0.0; self.b.len()];
+        self.a.spmv(x, &mut ax);
+        self.b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, ai)| (bi - ai) * (bi - ai))
+            .sum::<f64>()
+            .sqrt()
+    }
+}

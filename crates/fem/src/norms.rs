@@ -1,0 +1,151 @@
+//! Discretization-error norms for manufactured-solution verification.
+//!
+//! Computes the L² norm and H¹ seminorm of `u_h − u` over a mesh, where
+//! `u_h` is a P1 nodal field and `u` an analytic function. Used by the
+//! verification tests (the paper's test cases 1–3 have closed-form
+//! solutions) and by the convergence-study example.
+
+use crate::elements::{TetGeom, TriGeom};
+use parapre_grid::{Mesh2d, Mesh3d};
+
+/// L² and H¹-seminorm errors of a P1 field against an exact solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorNorms {
+    /// `‖u_h − u‖_{L²}`.
+    pub l2: f64,
+    /// `|u_h − u|_{H¹}` (gradient seminorm, with the exact gradient
+    /// supplied analytically).
+    pub h1_semi: f64,
+}
+
+/// Computes error norms on a triangular mesh.
+///
+/// `exact` evaluates `u(x, y)`; `exact_grad` its gradient. Quadrature: the
+/// 3-midpoint rule (exact for quadratics) for L², one-point for the
+/// piecewise-constant gradient difference.
+pub fn error_norms_2d(
+    mesh: &Mesh2d,
+    uh: &[f64],
+    exact: impl Fn(f64, f64) -> f64,
+    exact_grad: impl Fn(f64, f64) -> [f64; 2],
+) -> ErrorNorms {
+    assert_eq!(uh.len(), mesh.n_nodes());
+    let mut l2_sq = 0.0;
+    let mut h1_sq = 0.0;
+    for tri in &mesh.triangles {
+        let p = [mesh.coords[tri[0]], mesh.coords[tri[1]], mesh.coords[tri[2]]];
+        let g = TriGeom::new(p);
+        let v = [uh[tri[0]], uh[tri[1]], uh[tri[2]]];
+        // Edge midpoints: quadrature weights area/3 each; P1 values are
+        // averages of endpoint values.
+        for (a, b) in [(0usize, 1usize), (1, 2), (2, 0)] {
+            let mx = 0.5 * (p[a][0] + p[b][0]);
+            let my = 0.5 * (p[a][1] + p[b][1]);
+            let uh_m = 0.5 * (v[a] + v[b]);
+            let diff = uh_m - exact(mx, my);
+            l2_sq += g.area / 3.0 * diff * diff;
+        }
+        // P1 gradient is constant: ∇u_h = Σ v_i ∇λ_i.
+        let gx: f64 = (0..3).map(|i| v[i] * g.grad[i][0]).sum();
+        let gy: f64 = (0..3).map(|i| v[i] * g.grad[i][1]).sum();
+        let eg = exact_grad(g.centroid[0], g.centroid[1]);
+        h1_sq += g.area * ((gx - eg[0]).powi(2) + (gy - eg[1]).powi(2));
+    }
+    ErrorNorms { l2: l2_sq.sqrt(), h1_semi: h1_sq.sqrt() }
+}
+
+/// Computes error norms on a tetrahedral mesh (vertex+centroid quadrature
+/// for L², one-point for the gradient).
+pub fn error_norms_3d(
+    mesh: &Mesh3d,
+    uh: &[f64],
+    exact: impl Fn(f64, f64, f64) -> f64,
+    exact_grad: impl Fn(f64, f64, f64) -> [f64; 3],
+) -> ErrorNorms {
+    assert_eq!(uh.len(), mesh.n_nodes());
+    let mut l2_sq = 0.0;
+    let mut h1_sq = 0.0;
+    for tet in &mesh.tets {
+        let p = [
+            mesh.coords[tet[0]],
+            mesh.coords[tet[1]],
+            mesh.coords[tet[2]],
+            mesh.coords[tet[3]],
+        ];
+        let g = TetGeom::new(p);
+        let v = [uh[tet[0]], uh[tet[1]], uh[tet[2]], uh[tet[3]]];
+        // Simple vertex rule (weights V/4); adequate for convergence
+        // monitoring.
+        for i in 0..4 {
+            let diff = v[i] - exact(p[i][0], p[i][1], p[i][2]);
+            l2_sq += g.volume / 4.0 * diff * diff;
+        }
+        let mut grad = [0.0f64; 3];
+        for i in 0..4 {
+            for d in 0..3 {
+                grad[d] += v[i] * g.grad[i][d];
+            }
+        }
+        let eg = exact_grad(g.centroid[0], g.centroid[1], g.centroid[2]);
+        h1_sq += g.volume
+            * ((grad[0] - eg[0]).powi(2) + (grad[1] - eg[1]).powi(2) + (grad[2] - eg[2]).powi(2));
+    }
+    ErrorNorms { l2: l2_sq.sqrt(), h1_semi: h1_sq.sqrt() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapre_grid::structured::{unit_cube, unit_square};
+
+    #[test]
+    fn exact_nodal_interpolant_of_linear_has_zero_error() {
+        // u = 2x + 3y is in the P1 space: both norms vanish.
+        let mesh = unit_square(6, 6);
+        let uh: Vec<f64> = mesh.coords.iter().map(|p| 2.0 * p[0] + 3.0 * p[1]).collect();
+        let e = error_norms_2d(&mesh, &uh, |x, y| 2.0 * x + 3.0 * y, |_, _| [2.0, 3.0]);
+        assert!(e.l2 < 1e-13, "l2 {}", e.l2);
+        assert!(e.h1_semi < 1e-12, "h1 {}", e.h1_semi);
+    }
+
+    #[test]
+    fn interpolation_error_converges_at_expected_rates() {
+        // Interpolating u = sin(πx)sin(πy): L² error O(h²), H¹ error O(h).
+        let errs: Vec<ErrorNorms> = [8usize, 16]
+            .iter()
+            .map(|&n| {
+                let mesh = unit_square(n + 1, n + 1);
+                let uh: Vec<f64> = mesh
+                    .coords
+                    .iter()
+                    .map(|p| {
+                        (std::f64::consts::PI * p[0]).sin() * (std::f64::consts::PI * p[1]).sin()
+                    })
+                    .collect();
+                error_norms_2d(
+                    &mesh,
+                    &uh,
+                    |x, y| (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin(),
+                    |x, y| {
+                        let pi = std::f64::consts::PI;
+                        [
+                            pi * (pi * x).cos() * (pi * y).sin(),
+                            pi * (pi * x).sin() * (pi * y).cos(),
+                        ]
+                    },
+                )
+            })
+            .collect();
+        assert!(errs[1].l2 < errs[0].l2 / 3.0, "{:?}", errs);
+        assert!(errs[1].h1_semi < errs[0].h1_semi / 1.7, "{:?}", errs);
+    }
+
+    #[test]
+    fn linear_field_exact_in_3d() {
+        let mesh = unit_cube(4, 4, 4);
+        let uh: Vec<f64> = mesh.coords.iter().map(|p| p[0] - 2.0 * p[2]).collect();
+        let e = error_norms_3d(&mesh, &uh, |x, _, z| x - 2.0 * z, |_, _, _| [1.0, 0.0, -2.0]);
+        assert!(e.l2 < 1e-13);
+        assert!(e.h1_semi < 1e-12);
+    }
+}

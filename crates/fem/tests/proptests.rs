@@ -1,0 +1,116 @@
+//! Property-based tests for the FEM assembly layer.
+
+use parapre_fem::{bc, convection, elasticity, heat, poisson, LinearSystem};
+use parapre_grid::structured::{unit_cube, unit_square};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn stiffness_2d_spd_properties(nx in 3usize..12) {
+        let mesh = unit_square(nx, nx);
+        let (a, _) = poisson::assemble_2d(&mesh, |_, _| 0.0);
+        prop_assert!(a.is_symmetric(1e-12));
+        // Positive semidefinite: x^T A x >= 0 for probe vectors.
+        for k in 0..4 {
+            let x: Vec<f64> = (0..a.n_rows())
+                .map(|i| ((i * (k + 3)) as f64 * 0.61).sin())
+                .collect();
+            let ax = a.mul_vec(&x);
+            let xtax: f64 = x.iter().zip(&ax).map(|(u, v)| u * v).sum();
+            prop_assert!(xtax >= -1e-10, "x^T A x = {xtax}");
+        }
+    }
+
+    #[test]
+    fn mass_matrix_row_sums_are_lumped_masses(n in 2usize..6) {
+        let mesh = unit_cube(n + 1, n + 1, n + 1);
+        let (m, _) = heat::assemble_mass_stiffness(&mesh);
+        // Row sums are the lumped nodal volumes: positive, summing to |Ω|.
+        let ones = vec![1.0; m.n_rows()];
+        let sums = m.mul_vec(&ones);
+        prop_assert!(sums.iter().all(|&s| s > 0.0));
+        let total: f64 = sums.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dirichlet_rows_exactly_identity(nx in 3usize..10, g in -3.0f64..3.0) {
+        let mesh = unit_square(nx, nx);
+        let (a, b) = poisson::assemble_2d(&mesh, |_, _| 1.0);
+        let mut sys = LinearSystem { a, b };
+        let fixed: Vec<(usize, f64)> = mesh
+            .boundary_nodes()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &on)| on)
+            .map(|(i, _)| (i, g))
+            .collect();
+        bc::apply_dirichlet(&mut sys, &fixed);
+        for &(i, v) in &fixed {
+            let (cols, vals) = sys.a.row(i);
+            for (&j, &av) in cols.iter().zip(vals) {
+                prop_assert_eq!(av, if j == i { 1.0 } else { 0.0 });
+            }
+            prop_assert_eq!(sys.b[i], v);
+        }
+        // Symmetry preserved by the column sweep.
+        prop_assert!(sys.a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn convection_reduces_to_stiffness_without_flow(
+        nx in 4usize..10,
+        vmag in 1.0f64..2000.0,
+        theta in 0.0f64..1.57,
+    ) {
+        let mesh = unit_square(nx, nx);
+        // v = 0 ⇒ the SUPG operator degenerates to the pure stiffness matrix.
+        let (a0, _) = convection::assemble_2d(&mesh, 0.0, 0.0);
+        let (k, _) = poisson::assemble_2d(&mesh, |_, _| 0.0);
+        for (i, j, v) in a0.iter() {
+            prop_assert!((k.get(i, j) - v).abs() < 1e-12);
+        }
+        // v ≠ 0 ⇒ genuinely unsymmetric, structurally symmetric pattern.
+        let (a, _) = convection::assemble_2d(&mesh, vmag * theta.cos(), vmag * theta.sin());
+        prop_assert!(!a.is_symmetric(1e-9));
+        for (i, j, _) in a.iter() {
+            prop_assert!(
+                a.row(j).0.binary_search(&i).is_ok(),
+                "pattern must stay structurally symmetric"
+            );
+        }
+    }
+
+    #[test]
+    fn elasticity_energy_nonnegative(nr in 3usize..8, mu in 0.1f64..5.0, lam in 0.0f64..5.0) {
+        let mesh = parapre_grid::ring::quarter_ring(nr, nr);
+        let (a, _) = elasticity::assemble_2d(&mesh, mu, lam, |_, _| [0.0, 0.0]);
+        prop_assert!(a.is_symmetric(1e-10));
+        for k in 0..3 {
+            let x: Vec<f64> = (0..a.n_rows())
+                .map(|i| ((i + k) as f64 * 0.23).cos())
+                .collect();
+            let ax = a.mul_vec(&x);
+            let e: f64 = x.iter().zip(&ax).map(|(u, v)| u * v).sum();
+            prop_assert!(e >= -1e-9, "energy {e}");
+        }
+    }
+
+    #[test]
+    fn submesh_owned_rows_complete(nx in 5usize..12, p in 2usize..5, seed in any::<u64>()) {
+        let mesh = unit_square(nx, nx);
+        let part = parapre_partition::partition_graph(&mesh.adjacency(), p, seed);
+        let mut owned_total = 0;
+        for r in 0..p as u32 {
+            let sub = parapre_fem::submesh::extract_2d(&mesh, &part.owner, r);
+            owned_total += sub.owned.iter().filter(|&&o| o).count();
+            // Each kept element touches an owned node.
+            for tri in &sub.mesh.triangles {
+                prop_assert!(tri.iter().any(|&v| sub.owned[v]));
+            }
+        }
+        prop_assert_eq!(owned_total, mesh.n_nodes());
+    }
+}

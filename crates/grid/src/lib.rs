@@ -1,0 +1,31 @@
+//! # parapre-grid
+//!
+//! Computational grids for the paper's six test cases (Cai & Sosonkina,
+//! IPPS 2003, §3):
+//!
+//! * [`structured::unit_square`] — uniform triangulated 2-D grids
+//!   (Test Cases 1 and 5);
+//! * [`structured::unit_cube`] — uniform tetrahedralized 3-D grids
+//!   (Test Cases 2 and 4), Kuhn/Freudenthal 6-tet subdivision;
+//! * [`ring::quarter_ring`] — the curvilinear structured grid of the
+//!   quarter-ring elasticity domain (Test Case 6, paper Fig. 5);
+//! * [`delaunay`] — a Bowyer–Watson Delaunay triangulator plus the
+//!   square-with-circular-hole unstructured domain standing in for the
+//!   paper's Fig. 3 grid (Test Case 3; see DESIGN.md for the substitution
+//!   note).
+//!
+//! Meshes are plain index soups ([`Mesh2d`], [`Mesh3d`]): flat coordinate
+//! and connectivity arrays, with derived quantities (boundary nodes, vertex
+//! adjacency) computed on demand. The vertex adjacency in CSR form feeds
+//! `parapre-partition` and the distributed-layout code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delaunay;
+pub mod mesh;
+pub mod refine;
+pub mod ring;
+pub mod structured;
+
+pub use mesh::{Adjacency, Mesh2d, Mesh3d};

@@ -1,0 +1,260 @@
+//! Mesh containers and derived topology.
+
+/// Vertex-to-vertex adjacency in CSR layout (the "nodal graph" handed to the
+/// partitioner, mirroring what Metis consumes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adjacency {
+    /// Offsets, length `n + 1`.
+    pub xadj: Vec<usize>,
+    /// Concatenated sorted neighbour lists (self excluded).
+    pub adjncy: Vec<usize>,
+}
+
+impl Adjacency {
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Neighbours of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Number of (undirected) edges.
+    pub fn n_edges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Builds from a list of cliques (element vertex tuples).
+    pub fn from_elements(n_nodes: usize, elements: impl Iterator<Item = Vec<usize>>) -> Self {
+        let mut nbrs: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+        for elem in elements {
+            for (a, &i) in elem.iter().enumerate() {
+                for &j in &elem[a + 1..] {
+                    nbrs[i].push(j);
+                    nbrs[j].push(i);
+                }
+            }
+        }
+        let mut xadj = Vec::with_capacity(n_nodes + 1);
+        let mut adjncy = Vec::new();
+        xadj.push(0);
+        for list in &mut nbrs {
+            list.sort_unstable();
+            list.dedup();
+            adjncy.extend_from_slice(list);
+            xadj.push(adjncy.len());
+        }
+        Adjacency { xadj, adjncy }
+    }
+}
+
+/// A 2-D triangular mesh.
+#[derive(Debug, Clone)]
+pub struct Mesh2d {
+    /// Node coordinates.
+    pub coords: Vec<[f64; 2]>,
+    /// Triangles as CCW-oriented vertex triples.
+    pub triangles: Vec<[usize; 3]>,
+}
+
+impl Mesh2d {
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of triangles.
+    pub fn n_elems(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Signed area of triangle `t` (positive for CCW orientation).
+    pub fn signed_area(&self, t: usize) -> f64 {
+        let [a, b, c] = self.triangles[t];
+        let pa = self.coords[a];
+        let pb = self.coords[b];
+        let pc = self.coords[c];
+        0.5 * ((pb[0] - pa[0]) * (pc[1] - pa[1]) - (pc[0] - pa[0]) * (pb[1] - pa[1]))
+    }
+
+    /// Total mesh area.
+    pub fn total_area(&self) -> f64 {
+        (0..self.n_elems()).map(|t| self.signed_area(t)).sum()
+    }
+
+    /// Flags nodes lying on the mesh boundary (edges shared by exactly one
+    /// triangle).
+    pub fn boundary_nodes(&self) -> Vec<bool> {
+        let mut edge_count = std::collections::HashMap::new();
+        for tri in &self.triangles {
+            for k in 0..3 {
+                let a = tri[k];
+                let b = tri[(k + 1) % 3];
+                let key = (a.min(b), a.max(b));
+                *edge_count.entry(key).or_insert(0u32) += 1;
+            }
+        }
+        let mut on_boundary = vec![false; self.n_nodes()];
+        for (&(a, b), &cnt) in &edge_count {
+            if cnt == 1 {
+                on_boundary[a] = true;
+                on_boundary[b] = true;
+            }
+        }
+        on_boundary
+    }
+
+    /// Vertex adjacency graph (element cliques).
+    pub fn adjacency(&self) -> Adjacency {
+        Adjacency::from_elements(self.n_nodes(), self.triangles.iter().map(|t| t.to_vec()))
+    }
+
+    /// Asserts basic validity: indices in range, positive areas (panics on
+    /// violation; meant for tests and debug assertions).
+    pub fn check(&self) {
+        let n = self.n_nodes();
+        for (t, tri) in self.triangles.iter().enumerate() {
+            for &v in tri {
+                assert!(v < n, "triangle {t} references node {v} >= {n}");
+            }
+            assert!(
+                self.signed_area(t) > 0.0,
+                "triangle {t} is degenerate or CW (area {})",
+                self.signed_area(t)
+            );
+        }
+    }
+}
+
+/// A 3-D tetrahedral mesh.
+#[derive(Debug, Clone)]
+pub struct Mesh3d {
+    /// Node coordinates.
+    pub coords: Vec<[f64; 3]>,
+    /// Tetrahedra as positively oriented vertex quadruples.
+    pub tets: Vec<[usize; 4]>,
+}
+
+impl Mesh3d {
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of tetrahedra.
+    pub fn n_elems(&self) -> usize {
+        self.tets.len()
+    }
+
+    /// Signed volume of tet `t` (positive for correct orientation).
+    pub fn signed_volume(&self, t: usize) -> f64 {
+        let [a, b, c, d] = self.tets[t];
+        let pa = self.coords[a];
+        let pb = self.coords[b];
+        let pc = self.coords[c];
+        let pd = self.coords[d];
+        let u = [pb[0] - pa[0], pb[1] - pa[1], pb[2] - pa[2]];
+        let v = [pc[0] - pa[0], pc[1] - pa[1], pc[2] - pa[2]];
+        let w = [pd[0] - pa[0], pd[1] - pa[1], pd[2] - pa[2]];
+        (u[0] * (v[1] * w[2] - v[2] * w[1]) - u[1] * (v[0] * w[2] - v[2] * w[0])
+            + u[2] * (v[0] * w[1] - v[1] * w[0]))
+            / 6.0
+    }
+
+    /// Total mesh volume.
+    pub fn total_volume(&self) -> f64 {
+        (0..self.n_elems()).map(|t| self.signed_volume(t)).sum()
+    }
+
+    /// Flags nodes on the boundary (faces shared by exactly one tet).
+    pub fn boundary_nodes(&self) -> Vec<bool> {
+        let mut face_count = std::collections::HashMap::new();
+        for tet in &self.tets {
+            const FACES: [[usize; 3]; 4] = [[1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2]];
+            for f in FACES {
+                let mut key = [tet[f[0]], tet[f[1]], tet[f[2]]];
+                key.sort_unstable();
+                *face_count.entry(key).or_insert(0u32) += 1;
+            }
+        }
+        let mut on_boundary = vec![false; self.n_nodes()];
+        for (face, &cnt) in &face_count {
+            if cnt == 1 {
+                for &v in face {
+                    on_boundary[v] = true;
+                }
+            }
+        }
+        on_boundary
+    }
+
+    /// Vertex adjacency graph (element cliques).
+    pub fn adjacency(&self) -> Adjacency {
+        Adjacency::from_elements(self.n_nodes(), self.tets.iter().map(|t| t.to_vec()))
+    }
+
+    /// Asserts basic validity (tests).
+    pub fn check(&self) {
+        let n = self.n_nodes();
+        for (t, tet) in self.tets.iter().enumerate() {
+            for &v in tet {
+                assert!(v < n, "tet {t} references node {v} >= {n}");
+            }
+            assert!(
+                self.signed_volume(t) > 0.0,
+                "tet {t} degenerate or inverted (volume {})",
+                self.signed_volume(t)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Mesh2d {
+        // Unit square split along the diagonal.
+        Mesh2d {
+            coords: vec![[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]],
+            triangles: vec![[0, 1, 2], [0, 2, 3]],
+        }
+    }
+
+    #[test]
+    fn area_and_orientation() {
+        let m = two_triangles();
+        m.check();
+        assert!((m.total_area() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn all_nodes_on_boundary_of_square_pair() {
+        let m = two_triangles();
+        assert_eq!(m.boundary_nodes(), vec![true; 4]);
+    }
+
+    #[test]
+    fn adjacency_of_two_triangles() {
+        let m = two_triangles();
+        let adj = m.adjacency();
+        assert_eq!(adj.n(), 4);
+        assert_eq!(adj.neighbors(0), &[1, 2, 3]);
+        assert_eq!(adj.neighbors(1), &[0, 2]);
+        assert_eq!(adj.n_edges(), 5);
+    }
+
+    #[test]
+    fn single_tet_volume_and_boundary() {
+        let m = Mesh3d {
+            coords: vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            tets: vec![[0, 1, 2, 3]],
+        };
+        m.check();
+        assert!((m.total_volume() - 1.0 / 6.0).abs() < 1e-14);
+        assert_eq!(m.boundary_nodes(), vec![true; 4]);
+        assert_eq!(m.adjacency().n_edges(), 6);
+    }
+}

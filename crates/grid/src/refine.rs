@@ -1,0 +1,89 @@
+//! Uniform mesh refinement.
+//!
+//! Regular (red) refinement of triangular meshes: every triangle is split
+//! into four by connecting edge midpoints. Nested refinement preserves mesh
+//! quality exactly (children are similar to the parent), quadruples the
+//! element count, and roughly quadruples the node count — the standard way
+//! to run a convergence study on an *unstructured* grid like Test Case 3's.
+
+use crate::mesh::Mesh2d;
+use std::collections::HashMap;
+
+/// Refines every triangle into four (red refinement).
+pub fn refine_uniform(mesh: &Mesh2d) -> Mesh2d {
+    let mut coords = mesh.coords.clone();
+    let mut midpoint: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut mid = |a: usize, b: usize, coords: &mut Vec<[f64; 2]>| -> usize {
+        let key = (a.min(b), a.max(b));
+        *midpoint.entry(key).or_insert_with(|| {
+            let pa = coords[a];
+            let pb = coords[b];
+            coords.push([0.5 * (pa[0] + pb[0]), 0.5 * (pa[1] + pb[1])]);
+            coords.len() - 1
+        })
+    };
+    let mut triangles = Vec::with_capacity(4 * mesh.n_elems());
+    for &[a, b, c] in &mesh.triangles {
+        let ab = mid(a, b, &mut coords);
+        let bc = mid(b, c, &mut coords);
+        let ca = mid(c, a, &mut coords);
+        triangles.push([a, ab, ca]);
+        triangles.push([ab, b, bc]);
+        triangles.push([ca, bc, c]);
+        triangles.push([ab, bc, ca]);
+    }
+    Mesh2d { coords, triangles }
+}
+
+/// Applies `levels` rounds of uniform refinement.
+pub fn refine_times(mesh: &Mesh2d, levels: usize) -> Mesh2d {
+    let mut m = mesh.clone();
+    for _ in 0..levels {
+        m = refine_uniform(&m);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structured::unit_square;
+
+    #[test]
+    fn counts_after_refinement() {
+        let m = unit_square(3, 3);
+        let r = refine_uniform(&m);
+        r.check();
+        assert_eq!(r.n_elems(), 4 * m.n_elems());
+        // V' = V + E (one new node per edge).
+        let e = m.adjacency().n_edges();
+        assert_eq!(r.n_nodes(), m.n_nodes() + e);
+    }
+
+    #[test]
+    fn area_preserved() {
+        let m = unit_square(4, 5);
+        let r = refine_times(&m, 2);
+        assert!((r.total_area() - m.total_area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refinement_is_conforming() {
+        // A conforming refined mesh of the square still has exactly the
+        // perimeter nodes on the boundary.
+        let m = unit_square(3, 3);
+        let r = refine_uniform(&m);
+        let nb = r.boundary_nodes().iter().filter(|&&b| b).count();
+        // 5 nodes per side on the refined 5x5-lattice boundary.
+        assert_eq!(nb, 16);
+    }
+
+    #[test]
+    fn refinement_of_unstructured_mesh() {
+        let m = crate::delaunay::square_with_hole(300, 3);
+        let r = refine_uniform(&m);
+        r.check();
+        assert!((r.total_area() - m.total_area()).abs() < 1e-9);
+        assert_eq!(r.n_elems(), 4 * m.n_elems());
+    }
+}

@@ -1,0 +1,93 @@
+//! The quarter-ring domain of Test Case 6 (paper Fig. 5).
+//!
+//! A curvilinear structured grid of triangles on
+//! `Ω = {(r cos θ, r sin θ) : 1 ≤ r ≤ 2, 0 ≤ θ ≤ π/2}`. The straight edge
+//! `Γ₁` lies on the x-axis (θ = 0), the straight edge `Γ₂` on the y-axis
+//! (θ = π/2); the paper pins the displacement components `u₁ = 0` on `Γ₁`
+//! and `u₂ = 0` on `Γ₂`. The classification helpers below expose both edges.
+
+use crate::mesh::Mesh2d;
+use std::f64::consts::FRAC_PI_2;
+
+/// Inner radius of the ring.
+pub const R_INNER: f64 = 1.0;
+/// Outer radius of the ring.
+pub const R_OUTER: f64 = 2.0;
+
+/// Builds the quarter ring with `nr × nt` nodes (radial × angular).
+///
+/// Node `(ir, it)` has index `it * nr + ir`, radius
+/// `1 + ir/(nr−1)` and angle `θ = (π/2)·it/(nt−1)`.
+pub fn quarter_ring(nr: usize, nt: usize) -> Mesh2d {
+    assert!(nr >= 2 && nt >= 2);
+    let mut coords = Vec::with_capacity(nr * nt);
+    for it in 0..nt {
+        let theta = FRAC_PI_2 * it as f64 / (nt - 1) as f64;
+        let (s, c) = theta.sin_cos();
+        for ir in 0..nr {
+            let r = R_INNER + (R_OUTER - R_INNER) * ir as f64 / (nr - 1) as f64;
+            coords.push([r * c, r * s]);
+        }
+    }
+    let mut triangles = Vec::with_capacity(2 * (nr - 1) * (nt - 1));
+    for it in 0..nt - 1 {
+        for ir in 0..nr - 1 {
+            let p00 = it * nr + ir;
+            let p10 = p00 + 1;
+            let p01 = p00 + nr;
+            let p11 = p01 + 1;
+            // CCW with increasing theta.
+            triangles.push([p00, p10, p11]);
+            triangles.push([p00, p11, p01]);
+        }
+    }
+    Mesh2d { coords, triangles }
+}
+
+/// True when node `p` lies on `Γ₁` (the θ = 0 edge, y = 0).
+pub fn on_gamma1(p: [f64; 2]) -> bool {
+    p[1].abs() < 1e-9
+}
+
+/// True when node `p` lies on `Γ₂` (the θ = π/2 edge, x = 0).
+pub fn on_gamma2(p: [f64; 2]) -> bool {
+    p[0].abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_geometry() {
+        let m = quarter_ring(5, 9);
+        m.check();
+        // Area of a quarter annulus: (π/4)(R² − r²) = (π/4)·3.
+        let exact = std::f64::consts::PI * 3.0 / 4.0;
+        // Polygonal approximation slightly below the exact value.
+        assert!((m.total_area() - exact).abs() / exact < 0.02);
+        // All radii within bounds.
+        for p in &m.coords {
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!((R_INNER - 1e-12..=R_OUTER + 1e-12).contains(&r));
+        }
+    }
+
+    #[test]
+    fn gamma_edges_have_nr_nodes() {
+        let (nr, nt) = (7, 11);
+        let m = quarter_ring(nr, nt);
+        let g1 = m.coords.iter().filter(|&&p| on_gamma1(p)).count();
+        let g2 = m.coords.iter().filter(|&&p| on_gamma2(p)).count();
+        assert_eq!(g1, nr);
+        assert_eq!(g2, nr);
+    }
+
+    #[test]
+    fn ring_refines_towards_exact_area() {
+        let coarse = quarter_ring(4, 4).total_area();
+        let fine = quarter_ring(32, 32).total_area();
+        let exact = std::f64::consts::PI * 3.0 / 4.0;
+        assert!((fine - exact).abs() < (coarse - exact).abs());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for mesh generation.
+
+use parapre_grid::delaunay::Triangulator;
+use parapre_grid::ring::quarter_ring;
+use parapre_grid::structured::{unit_cube, unit_square};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn structured_square_invariants(nx in 2usize..20, ny in 2usize..20) {
+        let m = unit_square(nx, ny);
+        m.check();
+        prop_assert_eq!(m.n_nodes(), nx * ny);
+        prop_assert_eq!(m.n_elems(), 2 * (nx - 1) * (ny - 1));
+        prop_assert!((m.total_area() - 1.0).abs() < 1e-12);
+        // Boundary count: perimeter nodes.
+        let nb = m.boundary_nodes().iter().filter(|&&b| b).count();
+        prop_assert_eq!(nb, 2 * nx + 2 * ny - 4);
+    }
+
+    #[test]
+    fn structured_cube_invariants(nx in 2usize..7, ny in 2usize..7, nz in 2usize..7) {
+        let m = unit_cube(nx, ny, nz);
+        m.check();
+        prop_assert_eq!(m.n_nodes(), nx * ny * nz);
+        prop_assert_eq!(m.n_elems(), 6 * (nx - 1) * (ny - 1) * (nz - 1));
+        prop_assert!((m.total_volume() - 1.0).abs() < 1e-12);
+        // Interior node count.
+        let ni = m.boundary_nodes().iter().filter(|&&b| !b).count();
+        prop_assert_eq!(ni, (nx - 2) * (ny - 2) * (nz - 2));
+    }
+
+    #[test]
+    fn ring_mesh_invariants(nr in 2usize..12, nt in 2usize..12) {
+        let m = quarter_ring(nr, nt);
+        m.check();
+        prop_assert_eq!(m.n_nodes(), nr * nt);
+        // Area below the exact annulus quarter but close for fine grids.
+        let exact = std::f64::consts::PI * 3.0 / 4.0;
+        prop_assert!(m.total_area() <= exact + 1e-12);
+        prop_assert!(m.total_area() > 0.5 * exact);
+    }
+
+    #[test]
+    fn delaunay_of_random_cloud_is_valid(seed in any::<u64>(), n in 10usize..80) {
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        // Grid-jitter placement avoids exact duplicates.
+        let side = (n as f64).sqrt().ceil() as usize;
+        let mut pts = Vec::new();
+        for k in 0..n {
+            let (i, j) = (k % side, k / side);
+            pts.push([
+                i as f64 + 0.4 * rnd(),
+                j as f64 + 0.4 * rnd(),
+            ]);
+        }
+        let m = Triangulator::triangulate(&pts);
+        m.check();
+        // All points that participate appear in some triangle for interior-
+        // rich clouds; at minimum, triangulation is non-empty and area > 0.
+        prop_assert!(m.n_elems() >= 1);
+        prop_assert!(m.total_area() > 0.0);
+        // Hull area bound: triangulated area cannot exceed the bounding box.
+        let (mut xmin, mut xmax, mut ymin, mut ymax) =
+            (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for p in &pts {
+            xmin = xmin.min(p[0]);
+            xmax = xmax.max(p[0]);
+            ymin = ymin.min(p[1]);
+            ymax = ymax.max(p[1]);
+        }
+        prop_assert!(m.total_area() <= (xmax - xmin) * (ymax - ymin) + 1e-9);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_loop_free(nx in 2usize..12) {
+        let m = unit_square(nx, nx);
+        let adj = m.adjacency();
+        for v in 0..adj.n() {
+            for &w in adj.neighbors(v) {
+                prop_assert_ne!(v, w, "self loop");
+                prop_assert!(adj.neighbors(w).contains(&v), "asymmetric edge");
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! BiCGSTAB — the short-recurrence alternative to restarted GMRES for
+//! unsymmetric systems (van der Vorst 1992; Saad's book, Alg. 7.7).
+//!
+//! The paper's solvers are (F)GMRES-based, but any practical library of
+//! parallel algebraic preconditioners is also exercised under BiCGSTAB,
+//! whose two preconditioner applications per iteration stress `M⁻¹`
+//! differently. Included for completeness and as a cross-check: the same
+//! preconditioners must accelerate both accelerators.
+
+use crate::op::LinOp;
+use crate::precond::Preconditioner;
+use crate::SolveReport;
+use parapre_sparse::ops;
+
+/// BiCGSTAB stopping parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BiCgStabConfig {
+    /// Maximum iterations (each costs 2 matvecs + 2 preconditioner solves).
+    pub max_iters: usize,
+    /// Relative residual target.
+    pub rel_tol: f64,
+    /// Absolute residual floor.
+    pub abs_tol: f64,
+    /// Record per-iteration residual norms.
+    pub record_history: bool,
+}
+
+impl Default for BiCgStabConfig {
+    fn default() -> Self {
+        BiCgStabConfig {
+            max_iters: 500,
+            rel_tol: 1e-6,
+            abs_tol: 1e-300,
+            record_history: false,
+        }
+    }
+}
+
+/// Right-preconditioned BiCGSTAB.
+#[derive(Debug, Clone)]
+pub struct BiCgStab {
+    /// Solver parameters.
+    pub config: BiCgStabConfig,
+}
+
+impl BiCgStab {
+    /// Creates a solver.
+    pub fn new(config: BiCgStabConfig) -> Self {
+        BiCgStab { config }
+    }
+
+    /// Solves `A x = b`, updating `x` in place.
+    pub fn solve<A: LinOp, M: Preconditioner>(
+        &self,
+        a: &A,
+        m: &M,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> SolveReport {
+        let n = a.dim();
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        let cfg = &self.config;
+        let mut report = SolveReport::new();
+
+        let mut r = vec![0.0; n];
+        a.apply(x, &mut r);
+        for (ri, &bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        let r0_norm = ops::norm2(&r);
+        if cfg.record_history {
+            report.residual_history.push(r0_norm);
+        }
+        if r0_norm <= cfg.abs_tol {
+            report.converged = true;
+            report.final_relres = 0.0;
+            return report;
+        }
+        let target = (cfg.rel_tol * r0_norm).max(cfg.abs_tol);
+
+        let r_hat = r.clone(); // shadow residual
+        let mut rho = 1.0;
+        let mut alpha = 1.0;
+        let mut omega = 1.0;
+        let mut v = vec![0.0; n];
+        let mut p = vec![0.0; n];
+        let mut ph = vec![0.0; n];
+        let mut s = vec![0.0; n];
+        let mut sh = vec![0.0; n];
+        let mut t = vec![0.0; n];
+
+        for it in 1..=cfg.max_iters {
+            let rho_new = ops::dot(&r_hat, &r);
+            if rho_new == 0.0 {
+                break; // breakdown
+            }
+            if it == 1 {
+                p.copy_from_slice(&r);
+            } else {
+                let beta = (rho_new / rho) * (alpha / omega);
+                for ((pi, &ri), &vi) in p.iter_mut().zip(&r).zip(&v) {
+                    *pi = ri + beta * (*pi - omega * vi);
+                }
+            }
+            rho = rho_new;
+            m.apply(&p, &mut ph);
+            a.apply(&ph, &mut v);
+            let rhv = ops::dot(&r_hat, &v);
+            if rhv == 0.0 {
+                break;
+            }
+            alpha = rho / rhv;
+            for ((si, &ri), &vi) in s.iter_mut().zip(&r).zip(&v) {
+                *si = ri - alpha * vi;
+            }
+            let snorm = ops::norm2(&s);
+            if snorm <= target {
+                ops::axpy(alpha, &ph, x);
+                report.converged = true;
+                report.iterations = it;
+                report.final_relres = snorm / r0_norm;
+                if cfg.record_history {
+                    report.residual_history.push(snorm);
+                }
+                return report;
+            }
+            m.apply(&s, &mut sh);
+            a.apply(&sh, &mut t);
+            let tt = ops::dot(&t, &t);
+            if tt == 0.0 {
+                break;
+            }
+            omega = ops::dot(&t, &s) / tt;
+            for ((xi, &phi), &shi) in x.iter_mut().zip(&ph).zip(&sh) {
+                *xi += alpha * phi + omega * shi;
+            }
+            for ((ri, &si), &ti) in r.iter_mut().zip(&s).zip(&t) {
+                *ri = si - omega * ti;
+            }
+            let rnorm = ops::norm2(&r);
+            if cfg.record_history {
+                report.residual_history.push(rnorm);
+            }
+            report.iterations = it;
+            if rnorm <= target {
+                report.converged = true;
+                report.final_relres = rnorm / r0_norm;
+                return report;
+            }
+            if omega == 0.0 {
+                break;
+            }
+        }
+        // Recompute the honest residual.
+        a.apply(x, &mut r);
+        for (ri, &bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        report.final_relres = ops::norm2(&r) / r0_norm;
+        report.converged = report.final_relres <= cfg.rel_tol;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ilu::{Ilut, IlutConfig};
+    use crate::precond::IdentityPrecond;
+    use parapre_sparse::{Coo, Csr};
+
+    fn convection_band(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+            if i > 0 {
+                coo.push(i, i - 1, -2.4);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -0.6);
+            }
+            if i + 11 < n {
+                coo.push(i, i + 11, -0.4);
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn relres(a: &Csr, b: &[f64], x: &[f64]) -> f64 {
+        let ax = a.mul_vec(x);
+        let r: f64 = b.iter().zip(&ax).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        r / bn
+    }
+
+    #[test]
+    fn solves_unsymmetric_system() {
+        let n = 200;
+        let a = convection_band(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let mut x = vec![0.0; n];
+        let rep = BiCgStab::new(Default::default())
+            .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        assert!(rep.converged, "relres {}", rep.final_relres);
+        assert!(relres(&a, &b, &x) < 1e-5);
+    }
+
+    #[test]
+    fn ilut_preconditioning_cuts_iterations() {
+        let n = 300;
+        let a = convection_band(n);
+        let b = vec![1.0; n];
+        let mut x1 = vec![0.0; n];
+        let plain = BiCgStab::new(Default::default())
+            .solve(&a, &IdentityPrecond::new(n), &b, &mut x1);
+        let f = Ilut::factor(&a, &IlutConfig::default()).unwrap();
+        let mut x2 = vec![0.0; n];
+        let prec = BiCgStab::new(Default::default()).solve(&a, &f, &b, &mut x2);
+        assert!(plain.converged && prec.converged);
+        assert!(prec.iterations < plain.iterations);
+        assert!(relres(&a, &b, &x2) < 1e-5);
+    }
+
+    #[test]
+    fn zero_rhs_early_exit() {
+        let a = convection_band(20);
+        let mut x = vec![0.0; 20];
+        let rep = BiCgStab::new(BiCgStabConfig { abs_tol: 1e-14, ..Default::default() })
+            .solve(&a, &IdentityPrecond::new(20), &vec![0.0; 20], &mut x);
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let a = convection_band(200);
+        let b = vec![1.0; 200];
+        let mut x = vec![0.0; 200];
+        let rep = BiCgStab::new(BiCgStabConfig {
+            max_iters: 2,
+            rel_tol: 1e-14,
+            ..Default::default()
+        })
+        .solve(&a, &IdentityPrecond::new(200), &b, &mut x);
+        assert!(rep.iterations <= 2);
+        assert!(!rep.converged);
+    }
+
+    #[test]
+    fn agrees_with_gmres_solution() {
+        let n = 120;
+        let a = convection_band(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
+        let mut xg = vec![0.0; n];
+        crate::gmres::Gmres::new(crate::gmres::GmresConfig {
+            rel_tol: 1e-10,
+            max_iters: 500,
+            ..Default::default()
+        })
+        .solve(&a, &IdentityPrecond::new(n), &b, &mut xg);
+        let mut xb = vec![0.0; n];
+        BiCgStab::new(BiCgStabConfig { rel_tol: 1e-10, ..Default::default() })
+            .solve(&a, &IdentityPrecond::new(n), &b, &mut xb);
+        for (u, v) in xg.iter().zip(&xb) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+}

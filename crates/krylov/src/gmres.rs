@@ -1,0 +1,537 @@
+//! Restarted GMRES and flexible GMRES (FGMRES), right-preconditioned.
+//!
+//! The paper uses FGMRES(20) as the outer accelerator (the preconditioners
+//! contain inner iterations, so the preconditioner varies between
+//! applications) and short plain-GMRES runs as subdomain/Schur solvers
+//! (paper §4.3–4.4). Implementation follows Saad, *Iterative Methods for
+//! Sparse Linear Systems*, Algorithms 6.9 (GMRES) and 9.5 (FGMRES):
+//! modified Gram–Schmidt orthogonalization and Givens-rotation QR of the
+//! Hessenberg matrix, so the residual norm is available every iteration
+//! without forming the solution.
+
+use crate::op::LinOp;
+use crate::precond::Preconditioner;
+use crate::SolveReport;
+use parapre_sparse::ops;
+
+/// Stopping and restart parameters shared by GMRES and FGMRES.
+#[derive(Debug, Clone, Copy)]
+pub struct GmresConfig {
+    /// Restart length `m` (Krylov basis size). Paper value: 20.
+    pub restart: usize,
+    /// Maximum total iterations (matrix-vector products).
+    pub max_iters: usize,
+    /// Relative residual reduction target (paper: 1e-6).
+    pub rel_tol: f64,
+    /// Absolute residual floor — iteration stops when `‖r‖ ≤ abs_tol` even
+    /// if the relative target is not met (guards `b = 0`).
+    pub abs_tol: f64,
+    /// Record the residual norm after every iteration.
+    pub record_history: bool,
+}
+
+impl Default for GmresConfig {
+    fn default() -> Self {
+        GmresConfig {
+            restart: 20,
+            max_iters: 500,
+            rel_tol: 1e-6,
+            abs_tol: 1e-300,
+            record_history: false,
+        }
+    }
+}
+
+impl GmresConfig {
+    /// A fixed-effort configuration used for inner solves: run exactly
+    /// `iters` iterations (single restart cycle) unless converged much
+    /// earlier.
+    pub fn inner(iters: usize) -> Self {
+        GmresConfig {
+            restart: iters.max(1),
+            max_iters: iters.max(1),
+            rel_tol: 1e-12,
+            abs_tol: 1e-300,
+            record_history: false,
+        }
+    }
+}
+
+/// Right-preconditioned restarted GMRES(m) with a **fixed** preconditioner.
+#[derive(Debug, Clone)]
+pub struct Gmres {
+    /// Solver parameters.
+    pub config: GmresConfig,
+}
+
+/// Right-preconditioned restarted **flexible** GMRES(m): the preconditioner
+/// may change from one iteration to the next (inner iterative solves).
+#[derive(Debug, Clone)]
+pub struct FGmres {
+    /// Solver parameters.
+    pub config: GmresConfig,
+}
+
+impl Gmres {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: GmresConfig) -> Self {
+        Gmres { config }
+    }
+
+    /// Solves `A x = b`, updating `x` in place (initial guess on entry).
+    pub fn solve<A: LinOp, M: Preconditioner>(
+        &self,
+        a: &A,
+        m: &M,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> SolveReport {
+        run_gmres(a, m, b, x, &self.config, false)
+    }
+}
+
+impl FGmres {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: GmresConfig) -> Self {
+        FGmres { config }
+    }
+
+    /// Solves `A x = b`, updating `x` in place (initial guess on entry).
+    pub fn solve<A: LinOp, M: Preconditioner>(
+        &self,
+        a: &A,
+        m: &M,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> SolveReport {
+        run_gmres(a, m, b, x, &self.config, true)
+    }
+}
+
+/// Shared Arnoldi/Givens driver. With `flexible = true` the preconditioned
+/// directions `Z_j = M⁻¹ v_j` are stored and the update is `x += Z y`
+/// (FGMRES); otherwise only `V` is stored and `x += M⁻¹ (V y)`.
+fn run_gmres<A: LinOp, M: Preconditioner>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &GmresConfig,
+    flexible: bool,
+) -> SolveReport {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "gmres: rhs length");
+    assert_eq!(x.len(), n, "gmres: x length");
+    assert_eq!(m.dim(), n, "gmres: preconditioner dim");
+    let restart = cfg.restart.max(1);
+
+    let mut report = SolveReport::new();
+    let mut r = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    let mut z = vec![0.0; n];
+
+    // Initial residual.
+    a.apply(x, &mut r);
+    for (ri, &bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let r0_norm = ops::norm2(&r);
+    if cfg.record_history {
+        report.residual_history.push(r0_norm);
+    }
+    if r0_norm <= cfg.abs_tol {
+        report.converged = true;
+        report.final_relres = 0.0;
+        return report;
+    }
+    let target = (cfg.rel_tol * r0_norm).max(cfg.abs_tol);
+
+    // Krylov basis and (for FGMRES) preconditioned directions.
+    let mut v: Vec<Vec<f64>> = Vec::with_capacity(restart + 1);
+    let mut zdirs: Vec<Vec<f64>> = Vec::new();
+    // Hessenberg in packed columns: h[j] has j+2 entries.
+    let mut h: Vec<Vec<f64>> = Vec::with_capacity(restart);
+    let mut givens: Vec<(f64, f64)> = Vec::with_capacity(restart);
+    let mut g = vec![0.0; restart + 1];
+
+    let mut total_iters = 0usize;
+    let mut beta = r0_norm;
+
+    'outer: loop {
+        v.clear();
+        zdirs.clear();
+        h.clear();
+        givens.clear();
+        g.fill(0.0);
+        g[0] = beta;
+        let mut v0 = r.clone();
+        ops::scale(1.0 / beta, &mut v0);
+        v.push(v0);
+
+        let mut k = 0usize; // columns completed this cycle
+        while k < restart && total_iters < cfg.max_iters {
+            // z = M^{-1} v_k ; w = A z
+            m.apply(&v[k], &mut z);
+            if flexible {
+                zdirs.push(z.clone());
+            }
+            a.apply(&z, &mut w);
+            total_iters += 1;
+
+            // Modified Gram-Schmidt.
+            let mut hcol = vec![0.0; k + 2];
+            for (i, vi) in v.iter().enumerate() {
+                let hik = ops::dot(&w, vi);
+                hcol[i] = hik;
+                ops::axpy(-hik, vi, &mut w);
+            }
+            let wnorm = ops::norm2(&w);
+            hcol[k + 1] = wnorm;
+
+            // Apply accumulated Givens rotations to the new column.
+            for (i, &(c, s)) in givens.iter().enumerate() {
+                let t = c * hcol[i] + s * hcol[i + 1];
+                hcol[i + 1] = -s * hcol[i] + c * hcol[i + 1];
+                hcol[i] = t;
+            }
+            // New rotation annihilating hcol[k+1].
+            let (c, s) = givens_rotation(hcol[k], hcol[k + 1]);
+            let t = c * hcol[k] + s * hcol[k + 1];
+            hcol[k] = t;
+            hcol[k + 1] = 0.0;
+            givens.push((c, s));
+            let gk = g[k];
+            g[k] = c * gk;
+            g[k + 1] = -s * gk;
+            h.push(hcol);
+            k += 1;
+
+            let res_est = g[k].abs();
+            if cfg.record_history {
+                report.residual_history.push(res_est);
+            }
+            if res_est <= target || wnorm == 0.0 {
+                // Converged or lucky breakdown: finish the cycle now.
+                update_solution(a, m, &v, &zdirs, &h, &g, k, x, flexible, &mut z, &mut w);
+                // Recompute the true residual to report honestly.
+                a.apply(x, &mut r);
+                for (ri, &bi) in r.iter_mut().zip(b) {
+                    *ri = bi - *ri;
+                }
+                let true_norm = ops::norm2(&r);
+                report.converged = true_norm <= target * 1.01 || wnorm == 0.0;
+                report.iterations = total_iters;
+                report.final_relres = true_norm / r0_norm;
+                if report.converged || total_iters >= cfg.max_iters {
+                    return report;
+                }
+                // True residual disagrees (rare): restart from x.
+                beta = true_norm;
+                continue 'outer;
+            }
+            if wnorm > 0.0 && k < restart {
+                let mut vk = w.clone();
+                ops::scale(1.0 / wnorm, &mut vk);
+                v.push(vk);
+            }
+        }
+
+        // End of cycle (restart or iteration budget).
+        update_solution(a, m, &v, &zdirs, &h, &g, k, x, flexible, &mut z, &mut w);
+        a.apply(x, &mut r);
+        for (ri, &bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        beta = ops::norm2(&r);
+        report.iterations = total_iters;
+        report.final_relres = beta / r0_norm;
+        if beta <= target {
+            report.converged = true;
+            return report;
+        }
+        if total_iters >= cfg.max_iters {
+            return report;
+        }
+    }
+}
+
+/// Computes the update `x += correction` from the converged/restarted cycle.
+#[allow(clippy::too_many_arguments)]
+fn update_solution<A: LinOp, M: Preconditioner>(
+    _a: &A,
+    m: &M,
+    v: &[Vec<f64>],
+    zdirs: &[Vec<f64>],
+    h: &[Vec<f64>],
+    g: &[f64],
+    k: usize,
+    x: &mut [f64],
+    flexible: bool,
+    scratch_z: &mut [f64],
+    scratch_u: &mut [f64],
+) {
+    if k == 0 {
+        return;
+    }
+    // Back-substitution of the k x k triangular system R y = g.
+    let mut y = vec![0.0; k];
+    for i in (0..k).rev() {
+        let mut acc = g[i];
+        for (j, hj) in h.iter().enumerate().take(k).skip(i + 1) {
+            acc -= hj[i] * y[j];
+        }
+        y[i] = acc / h[i][i];
+    }
+    if flexible {
+        for (j, zj) in zdirs.iter().enumerate().take(k) {
+            ops::axpy(y[j], zj, x);
+        }
+    } else {
+        // u = V_k y ; x += M^{-1} u
+        scratch_u.fill(0.0);
+        for (j, vj) in v.iter().enumerate().take(k) {
+            ops::axpy(y[j], vj, scratch_u);
+        }
+        m.apply(scratch_u, scratch_z);
+        ops::axpy(1.0, scratch_z, x);
+    }
+}
+
+/// Robust Givens rotation `(c, s)` with `c·a + s·b = r`, `-s·a + c·b = 0`.
+fn givens_rotation(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a == 0.0 {
+        (0.0, 1.0)
+    } else {
+        let r = a.hypot(b);
+        (a / r, b / r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ilu::{Ilu0, Ilut, IlutConfig};
+    use crate::precond::{IdentityPrecond, JacobiPrecond};
+    use parapre_sparse::{Coo, Csr};
+
+    fn laplacian_2d(nx: usize) -> Csr {
+        let n = nx * nx;
+        let mut coo = Coo::new(n, n);
+        for iy in 0..nx {
+            for ix in 0..nx {
+                let i = iy * nx + ix;
+                coo.push(i, i, 4.0);
+                if ix > 0 {
+                    coo.push(i, i - 1, -1.0);
+                }
+                if ix + 1 < nx {
+                    coo.push(i, i + 1, -1.0);
+                }
+                if iy > 0 {
+                    coo.push(i, i - nx, -1.0);
+                }
+                if iy + 1 < nx {
+                    coo.push(i, i + nx, -1.0);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn check_solution(a: &Csr, b: &[f64], x: &[f64], tol: f64) {
+        let mut ax = vec![0.0; b.len()];
+        a.spmv(x, &mut ax);
+        let r: f64 = b.iter().zip(&ax).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(r <= tol * bn.max(1e-30), "residual {r} vs {} * {bn}", tol);
+    }
+
+    #[test]
+    fn gmres_unpreconditioned_laplacian() {
+        let a = laplacian_2d(8);
+        let n = a.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mut x = vec![0.0; n];
+        let rep = Gmres::new(GmresConfig { max_iters: 300, ..Default::default() })
+            .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        assert!(rep.converged, "relres {}", rep.final_relres);
+        check_solution(&a, &b, &x, 1e-5);
+    }
+
+    #[test]
+    fn gmres_ilu0_converges_much_faster() {
+        let a = laplacian_2d(16);
+        let n = a.n_rows();
+        let b = vec![1.0; n];
+        let cfg = GmresConfig { max_iters: 400, ..Default::default() };
+
+        let mut x0 = vec![0.0; n];
+        let plain = Gmres::new(cfg).solve(&a, &IdentityPrecond::new(n), &b, &mut x0);
+
+        let f = Ilu0::factor(&a).unwrap();
+        let mut x1 = vec![0.0; n];
+        let prec = Gmres::new(cfg).solve(&a, &f, &b, &mut x1);
+
+        assert!(plain.converged && prec.converged);
+        assert!(
+            prec.iterations * 2 < plain.iterations,
+            "ilu0 {} vs plain {}",
+            prec.iterations,
+            plain.iterations
+        );
+        check_solution(&a, &b, &x1, 1e-5);
+    }
+
+    #[test]
+    fn gmres_nonzero_initial_guess() {
+        let a = laplacian_2d(6);
+        let n = a.n_rows();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b = a.mul_vec(&x_true);
+        let mut x: Vec<f64> = (0..n).map(|i| 0.5 - (i % 3) as f64).collect();
+        let rep = Gmres::new(Default::default()).solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        assert!(rep.converged);
+        check_solution(&a, &b, &x, 1e-5);
+    }
+
+    #[test]
+    fn gmres_exact_solution_start_returns_immediately() {
+        let a = laplacian_2d(5);
+        let n = a.n_rows();
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let b = a.mul_vec(&x_true);
+        let mut x = x_true.clone();
+        let rep = Gmres::new(Default::default()).solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 0);
+    }
+
+    #[test]
+    fn gmres_zero_rhs_gives_zero() {
+        let a = laplacian_2d(5);
+        let n = a.n_rows();
+        let b = vec![0.0; n];
+        let mut x = vec![1.0; n];
+        let rep = Gmres::new(GmresConfig { abs_tol: 1e-14, ..Default::default() })
+            .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        assert!(rep.converged);
+        let xn: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(xn < 1e-8, "‖x‖ = {xn}");
+    }
+
+    #[test]
+    fn gmres_respects_max_iters() {
+        let a = laplacian_2d(20);
+        let n = a.n_rows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let rep = Gmres::new(GmresConfig { max_iters: 3, rel_tol: 1e-14, ..Default::default() })
+            .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        assert!(!rep.converged);
+        assert_eq!(rep.iterations, 3);
+    }
+
+    #[test]
+    fn gmres_restarts_still_converge() {
+        let a = laplacian_2d(12);
+        let n = a.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut x = vec![0.0; n];
+        let rep = Gmres::new(GmresConfig { restart: 5, max_iters: 2000, ..Default::default() })
+            .solve(&a, &JacobiPrecond::from_diagonal(&a.diagonal().unwrap()), &b, &mut x);
+        assert!(rep.converged, "relres {}", rep.final_relres);
+        check_solution(&a, &b, &x, 1e-5);
+    }
+
+    #[test]
+    fn fgmres_with_variable_preconditioner() {
+        // Inner GMRES as preconditioner: the classic FGMRES use case.
+        struct InnerSolve<'a> {
+            a: &'a Csr,
+            f: crate::ilu::LuFactors,
+        }
+        impl crate::precond::Preconditioner for InnerSolve<'_> {
+            fn dim(&self) -> usize {
+                self.a.n_rows()
+            }
+            fn apply(&self, r: &[f64], z: &mut [f64]) {
+                z.fill(0.0);
+                let cfg = GmresConfig::inner(4);
+                Gmres::new(cfg).solve(self.a, &self.f, r, z);
+            }
+        }
+        let a = laplacian_2d(14);
+        let n = a.n_rows();
+        let f = Ilut::factor(&a, &IlutConfig::default()).unwrap();
+        let m = InnerSolve { a: &a, f };
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mut x = vec![0.0; n];
+        let rep = FGmres::new(GmresConfig { max_iters: 100, ..Default::default() })
+            .solve(&a, &m, &b, &mut x);
+        assert!(rep.converged, "relres {}", rep.final_relres);
+        assert!(rep.iterations < 30, "iterations {}", rep.iterations);
+        check_solution(&a, &b, &x, 1e-5);
+    }
+
+    #[test]
+    fn fgmres_matches_gmres_for_fixed_preconditioner() {
+        let a = laplacian_2d(10);
+        let n = a.n_rows();
+        let f = Ilu0::factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+        let cfg = GmresConfig { max_iters: 200, ..Default::default() };
+        let mut x1 = vec![0.0; n];
+        let r1 = Gmres::new(cfg).solve(&a, &f, &b, &mut x1);
+        let mut x2 = vec![0.0; n];
+        let r2 = FGmres::new(cfg).solve(&a, &f, &b, &mut x2);
+        assert!(r1.converged && r2.converged);
+        assert_eq!(r1.iterations, r2.iterations);
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn residual_history_is_monotone_within_cycle() {
+        let a = laplacian_2d(10);
+        let n = a.n_rows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let rep = Gmres::new(GmresConfig {
+            record_history: true,
+            max_iters: 200,
+            ..Default::default()
+        })
+        .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        assert!(rep.converged);
+        // GMRES residual estimates never increase.
+        for w in rep.residual_history.windows(2) {
+            assert!(w[1] <= w[0] * (1.0 + 1e-12), "{} then {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn gmres_unsymmetric_system() {
+        // Upwinded convection-diffusion-like band matrix.
+        let n = 100;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 3.0);
+            if i > 0 {
+                coo.push(i, i - 1, -2.0);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -0.5);
+            }
+        }
+        let a = coo.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let mut x = vec![0.0; n];
+        let f = Ilut::factor(&a, &IlutConfig::default()).unwrap();
+        let rep = Gmres::new(Default::default()).solve(&a, &f, &b, &mut x);
+        assert!(rep.converged);
+        check_solution(&a, &b, &x, 1e-5);
+    }
+}

@@ -1,0 +1,73 @@
+//! # parapre-krylov
+//!
+//! Sequential Krylov subspace solvers and incomplete factorizations.
+//!
+//! This crate implements the *building blocks* that the paper's parallel
+//! algebraic preconditioners are assembled from (Cai & Sosonkina, IPPS 2003,
+//! §2 and §4.4):
+//!
+//! * [`gmres::Gmres`] / [`gmres::FGmres`] — restarted (flexible) GMRES with
+//!   modified Gram–Schmidt and Givens rotations (Saad, *Iterative Methods for
+//!   Sparse Linear Systems*, ch. 6). FGMRES(20) is the paper's outer
+//!   accelerator; plain GMRES with a handful of iterations is the paper's
+//!   *subdomain* and *Schur-system* solver.
+//! * [`cg::ConjugateGradient`] — used by the additive-Schwarz comparison
+//!   (one CG iteration with an FFT preconditioner per subdomain solve).
+//! * [`ilu::Ilu0`] and [`ilu::Ilut`] — zero-fill and dual-threshold
+//!   incomplete LU factorizations (the subdomain solvers of `Block 1` and
+//!   `Block 2`, and the factorization from which `Schur 1` extracts its
+//!   approximate local Schur complement).
+//! * [`arms::Arms`] — the Algebraic Recursive Multilevel Solver with
+//!   group-independent-set orderings (Saad & Suchomel), the subdomain engine
+//!   of `Schur 2`.
+//!
+//! Everything here is single-threaded by design: in the paper's SPMD setting
+//! each MPI rank runs these kernels on its own subdomain matrix. The
+//! distributed algorithms live in `parapre-dist` and `parapre-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arms;
+pub mod bicgstab;
+pub mod cg;
+pub mod gmres;
+pub mod ilu;
+pub mod ilutp;
+pub mod op;
+pub mod precond;
+pub mod ssor;
+
+pub use arms::{Arms, ArmsConfig};
+pub use bicgstab::{BiCgStab, BiCgStabConfig};
+pub use cg::{ConjugateGradient, CgConfig};
+pub use gmres::{FGmres, Gmres, GmresConfig};
+pub use ilu::{Ilu0, Ilut, IlutConfig, LuFactors};
+pub use ilutp::{Ilutp, IlutpConfig, PivotedLu};
+pub use op::LinOp;
+pub use ssor::Ssor;
+pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner};
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Whether the requested tolerance was met.
+    pub converged: bool,
+    /// Number of iterations performed (matrix-vector products for GMRES).
+    pub iterations: usize,
+    /// Final relative residual norm `‖b − Ax‖ / ‖b − Ax₀‖`.
+    pub final_relres: f64,
+    /// Residual norm after every iteration (including the initial one).
+    pub residual_history: Vec<f64>,
+}
+
+impl SolveReport {
+    pub(crate) fn new() -> Self {
+        SolveReport {
+            converged: false,
+            iterations: 0,
+            final_relres: f64::NAN,
+            residual_history: Vec::new(),
+        }
+    }
+}

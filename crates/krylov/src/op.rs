@@ -1,0 +1,83 @@
+//! Abstract linear operators.
+
+use parapre_sparse::Csr;
+
+/// A linear operator `y = A x` on `R^n`.
+///
+/// Both explicit CSR matrices and matrix-free operators (the approximate
+/// Schur complement of `Schur 1`, the Schwarz preconditioned operator, …)
+/// implement this trait so the Krylov drivers never care which they get.
+pub trait LinOp {
+    /// Dimension `n` of the (square) operator.
+    fn dim(&self) -> usize;
+    /// Computes `y = A x`; `y.len() == x.len() == self.dim()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinOp for Csr {
+    fn dim(&self) -> usize {
+        debug_assert_eq!(self.n_rows(), self.n_cols());
+        self.n_rows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
+}
+
+impl<T: LinOp + ?Sized> LinOp for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (**self).apply(x, y)
+    }
+}
+
+/// A matrix-free operator built from a closure (tests and adapters).
+pub struct FnOp<F: Fn(&[f64], &mut [f64])> {
+    n: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64], &mut [f64])> FnOp<F> {
+    /// Wraps a closure computing `y = A x` for vectors of length `n`.
+    pub fn new(n: usize, f: F) -> Self {
+        FnOp { n, f }
+    }
+}
+
+impl<F: Fn(&[f64], &mut [f64])> LinOp for FnOp<F> {
+    fn dim(&self) -> usize {
+        self.n
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (self.f)(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_linop_matches_spmv() {
+        let a = Csr::identity(3);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        LinOp::apply(&a, &x, &mut y);
+        assert_eq!(y, x);
+        assert_eq!(LinOp::dim(&a), 3);
+    }
+
+    #[test]
+    fn fn_op_wraps_closure() {
+        let op = FnOp::new(2, |x, y| {
+            y[0] = 2.0 * x[0];
+            y[1] = -x[1];
+        });
+        let mut y = [0.0; 2];
+        op.apply(&[3.0, 4.0], &mut y);
+        assert_eq!(y, [6.0, -4.0]);
+    }
+}

@@ -1,0 +1,104 @@
+//! The preconditioner abstraction and trivial instances.
+
+/// A preconditioner application `z = M⁻¹ r`.
+///
+/// Implementations may be *flexible* (vary between applications, e.g. an
+/// inner Krylov solve) — only `FGmres` tolerates that; plain `Gmres` and CG
+/// require a fixed operator.
+pub trait Preconditioner {
+    /// Dimension of the preconditioner.
+    fn dim(&self) -> usize;
+    /// Computes `z = M⁻¹ r`.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+impl<T: Preconditioner + ?Sized> Preconditioner for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        (**self).apply(r, z)
+    }
+}
+
+impl<T: Preconditioner + ?Sized> Preconditioner for Box<T> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        (**self).apply(r, z)
+    }
+}
+
+/// The identity preconditioner (`M = I`, i.e. unpreconditioned iteration).
+#[derive(Debug, Clone)]
+pub struct IdentityPrecond {
+    n: usize,
+}
+
+impl IdentityPrecond {
+    /// Identity on `R^n`.
+    pub fn new(n: usize) -> Self {
+        IdentityPrecond { n }
+    }
+}
+
+impl Preconditioner for IdentityPrecond {
+    fn dim(&self) -> usize {
+        self.n
+    }
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Point-Jacobi (diagonal) preconditioner.
+#[derive(Debug, Clone)]
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    /// Builds from a diagonal; zero entries are treated as 1 (identity on
+    /// that component) so the preconditioner stays well-defined.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        JacobiPrecond {
+            inv_diag: diag
+                .iter()
+                .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+                .collect(),
+        }
+    }
+}
+
+impl Preconditioner for JacobiPrecond {
+    fn dim(&self) -> usize {
+        self.inv_diag.len()
+    }
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        for ((zi, &ri), &di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_copies() {
+        let m = IdentityPrecond::new(3);
+        let mut z = [0.0; 3];
+        m.apply(&[1.0, 2.0, 3.0], &mut z);
+        assert_eq!(z, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn jacobi_divides_by_diagonal() {
+        let m = JacobiPrecond::from_diagonal(&[2.0, 4.0, 0.0]);
+        let mut z = [0.0; 3];
+        m.apply(&[2.0, 2.0, 5.0], &mut z);
+        assert_eq!(z, [1.0, 0.5, 5.0]);
+    }
+}

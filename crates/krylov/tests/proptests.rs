@@ -1,0 +1,128 @@
+//! Property-based tests for Krylov solvers and factorizations.
+
+use parapre_krylov::{
+    Arms, ArmsConfig, ConjugateGradient, FGmres, Gmres, GmresConfig, IdentityPrecond, Ilu0,
+    Ilut, IlutConfig,
+};
+use parapre_sparse::{Coo, Csr};
+use proptest::prelude::*;
+
+/// Random diagonally dominant (hence nonsingular) sparse matrix.
+fn diag_dominant(n: usize, seed: u64, symmetric: bool) -> Csr {
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let mut coo = Coo::new(n, n);
+    let mut rowsum = vec![0.0; n];
+    for i in 0..n {
+        for dj in 1..=3usize {
+            if i + dj < n && rnd() > 0.0 {
+                let v = rnd();
+                coo.push(i, i + dj, v);
+                rowsum[i] += v.abs();
+                if symmetric {
+                    coo.push(i + dj, i, v);
+                    rowsum[i + dj] += v.abs();
+                } else {
+                    let w = rnd();
+                    coo.push(i + dj, i, w);
+                    rowsum[i + dj] += w.abs();
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        coo.push(i, i, rowsum[i] + 1.0 + rnd().abs());
+    }
+    coo.to_csr()
+}
+
+fn relative_residual(a: &Csr, b: &[f64], x: &[f64]) -> f64 {
+    let mut ax = vec![0.0; b.len()];
+    a.spmv(x, &mut ax);
+    let r: f64 = b.iter().zip(&ax).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+    let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    r / bn.max(1e-300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gmres_converges_on_diag_dominant(n in 5usize..60, seed in any::<u64>()) {
+        let a = diag_dominant(n, seed, false);
+        let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut x = vec![0.0; n];
+        let rep = Gmres::new(GmresConfig { max_iters: 500, ..Default::default() })
+            .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        prop_assert!(rep.converged);
+        prop_assert!(relative_residual(&a, &b, &x) < 1e-5);
+    }
+
+    #[test]
+    fn ilu0_preconditioned_gmres_never_slower_much(n in 8usize..50, seed in any::<u64>()) {
+        let a = diag_dominant(n, seed, false);
+        let b = vec![1.0; n];
+        let f = Ilu0::factor(&a).unwrap();
+        let mut x = vec![0.0; n];
+        let rep = Gmres::new(GmresConfig { max_iters: 300, ..Default::default() })
+            .solve(&a, &f, &b, &mut x);
+        prop_assert!(rep.converged);
+        prop_assert!(relative_residual(&a, &b, &x) < 1e-5);
+    }
+
+    #[test]
+    fn ilut_full_fill_inverts_diag_dominant(n in 4usize..40, seed in any::<u64>()) {
+        let a = diag_dominant(n, seed, false);
+        let f = Ilut::factor(&a, &IlutConfig { drop_tol: 0.0, fill: 10 * n }).unwrap();
+        prop_assert_eq!(f.pivot_fixes(), 0);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let b = a.mul_vec(&x_true);
+        let mut x = b;
+        f.solve_in_place(&mut x);
+        for (u, v) in x.iter().zip(&x_true) {
+            prop_assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cg_converges_on_spd(n in 5usize..60, seed in any::<u64>()) {
+        let a = diag_dominant(n, seed, true);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut x = vec![0.0; n];
+        let rep = ConjugateGradient::new(Default::default())
+            .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        prop_assert!(rep.converged);
+        prop_assert!(relative_residual(&a, &b, &x) < 1e-4);
+    }
+
+    #[test]
+    fn arms_preconditioned_fgmres_converges(n in 20usize..80, seed in any::<u64>()) {
+        let a = diag_dominant(n, seed, false);
+        let arms = Arms::factor(&a, &ArmsConfig::default()).unwrap();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let rep = FGmres::new(GmresConfig { max_iters: 200, ..Default::default() })
+            .solve(&a, &arms, &b, &mut x);
+        prop_assert!(rep.converged);
+        prop_assert!(relative_residual(&a, &b, &x) < 1e-5);
+    }
+
+    #[test]
+    fn gmres_solution_independent_of_restart(seed in any::<u64>()) {
+        let n = 30;
+        let a = diag_dominant(n, seed, false);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+        let mut x1 = vec![0.0; n];
+        Gmres::new(GmresConfig { restart: 30, max_iters: 500, rel_tol: 1e-10, ..Default::default() })
+            .solve(&a, &IdentityPrecond::new(n), &b, &mut x1);
+        let mut x2 = vec![0.0; n];
+        Gmres::new(GmresConfig { restart: 7, max_iters: 500, rel_tol: 1e-10, ..Default::default() })
+            .solve(&a, &IdentityPrecond::new(n), &b, &mut x2);
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+}

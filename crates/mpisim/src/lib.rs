@@ -1,0 +1,577 @@
+//! # parapre-mpisim
+//!
+//! An SPMD message-passing runtime over OS threads — the workspace's MPI
+//! substitute (see DESIGN.md §2).
+//!
+//! The paper ran on two MPI machines (a fast-Ethernet Linux cluster and an
+//! SGI Origin 3800). Rust's MPI bindings are immature and no cluster is
+//! available here, so the distributed algorithms run as `P` threads
+//! exchanging typed messages through lock-free channels:
+//!
+//! * [`Universe::run`] spawns `P` ranks executing the same closure (SPMD),
+//!   each holding a [`Comm`];
+//! * point-to-point [`Comm::send`] / [`Comm::recv`] with tag matching and
+//!   out-of-order buffering, exactly the subset of MPI semantics the
+//!   paper's solvers need;
+//! * collectives ([`Comm::allreduce_sum`], [`Comm::barrier`],
+//!   [`Comm::gather_vec`], …) built **on top of point-to-point messages**
+//!   along a binomial tree, so their cost shows up in the communication
+//!   statistics just like on a real machine (`O(log P)` latency);
+//! * per-rank [`CommStats`] (message and byte counts) feeding the α–β
+//!   [`MachineModel`]s that emulate the paper's two platforms for the
+//!   timing *shape* discussion.
+//!
+//! Iteration counts — the paper's primary measurement — are entirely
+//! deterministic under this substitution: the algebra does not care whether
+//! ranks are processes on a cluster or threads in one address space.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::RefCell;
+use std::time::Duration;
+
+/// How long a blocking receive waits before declaring a deadlock.
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A typed message payload.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A vector of floats (solver data).
+    F64s(Vec<f64>),
+    /// A vector of indices (layout/handshake data).
+    Usizes(Vec<usize>),
+}
+
+impl Payload {
+    /// Approximate wire size in bytes.
+    pub fn n_bytes(&self) -> u64 {
+        match self {
+            Payload::F64s(v) => 8 * v.len() as u64,
+            Payload::Usizes(v) => 8 * v.len() as u64,
+        }
+    }
+
+    /// Unwraps floats; panics on type mismatch (protocol error).
+    pub fn into_f64s(self) -> Vec<f64> {
+        match self {
+            Payload::F64s(v) => v,
+            Payload::Usizes(_) => panic!("expected F64s payload"),
+        }
+    }
+
+    /// Unwraps indices; panics on type mismatch (protocol error).
+    pub fn into_usizes(self) -> Vec<usize> {
+        match self {
+            Payload::Usizes(v) => v,
+            Payload::F64s(_) => panic!("expected Usizes payload"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Envelope {
+    from: usize,
+    tag: u64,
+    payload: Payload,
+}
+
+/// Per-rank communication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Messages sent by this rank.
+    pub msgs_sent: u64,
+    /// Payload bytes sent by this rank.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub msgs_recv: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+}
+
+impl CommStats {
+    /// Models the communication time of this rank under `machine`:
+    /// `Σ (α + bytes/β)` over sent messages.
+    pub fn modeled_comm_seconds(&self, machine: &MachineModel) -> f64 {
+        self.msgs_sent as f64 * machine.latency
+            + self.bytes_sent as f64 * machine.seconds_per_byte
+    }
+}
+
+/// An α–β network/compute model of a parallel platform.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineModel {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Per-message latency α in seconds.
+    pub latency: f64,
+    /// Inverse bandwidth β⁻¹ in seconds per byte.
+    pub seconds_per_byte: f64,
+    /// Relative single-core compute speed (1.0 = the paper's Pentium III
+    /// cluster node).
+    pub compute_scale: f64,
+    /// Background-load multiplier applied to the modeled total (the paper
+    /// notes the Origin 3800 was "often heavily loaded").
+    pub load_factor: f64,
+    /// Partitioner RNG seed tied to the platform (the paper observed the
+    /// two machines' random number generators produce different partitions).
+    pub partition_seed: u64,
+}
+
+impl MachineModel {
+    /// The paper's low-end Linux cluster: 1 GHz Pentium III nodes on fast
+    /// (100 Mbit) Ethernet, exclusive access.
+    pub fn linux_cluster() -> Self {
+        MachineModel {
+            name: "LinuxCluster",
+            latency: 60e-6,
+            seconds_per_byte: 1.0 / 12.5e6,
+            compute_scale: 1.0,
+            load_factor: 1.0,
+            partition_seed: 0x11,
+        }
+    }
+
+    /// The paper's SGI Origin 3800: 500 MHz R14000, fast NUMA interconnect,
+    /// but heavily loaded during the experiments.
+    pub fn origin_3800() -> Self {
+        MachineModel {
+            name: "Origin3800",
+            latency: 4e-6,
+            seconds_per_byte: 1.0 / 300e6,
+            compute_scale: 0.9,
+            load_factor: 6.0,
+            partition_seed: 0x2222,
+        }
+    }
+
+    /// Modeled wall-clock for a rank that spent `compute_seconds` computing
+    /// (measured on the host) and communicated per `stats`.
+    pub fn modeled_total(&self, compute_seconds: f64, stats: &CommStats) -> f64 {
+        self.load_factor
+            * (compute_seconds / self.compute_scale + stats.modeled_comm_seconds(self))
+    }
+}
+
+/// The SPMD launcher.
+pub struct Universe;
+
+impl Universe {
+    /// Runs `f` on `n_ranks` threads, each with its own [`Comm`]; returns
+    /// the per-rank results ordered by rank.
+    ///
+    /// The closure may borrow from the caller (scoped threads), so meshes
+    /// and matrices can be shared read-only across ranks — mirroring how an
+    /// MPI code would read the same input files.
+    pub fn run<F, T>(n_ranks: usize, f: F) -> Vec<T>
+    where
+        F: Fn(&mut Comm) -> T + Sync,
+        T: Send,
+    {
+        assert!(n_ranks >= 1);
+        // Channel matrix: tx[dst][src] sends src → dst.
+        let mut txs: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(n_ranks);
+        let mut rxs: Vec<Vec<Receiver<Envelope>>> = Vec::with_capacity(n_ranks);
+        for _dst in 0..n_ranks {
+            let mut row_tx = Vec::with_capacity(n_ranks);
+            let mut row_rx = Vec::with_capacity(n_ranks);
+            for _src in 0..n_ranks {
+                let (tx, rx) = unbounded();
+                row_tx.push(tx);
+                row_rx.push(rx);
+            }
+            txs.push(row_tx);
+            rxs.push(row_rx);
+        }
+        // Rank r needs: senders to every dst (column r of txs) and its own
+        // receiver row.
+        let mut comms: Vec<Comm> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx_row)| Comm {
+                rank,
+                size: n_ranks,
+                to: txs.iter().map(|row| row[rank].clone()).collect(),
+                from: rx_row,
+                pending: RefCell::new((0..n_ranks).map(|_| Vec::new()).collect()),
+                stats: CommStats::default(),
+            })
+            .collect();
+        drop(txs);
+
+        let f = &f;
+        let mut out: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .iter_mut()
+                .map(|comm| scope.spawn(move || f(comm)))
+                .collect();
+            for (slot, h) in out.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("rank panicked"));
+            }
+        });
+        out.into_iter().map(|t| t.expect("all ranks joined")).collect()
+    }
+}
+
+/// A rank's communicator (not shareable across threads; one per rank).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    to: Vec<Sender<Envelope>>,
+    from: Vec<Receiver<Envelope>>,
+    /// Out-of-order messages parked per source rank.
+    pending: RefCell<Vec<Vec<Envelope>>>,
+    stats: CommStats,
+}
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Snapshot of the communication counters.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Sends `payload` to rank `to` under `tag` (non-blocking, buffered).
+    pub fn send(&mut self, to: usize, tag: u64, payload: Payload) {
+        assert!(to < self.size, "send to rank {to} of {}", self.size);
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += payload.n_bytes();
+        self.to[to]
+            .send(Envelope { from: self.rank, tag, payload })
+            .expect("receiver alive for the duration of Universe::run");
+    }
+
+    /// Receives the next message from `from` with matching `tag`, buffering
+    /// any other tags that arrive first.
+    ///
+    /// # Panics
+    /// Panics after 60 s without a matching message (deadlock tripwire).
+    pub fn recv(&mut self, from: usize, tag: u64) -> Payload {
+        assert!(from < self.size);
+        // Check the parked messages first.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending[from].iter().position(|e| e.tag == tag) {
+                let env = pending[from].remove(pos);
+                self.stats.msgs_recv += 1;
+                self.stats.bytes_recv += env.payload.n_bytes();
+                return env.payload;
+            }
+        }
+        loop {
+            let env = self.from[from]
+                .recv_timeout(RECV_TIMEOUT)
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {} timed out receiving tag {tag} from {from}",
+                        self.rank
+                    )
+                });
+            debug_assert_eq!(env.from, from);
+            if env.tag == tag {
+                self.stats.msgs_recv += 1;
+                self.stats.bytes_recv += env.payload.n_bytes();
+                return env.payload;
+            }
+            self.pending.borrow_mut()[from].push(env);
+        }
+    }
+
+    /// Convenience: send a float vector.
+    pub fn send_f64s(&mut self, to: usize, tag: u64, data: Vec<f64>) {
+        self.send(to, tag, Payload::F64s(data));
+    }
+
+    /// Convenience: receive a float vector.
+    pub fn recv_f64s(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        self.recv(from, tag).into_f64s()
+    }
+
+    /// Convenience: send an index vector.
+    pub fn send_usizes(&mut self, to: usize, tag: u64, data: Vec<usize>) {
+        self.send(to, tag, Payload::Usizes(data));
+    }
+
+    /// Convenience: receive an index vector.
+    pub fn recv_usizes(&mut self, from: usize, tag: u64) -> Vec<usize> {
+        self.recv(from, tag).into_usizes()
+    }
+
+    // --- Collectives (binomial tree over point-to-point) ---------------
+
+    /// Element-wise all-reduce (sum) of a vector, in place, identical result
+    /// on all ranks. Reduction order is rank-order at every tree node, so
+    /// the result is deterministic.
+    pub fn allreduce_sum_vec(&mut self, x: &mut [f64], tag: u64) {
+        // Reduce to rank 0 up the binomial tree.
+        let mut span = 1;
+        while span < self.size {
+            if self.rank % (2 * span) == 0 {
+                let partner = self.rank + span;
+                if partner < self.size {
+                    let data = self.recv_f64s(partner, tag);
+                    assert_eq!(data.len(), x.len(), "allreduce length mismatch");
+                    for (xi, di) in x.iter_mut().zip(&data) {
+                        *xi += di;
+                    }
+                }
+            } else if self.rank % (2 * span) == span {
+                let partner = self.rank - span;
+                self.send_f64s(partner, tag, x.to_vec());
+                break;
+            }
+            span *= 2;
+        }
+        self.bcast_vec_from_zero(x, tag.wrapping_add(1));
+    }
+
+    /// Broadcast `x` from rank 0 down the binomial tree (in place).
+    pub fn bcast_vec_from_zero(&mut self, x: &mut [f64], tag: u64) {
+        // Receive once from the parent, then forward to children.
+        if self.rank != 0 {
+            let data = self.recv_f64s(parent_of(self.rank), tag);
+            x.copy_from_slice(&data);
+        }
+        let mut child_span = next_pow2(self.size);
+        while child_span >= 1 {
+            let child = self.rank + child_span;
+            if child < self.size && is_child(self.rank, child) {
+                self.send_f64s(child, tag, x.to_vec());
+            }
+            if child_span == 1 {
+                break;
+            }
+            child_span /= 2;
+        }
+    }
+
+    /// Scalar all-reduce (sum).
+    pub fn allreduce_sum(&mut self, v: f64, tag: u64) -> f64 {
+        let mut buf = [v];
+        self.allreduce_sum_vec(&mut buf, tag);
+        buf[0]
+    }
+
+    /// Scalar all-reduce (max).
+    pub fn allreduce_max(&mut self, v: f64, tag: u64) -> f64 {
+        // Reuse the sum tree with a max combiner via gather+bcast: encode by
+        // gathering to 0.
+        let all = self.gather_vec(0, &[v], tag);
+        let mut m = [v];
+        if self.rank == 0 {
+            m[0] = all
+                .expect("root gathers")
+                .iter()
+                .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        }
+        self.bcast_vec_from_zero(&mut m, tag.wrapping_add(7));
+        m[0]
+    }
+
+    /// Logical AND across ranks (e.g. "all converged").
+    pub fn all_land(&mut self, v: bool, tag: u64) -> bool {
+        self.allreduce_sum(if v { 0.0 } else { 1.0 }, tag) == 0.0
+    }
+
+    /// Gathers per-rank vectors to `root` (concatenated rank-by-rank);
+    /// `None` on non-root ranks.
+    pub fn gather_vec(&mut self, root: usize, data: &[f64], tag: u64) -> Option<Vec<f64>> {
+        if self.rank == root {
+            let mut out = Vec::new();
+            for r in 0..self.size {
+                if r == self.rank {
+                    out.extend_from_slice(data);
+                } else {
+                    out.extend(self.recv_f64s(r, tag));
+                }
+            }
+            Some(out)
+        } else {
+            self.send_f64s(root, tag, data.to_vec());
+            None
+        }
+    }
+
+    /// Synchronizes all ranks (tree reduce + broadcast of a dummy scalar).
+    pub fn barrier(&mut self, tag: u64) {
+        let _ = self.allreduce_sum(0.0, tag);
+    }
+}
+
+/// Parent of `rank` in the binomial broadcast tree rooted at 0.
+fn parent_of(rank: usize) -> usize {
+    debug_assert!(rank > 0);
+    let hsb = usize::BITS as usize - 1 - rank.leading_zeros() as usize;
+    rank & !(1usize << hsb)
+}
+
+/// True when `child = rank + 2^k` for some `k` with `rank < 2^k` — i.e.
+/// `child`'s parent is `rank`.
+fn is_child(rank: usize, child: usize) -> bool {
+    child > rank && parent_of(child) == rank
+}
+
+/// Smallest power of two ≥ `n`.
+fn next_pow2(n: usize) -> usize {
+    let mut p = 1;
+    while p < n {
+        p *= 2;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_and_size() {
+        let out = Universe::run(4, |c| (c.rank(), c.size()));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64s(1, 7, vec![1.0, 2.0, 3.0]);
+                c.recv_f64s(1, 8)
+            } else {
+                let got = c.recv_f64s(0, 7);
+                let doubled: Vec<f64> = got.iter().map(|v| 2.0 * v).collect();
+                c.send_f64s(0, 8, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(out[0], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64s(1, 100, vec![1.0]);
+                c.send_f64s(1, 200, vec![2.0]);
+                vec![]
+            } else {
+                // Receive in reverse tag order.
+                let b = c.recv_f64s(0, 200);
+                let a = c.recv_f64s(0, 100);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(out[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn allreduce_sum_all_sizes() {
+        for p in 1..=9 {
+            let out = Universe::run(p, |c| c.allreduce_sum(c.rank() as f64 + 1.0, 5));
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            assert!(out.iter().all(|&v| v == expect), "p={p}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise() {
+        let out = Universe::run(5, |c| {
+            let mut x = vec![c.rank() as f64, 1.0];
+            c.allreduce_sum_vec(&mut x, 40);
+            x
+        });
+        for v in out {
+            assert_eq!(v, vec![10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_deterministic_order() {
+        // Summation order is fixed by the tree: repeated runs bit-match.
+        let vals = [0.1, 0.2, 0.3, 0.4, 0.7, 0.9, 1.3];
+        let run = || {
+            Universe::run(7, |c| c.allreduce_sum(vals[c.rank()], 3))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn allreduce_max_works() {
+        let out = Universe::run(6, |c| c.allreduce_max((c.rank() as f64 - 2.5).abs(), 9));
+        assert!(out.iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order() {
+        let out = Universe::run(4, |c| {
+            c.gather_vec(0, &[c.rank() as f64; 2], 11)
+        });
+        assert_eq!(out[0].as_ref().unwrap(), &vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        assert!(out[1].is_none());
+    }
+
+    #[test]
+    fn bcast_from_zero() {
+        let out = Universe::run(8, |c| {
+            let mut x = if c.rank() == 0 { vec![42.0, 7.0] } else { vec![0.0, 0.0] };
+            c.bcast_vec_from_zero(&mut x, 21);
+            x
+        });
+        assert!(out.iter().all(|v| v == &vec![42.0, 7.0]));
+    }
+
+    #[test]
+    fn land_detects_any_false() {
+        let out = Universe::run(5, |c| c.all_land(c.rank() != 3, 33));
+        assert!(out.iter().all(|&v| !v));
+        let out = Universe::run(5, |c| c.all_land(true, 34));
+        assert!(out.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64s(1, 1, vec![0.0; 10]);
+            } else {
+                let _ = c.recv_f64s(0, 1);
+            }
+            c.stats()
+        });
+        assert_eq!(out[0].msgs_sent, 1);
+        assert_eq!(out[0].bytes_sent, 80);
+        assert_eq!(out[1].msgs_recv, 1);
+        assert_eq!(out[1].bytes_recv, 80);
+    }
+
+    #[test]
+    fn machine_models_differ_as_expected() {
+        let cluster = MachineModel::linux_cluster();
+        let origin = MachineModel::origin_3800();
+        let stats = CommStats { msgs_sent: 1000, bytes_sent: 8_000_000, ..Default::default() };
+        // The cluster pays far more for the same traffic (latency+bandwidth).
+        assert!(
+            stats.modeled_comm_seconds(&cluster) > 10.0 * stats.modeled_comm_seconds(&origin)
+        );
+        // …but the loaded Origin multiplies everything.
+        assert!(origin.load_factor > cluster.load_factor);
+        assert_ne!(cluster.partition_seed, origin.partition_seed);
+    }
+
+    #[test]
+    fn scoped_borrowing_of_shared_data() {
+        let shared: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let out = Universe::run(3, |c| shared[c.rank()]);
+        assert_eq!(out, vec![0.0, 1.0, 2.0]);
+    }
+}

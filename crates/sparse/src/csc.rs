@@ -1,0 +1,246 @@
+//! Compressed sparse column matrices.
+//!
+//! CSR is the workhorse of this workspace, but column access is the natural
+//! orientation for right-looking factorizations, column scaling and
+//! transpose-free products; `Csc` provides it with cheap conversions in
+//! both directions (a transpose re-bucketing, `O(nnz)`).
+
+use crate::{Csr, Error, Result};
+
+/// A sparse matrix in compressed sparse column format.
+///
+/// Invariants mirror [`Csr`]: `col_ptr` monotone with `col_ptr[0] = 0`,
+/// row indices strictly increasing within each column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    n_rows: usize,
+    n_cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Csc {
+    /// Builds from raw parts with validation.
+    pub fn from_parts(
+        n_rows: usize,
+        n_cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Result<Self> {
+        let m = Csc { n_rows, n_cols, col_ptr, row_idx, vals };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Converts from CSR (`O(nnz)` counting sort).
+    pub fn from_csr(a: &Csr) -> Self {
+        let n_rows = a.n_rows();
+        let n_cols = a.n_cols();
+        let nnz = a.nnz();
+        let mut col_ptr = vec![0usize; n_cols + 1];
+        for &j in a.col_idx() {
+            col_ptr[j + 1] += 1;
+        }
+        for j in 0..n_cols {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let mut row_idx = vec![0usize; nnz];
+        let mut vals = vec![0.0; nnz];
+        let mut next = col_ptr.clone();
+        for i in 0..n_rows {
+            let (cols, vs) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vs) {
+                let dst = next[j];
+                row_idx[dst] = i;
+                vals[dst] = v;
+                next[j] += 1;
+            }
+        }
+        Csc { n_rows, n_cols, col_ptr, row_idx, vals }
+    }
+
+    /// Converts to CSR.
+    pub fn to_csr(&self) -> Csr {
+        let nnz = self.vals.len();
+        let mut row_ptr = vec![0usize; self.n_rows + 1];
+        for &i in &self.row_idx {
+            row_ptr[i + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0usize; nnz];
+        let mut vals = vec![0.0; nnz];
+        let mut next = row_ptr.clone();
+        for j in 0..self.n_cols {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                let i = self.row_idx[k];
+                let dst = next[i];
+                col_idx[dst] = j;
+                vals[dst] = self.vals[k];
+                next[i] += 1;
+            }
+        }
+        Csr::from_parts_unchecked(self.n_rows, self.n_cols, row_ptr, col_idx, vals)
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Row indices and values of column `j`.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// `y = A x` (column-sweep saxpy form).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
+        y.fill(0.0);
+        for j in 0..self.n_cols {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                y[i] += v * xj;
+            }
+        }
+    }
+
+    /// `y = Aᵀ x` — a row-oriented dot per column, no transpose needed.
+    pub fn spmv_transpose(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_rows);
+        assert_eq!(y.len(), self.n_cols);
+        for (j, yj) in y.iter_mut().enumerate() {
+            let (rows, vals) = self.col(j);
+            let mut acc = 0.0;
+            for (&i, &v) in rows.iter().zip(vals) {
+                acc += v * x[i];
+            }
+            *yj = acc;
+        }
+    }
+
+    /// Scales column `j` by `s[j]` in place.
+    pub fn scale_cols(&mut self, s: &[f64]) {
+        assert_eq!(s.len(), self.n_cols);
+        for j in 0..self.n_cols {
+            let lo = self.col_ptr[j];
+            let hi = self.col_ptr[j + 1];
+            for v in &mut self.vals[lo..hi] {
+                *v *= s[j];
+            }
+        }
+    }
+
+    /// Structural validation.
+    pub fn validate(&self) -> Result<()> {
+        if self.col_ptr.len() != self.n_cols + 1 || self.col_ptr[0] != 0 {
+            return Err(Error::InvalidStructure("col_ptr shape"));
+        }
+        if *self.col_ptr.last().unwrap() != self.vals.len()
+            || self.row_idx.len() != self.vals.len()
+        {
+            return Err(Error::InvalidStructure("nnz mismatch"));
+        }
+        for j in 0..self.n_cols {
+            if self.col_ptr[j] > self.col_ptr[j + 1] {
+                return Err(Error::InvalidStructure("col_ptr not monotone"));
+            }
+            let (rows, _) = self.col(j);
+            for w in rows.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(Error::InvalidStructure("rows not strictly increasing"));
+                }
+            }
+            if let Some(&last) = rows.last() {
+                if last >= self.n_rows {
+                    return Err(Error::InvalidStructure("row index out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_dense_rows(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 3.0, 0.0],
+            vec![4.0, 5.0, 6.0],
+        ])
+    }
+
+    #[test]
+    fn csr_csc_roundtrip() {
+        let a = sample();
+        let c = Csc::from_csr(&a);
+        c.validate().unwrap();
+        assert_eq!(c.nnz(), a.nnz());
+        assert_eq!(c.to_csr(), a);
+    }
+
+    #[test]
+    fn column_access() {
+        let c = Csc::from_csr(&sample());
+        let (rows, vals) = c.col(1);
+        assert_eq!(rows, &[1, 2]);
+        assert_eq!(vals, &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let a = sample();
+        let c = Csc::from_csr(&a);
+        let x = [1.0, -1.0, 0.5];
+        let mut y1 = [0.0; 3];
+        let mut y2 = [0.0; 3];
+        a.spmv(&x, &mut y1);
+        c.spmv(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn transpose_product_matches() {
+        let a = sample();
+        let c = Csc::from_csr(&a);
+        let x = [2.0, 0.0, -1.0];
+        let mut y1 = [0.0; 3];
+        a.spmv_transpose(&x, &mut y1);
+        let mut y2 = [0.0; 3];
+        c.spmv_transpose(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn column_scaling() {
+        let mut c = Csc::from_csr(&sample());
+        c.scale_cols(&[1.0, 2.0, 0.0]);
+        let b = c.to_csr();
+        assert_eq!(b.get(1, 1), 6.0);
+        assert_eq!(b.get(2, 2), 0.0);
+        assert_eq!(b.get(2, 0), 4.0);
+    }
+}

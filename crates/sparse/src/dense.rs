@@ -1,0 +1,242 @@
+//! Small dense matrices with LU solves.
+//!
+//! Used for ARMS independent-set diagonal blocks, the coarse-grid operator of
+//! the additive-Schwarz preconditioner, and the Hessenberg least-squares
+//! systems inside GMRES.
+
+use crate::{Error, Result};
+
+/// Column-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl Dense {
+    /// Zero matrix of the given shape.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Dense { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Dense::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from row-major nested vectors (tests, small operators).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        let mut m = Dense::zeros(n_rows, n_cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), n_cols);
+            for (j, &v) in r.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Raw column-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix-vector product `y = A x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols);
+        let mut y = vec![0.0; self.n_rows];
+        for j in 0..self.n_cols {
+            let col = &self.data[j * self.n_rows..(j + 1) * self.n_rows];
+            let xj = x[j];
+            for (yi, &aij) in y.iter_mut().zip(col) {
+                *yi += aij * xj;
+            }
+        }
+        y
+    }
+
+    /// In-place LU factorization with partial pivoting; returns the pivot
+    /// permutation (row swaps applied in order).
+    pub fn lu_factor(&mut self) -> Result<Vec<usize>> {
+        assert_eq!(self.n_rows, self.n_cols, "lu_factor: square matrix required");
+        let n = self.n_rows;
+        let mut piv = Vec::with_capacity(n);
+        for k in 0..n {
+            // Pivot search in column k.
+            let mut p = k;
+            let mut best = self[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = self[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return Err(Error::ZeroPivot(k));
+            }
+            piv.push(p);
+            if p != k {
+                for j in 0..n {
+                    let a = self[(k, j)];
+                    let b = self[(p, j)];
+                    self[(k, j)] = b;
+                    self[(p, j)] = a;
+                }
+            }
+            let pivot = self[(k, k)];
+            for i in (k + 1)..n {
+                let l = self[(i, k)] / pivot;
+                self[(i, k)] = l;
+                for j in (k + 1)..n {
+                    let akj = self[(k, j)];
+                    self[(i, j)] -= l * akj;
+                }
+            }
+        }
+        Ok(piv)
+    }
+
+    /// Solves `A x = b` using a factorization produced by [`Dense::lu_factor`].
+    pub fn lu_solve(&self, piv: &[usize], b: &mut [f64]) {
+        let n = self.n_rows;
+        assert_eq!(b.len(), n);
+        for (k, &p) in piv.iter().enumerate() {
+            if p != k {
+                b.swap(k, p);
+            }
+        }
+        // Forward: L (unit diagonal).
+        for i in 1..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self[(i, j)] * b[j];
+            }
+            b[i] = acc;
+        }
+        // Backward: U.
+        for i in (0..n).rev() {
+            let mut acc = b[i];
+            for j in (i + 1)..n {
+                acc -= self[(i, j)] * b[j];
+            }
+            b[i] = acc / self[(i, i)];
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Dense {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.n_rows && j < self.n_cols);
+        &self.data[j * self.n_rows + i]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Dense {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.n_rows && j < self.n_cols);
+        &mut self.data[j * self.n_rows + i]
+    }
+}
+
+/// A dense LU factorization bundled with its pivots, ready for repeated solves.
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    factors: Dense,
+    pivots: Vec<usize>,
+}
+
+impl DenseLu {
+    /// Factors `a` (consumed).
+    pub fn factor(mut a: Dense) -> Result<Self> {
+        let pivots = a.lu_factor()?;
+        Ok(DenseLu { factors: a, pivots })
+    }
+
+    /// Solves `A x = b` in place.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        self.factors.lu_solve(&self.pivots, b);
+    }
+
+    /// Allocating solve.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.factors.n_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_vec_small() {
+        let a = Dense::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn lu_solves_random_system() {
+        let a = Dense::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.mul_vec(&x_true);
+        let lu = DenseLu::factor(a).unwrap();
+        let x = lu.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_needs_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = Dense::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let lu = DenseLu::factor(a).unwrap();
+        let x = lu.solve(&[2.0, 5.0]);
+        assert!((x[0] - 5.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Dense::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(DenseLu::factor(a), Err(Error::ZeroPivot(_))));
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let lu = DenseLu::factor(Dense::identity(4)).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(lu.solve(&b), b.to_vec());
+    }
+}

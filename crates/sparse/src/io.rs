@@ -1,0 +1,156 @@
+//! Matrix Market (`.mtx`) import/export.
+//!
+//! The de-facto interchange format of the sparse-linear-algebra community
+//! (and of the matrices pARMS/SPARSKIT ship with). Supports the
+//! `matrix coordinate real {general|symmetric}` flavour, which covers every
+//! matrix this workspace produces; symmetric files are expanded to full
+//! storage on read.
+
+use crate::{Coo, Csr, Error, Result};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Parses a Matrix Market stream into CSR.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or(Error::InvalidStructure("empty MatrixMarket stream"))?
+        .map_err(|_| Error::InvalidStructure("unreadable header"))?;
+    let h = header.to_ascii_lowercase();
+    if !h.starts_with("%%matrixmarket") {
+        return Err(Error::InvalidStructure("missing %%MatrixMarket header"));
+    }
+    if !h.contains("matrix") || !h.contains("coordinate") || !h.contains("real") {
+        return Err(Error::InvalidStructure("only `matrix coordinate real` supported"));
+    }
+    let symmetric = h.contains("symmetric");
+    if !symmetric && !h.contains("general") {
+        return Err(Error::InvalidStructure("only general/symmetric qualifiers supported"));
+    }
+
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut coo: Option<Coo> = None;
+    for line in lines {
+        let line = line.map_err(|_| Error::InvalidStructure("unreadable line"))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_ascii_whitespace();
+        if dims.is_none() {
+            let m: usize = parse(it.next())?;
+            let n: usize = parse(it.next())?;
+            let nnz: usize = parse(it.next())?;
+            dims = Some((m, n, nnz));
+            coo = Some(Coo::with_capacity(m, n, if symmetric { 2 * nnz } else { nnz }));
+            continue;
+        }
+        let coo = coo.as_mut().expect("dims parsed first");
+        let i: usize = parse(it.next())?;
+        let j: usize = parse(it.next())?;
+        let v: f64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(Error::InvalidStructure("bad value field"))?;
+        if i == 0 || j == 0 {
+            return Err(Error::InvalidStructure("MatrixMarket indices are 1-based"));
+        }
+        coo.try_push(i - 1, j - 1, v)?;
+        if symmetric && i != j {
+            coo.try_push(j - 1, i - 1, v)?;
+        }
+    }
+    let coo = coo.ok_or(Error::InvalidStructure("missing size line"))?;
+    Ok(coo.to_csr())
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>) -> Result<T> {
+    tok.and_then(|s| s.parse().ok())
+        .ok_or(Error::InvalidStructure("malformed MatrixMarket line"))
+}
+
+/// Writes `a` as `matrix coordinate real general`.
+pub fn write_matrix_market<W: Write>(a: &Csr, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by parapre-sparse")?;
+    writeln!(w, "{} {} {}", a.n_rows(), a.n_cols(), a.nnz())?;
+    for (i, j, v) in a.iter() {
+        writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+    }
+    w.flush()
+}
+
+/// Convenience: reads a `.mtx` file.
+pub fn load_mtx(path: impl AsRef<Path>) -> Result<Csr> {
+    let f = std::fs::File::open(path).map_err(|_| Error::InvalidStructure("cannot open file"))?;
+    read_matrix_market(std::io::BufReader::new(f))
+}
+
+/// Convenience: writes a `.mtx` file.
+pub fn save_mtx(a: &Csr, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_matrix_market(a, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_general() {
+        let a = Csr::from_dense_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.5, 2.0, -1.0],
+            vec![0.0, -1.0, 2.5],
+        ]);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reads_symmetric_expansion() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 4\n\
+                    1 1 2.0\n2 1 -1.0\n2 2 2.0\n3 3 1.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.nnz(), 5);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\n2 2 2\n% another\n1 1 1.0\n2 2 4.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.diagonal().unwrap(), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(read_matrix_market("garbage\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n1 1 1\n0 1 5.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = Csr::identity(4);
+        let path = std::env::temp_dir().join("parapre_io_test.mtx");
+        save_mtx(&a, &path).unwrap();
+        let b = load_mtx(&path).unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,86 @@
+//! # parapre-sparse
+//!
+//! Sparse linear-algebra substrate for the `parapre` workspace.
+//!
+//! The crate provides the flat, cache-friendly storage formats and kernels
+//! that every other crate in the workspace builds on:
+//!
+//! * [`Csr`] — compressed sparse row storage with sorted column indices,
+//!   the workhorse format (assembly output, ILU factors, Schur blocks).
+//! * [`Coo`] — triplet builder used during finite-element assembly; duplicate
+//!   entries are summed when converting to CSR.
+//! * [`Dense`] — small column-major dense matrices (coarse-grid operators,
+//!   ARMS diagonal blocks) with LU factorization living in `parapre-krylov`.
+//! * Triangular solves, permutations, sub-matrix extraction and norms in
+//!   [`ops`] and [`perm`].
+//!
+//! Hot kernels follow the idioms of the Rust Performance Book: flat `Vec`
+//! storage, slice iteration instead of indexing, and optional data-parallel
+//! row-chunked SpMV via rayon ([`Csr::spmv_par`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod io;
+pub mod ops;
+pub mod perm;
+pub mod scaling;
+
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use dense::Dense;
+pub use perm::Permutation;
+
+/// Convenience result alias for fallible sparse operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by sparse-matrix construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Dimensions of operands do not match.
+    DimensionMismatch {
+        /// Description of the failed operation.
+        op: &'static str,
+        /// Expected extent.
+        expected: usize,
+        /// Actual extent found.
+        found: usize,
+    },
+    /// A structurally required entry (e.g. a diagonal pivot) is missing.
+    MissingDiagonal(usize),
+    /// A pivot was exactly zero (or numerically negligible) during a solve
+    /// or factorization.
+    ZeroPivot(usize),
+    /// Index out of bounds while building a matrix.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound.
+        bound: usize,
+    },
+    /// Malformed CSR structure (non-monotone row pointers, unsorted columns…).
+    InvalidStructure(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::DimensionMismatch { op, expected, found } => {
+                write!(f, "dimension mismatch in {op}: expected {expected}, found {found}")
+            }
+            Error::MissingDiagonal(i) => write!(f, "missing diagonal entry in row {i}"),
+            Error::ZeroPivot(i) => write!(f, "zero pivot encountered at row {i}"),
+            Error::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds ({bound})")
+            }
+            Error::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

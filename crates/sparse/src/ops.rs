@@ -1,0 +1,169 @@
+//! Vector kernels and triangular solves shared across the workspace.
+
+use crate::Csr;
+
+/// Dot product of two equally sized slices.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * x + beta * y`.
+#[inline]
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// Scales `x` in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Solves `L x = b` where `L` is **unit** lower triangular stored in CSR.
+///
+/// Entries with column index `>= row` are ignored, so a merged LU matrix can
+/// be passed directly. `x` may alias `b` by passing the right-hand side in
+/// `x` (solve happens in place).
+pub fn solve_unit_lower(l: &Csr, x: &mut [f64]) {
+    let n = l.n_rows();
+    debug_assert_eq!(x.len(), n);
+    for i in 0..n {
+        let (cols, vals) = l.row(i);
+        let mut acc = x[i];
+        for (&j, &v) in cols.iter().zip(vals) {
+            if j >= i {
+                break;
+            }
+            acc -= v * x[j];
+        }
+        x[i] = acc;
+    }
+}
+
+/// Solves `U x = b` where `U` is upper triangular (diagonal stored) in CSR,
+/// in place. Entries with column index `< row` are ignored.
+///
+/// # Panics
+/// Panics in debug builds when a diagonal entry is missing; in release the
+/// behaviour on a missing diagonal is a NaN result rather than UB.
+pub fn solve_upper(u: &Csr, x: &mut [f64]) {
+    let n = u.n_rows();
+    debug_assert_eq!(x.len(), n);
+    for i in (0..n).rev() {
+        let (cols, vals) = u.row(i);
+        // Find the diagonal position by binary search (columns sorted).
+        let d = cols.binary_search(&i);
+        debug_assert!(d.is_ok(), "missing diagonal in row {i}");
+        let d = d.unwrap_or(0);
+        let mut acc = x[i];
+        for (&j, &v) in cols[d + 1..].iter().zip(&vals[d + 1..]) {
+            acc -= v * x[j];
+        }
+        x[i] = acc / vals[d];
+    }
+}
+
+/// Applies a merged LU factorization (unit L strictly below the diagonal,
+/// U on and above) to solve `L U x = b` in place.
+pub fn solve_lu_merged(lu: &Csr, x: &mut [f64]) {
+    solve_unit_lower(lu, x);
+    solve_upper(lu, x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Csr;
+
+    #[test]
+    fn blas1_kernels() {
+        let x = [1.0, 2.0, 2.0];
+        assert_eq!(dot(&x, &x), 9.0);
+        assert_eq!(norm2(&x), 3.0);
+        assert_eq!(norm_inf(&[-5.0, 2.0]), 5.0);
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [3.0, 5.0, 5.0]);
+        axpby(1.0, &x, -1.0, &mut y);
+        assert_eq!(y, [-2.0, -3.0, -3.0]);
+        let mut z = [2.0, 4.0];
+        scale(0.5, &mut z);
+        assert_eq!(z, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn unit_lower_solve() {
+        // L = [1 0 0; 2 1 0; 1 3 1] (unit diagonal implicit — stored anyway)
+        let l = Csr::from_dense_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+        ]);
+        let x_true = [1.0, -1.0, 2.0];
+        // b = L x
+        let b = [1.0, 1.0, 0.0];
+        let mut x = b;
+        solve_unit_lower(&l, &mut x);
+        assert_eq!(x, x_true);
+    }
+
+    #[test]
+    fn upper_solve() {
+        let u = Csr::from_dense_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![0.0, 4.0, -1.0],
+            vec![0.0, 0.0, 5.0],
+        ]);
+        let x_true = [1.0, 2.0, 3.0];
+        let b = u.mul_vec(&x_true);
+        let mut x = b;
+        solve_upper(&u, &mut x);
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn merged_lu_solve_roundtrip() {
+        // A = L*U with L unit lower [1 0; 0.5 1], U upper [4 2; 0 3]
+        // merged storage: [4 2; 0.5 3]
+        let merged = Csr::from_dense_rows(&[vec![4.0, 2.0], vec![0.5, 3.0]]);
+        // A = [4 2; 2 4]
+        let a = Csr::from_dense_rows(&[vec![4.0, 2.0], vec![2.0, 4.0]]);
+        let x_true = [3.0, -1.0];
+        let b = a.mul_vec(&x_true);
+        let mut x = b;
+        solve_lu_merged(&merged, &mut x);
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-14, "{x:?}");
+        }
+    }
+}

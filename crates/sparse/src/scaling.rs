@@ -1,0 +1,164 @@
+//! Diagonal scaling (equilibration) and cheap spectral diagnostics.
+//!
+//! pARMS applies row/column scaling before its incomplete factorizations to
+//! tame badly scaled systems (e.g. FEM matrices mixing unknowns of
+//! different physical dimensions, as in Test Case 6). Provided here:
+//! one-sided and symmetric equilibration, plus Gershgorin disc bounds used
+//! by tests and diagnostics.
+
+use crate::Csr;
+
+/// Row norms used by equilibration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingNorm {
+    /// Maximum absolute value per row.
+    Inf,
+    /// Euclidean norm per row.
+    Two,
+}
+
+/// Computes per-row scale factors `1/‖row‖` (1.0 for empty rows).
+pub fn row_scale_factors(a: &Csr, norm: ScalingNorm) -> Vec<f64> {
+    (0..a.n_rows())
+        .map(|i| {
+            let (_, vals) = a.row(i);
+            let s = match norm {
+                ScalingNorm::Inf => vals.iter().fold(0.0f64, |m, v| m.max(v.abs())),
+                ScalingNorm::Two => vals.iter().map(|v| v * v).sum::<f64>().sqrt(),
+            };
+            if s > 0.0 {
+                1.0 / s
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+/// Row-equilibrates `a` in place and returns the applied scale factors
+/// (`A ← D A`); the right-hand side must be scaled with the same factors.
+pub fn equilibrate_rows(a: &mut Csr, norm: ScalingNorm) -> Vec<f64> {
+    let d = row_scale_factors(a, norm);
+    a.scale_rows(&d);
+    d
+}
+
+/// Symmetric equilibration `A ← D A D` with `D = diag(1/√|a_ii|)`;
+/// returns `D`'s diagonal. Rows with non-positive diagonal are left alone.
+pub fn equilibrate_symmetric(a: &Csr) -> (Csr, Vec<f64>) {
+    let n = a.n_rows();
+    let mut d = vec![1.0; n];
+    for i in 0..n {
+        let aii = a.get(i, i);
+        if aii > 0.0 {
+            d[i] = 1.0 / aii.sqrt();
+        }
+    }
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::with_capacity(a.nnz());
+    let mut vals = Vec::with_capacity(a.nnz());
+    row_ptr.push(0);
+    for i in 0..n {
+        let (cols, vs) = a.row(i);
+        for (&j, &v) in cols.iter().zip(vs) {
+            col_idx.push(j);
+            vals.push(d[i] * v * d[j]);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    (Csr::from_parts_unchecked(n, a.n_cols(), row_ptr, col_idx, vals), d)
+}
+
+/// Gershgorin bounds: every eigenvalue lies in
+/// `[min_i (a_ii − R_i), max_i (a_ii + R_i)]` with `R_i` the off-diagonal
+/// absolute row sum.
+pub fn gershgorin_bounds(a: &Csr) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..a.n_rows() {
+        let (cols, vals) = a.row(i);
+        let mut diag = 0.0;
+        let mut radius = 0.0;
+        for (&j, &v) in cols.iter().zip(vals) {
+            if j == i {
+                diag = v;
+            } else {
+                radius += v.abs();
+            }
+        }
+        lo = lo.min(diag - radius);
+        hi = hi.max(diag + radius);
+    }
+    (lo, hi)
+}
+
+/// True when every row is strictly diagonally dominant.
+pub fn is_diagonally_dominant(a: &Csr) -> bool {
+    (0..a.n_rows()).all(|i| {
+        let (cols, vals) = a.row(i);
+        let mut diag = 0.0;
+        let mut off = 0.0;
+        for (&j, &v) in cols.iter().zip(vals) {
+            if j == i {
+                diag = v.abs();
+            } else {
+                off += v.abs();
+            }
+        }
+        diag > off
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_equilibration_normalizes_inf_norm() {
+        let mut a = Csr::from_dense_rows(&[vec![10.0, -5.0], vec![0.5, 2.0]]);
+        let d = equilibrate_rows(&mut a, ScalingNorm::Inf);
+        assert_eq!(d, vec![0.1, 0.5]);
+        for i in 0..2 {
+            let (_, vals) = a.row(i);
+            let m = vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            assert!((m - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn symmetric_equilibration_unit_diagonal() {
+        let a = Csr::from_dense_rows(&[vec![4.0, 2.0], vec![2.0, 16.0]]);
+        let (s, d) = equilibrate_symmetric(&a);
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-15);
+        assert!((s.get(1, 1) - 1.0).abs() < 1e-15);
+        assert!((s.get(0, 1) - 2.0 * d[0] * d[1]).abs() < 1e-15);
+        assert!(s.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn gershgorin_contains_known_spectrum() {
+        // tridiag(-1,2,-1): eigenvalues in (0, 4).
+        let a = Csr::from_dense_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ]);
+        let (lo, hi) = gershgorin_bounds(&a);
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 4.0);
+    }
+
+    #[test]
+    fn dominance_detection() {
+        let dd = Csr::from_dense_rows(&[vec![3.0, -1.0], vec![-1.0, 2.5]]);
+        assert!(is_diagonally_dominant(&dd));
+        let not = Csr::from_dense_rows(&[vec![1.0, -2.0], vec![-1.0, 2.5]]);
+        assert!(!is_diagonally_dominant(&not));
+    }
+
+    #[test]
+    fn empty_row_scale_is_one() {
+        let a = Csr::zero(2, 2);
+        assert_eq!(row_scale_factors(&a, ScalingNorm::Two), vec![1.0, 1.0]);
+    }
+}

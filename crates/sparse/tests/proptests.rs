@@ -1,0 +1,167 @@
+//! Property-based tests for the sparse substrate.
+
+use parapre_sparse::{ops, Coo, Csr, Permutation};
+use proptest::prelude::*;
+
+/// Strategy producing a random COO matrix together with its dense mirror.
+fn coo_and_dense(max_n: usize) -> impl Strategy<Value = (Coo, Vec<Vec<f64>>)> {
+    (1..=max_n).prop_flat_map(move |n| {
+        let triplet = (0..n, 0..n, -10.0f64..10.0);
+        proptest::collection::vec(triplet, 0..4 * n).prop_map(move |ts| {
+            let mut coo = Coo::new(n, n);
+            let mut dense = vec![vec![0.0; n]; n];
+            for (i, j, v) in ts {
+                coo.push(i, j, v);
+                dense[i][j] += v;
+            }
+            (coo, dense)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn coo_to_csr_matches_dense((coo, dense) in coo_and_dense(12)) {
+        let a = coo.to_csr();
+        a.validate().unwrap();
+        for (i, row) in dense.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                prop_assert!((a.get(i, j) - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference((coo, dense) in coo_and_dense(12),
+                                    seed in any::<u64>()) {
+        let a = coo.to_csr();
+        let n = a.n_cols();
+        // Cheap deterministic pseudo-random vector from the seed.
+        let x: Vec<f64> = (0..n)
+            .map(|i| (((seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15))) >> 17) as f64
+                      / (1u64 << 40) as f64) - 4.0)
+            .collect();
+        let y = a.mul_vec(&x);
+        for (i, row) in dense.iter().enumerate() {
+            let want: f64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+            prop_assert!((y[i] - want).abs() < 1e-9 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn spmv_par_equals_spmv((coo, _dense) in coo_and_dense(20)) {
+        let a = coo.to_csr();
+        let n = a.n_cols();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        a.spmv(&x, &mut y1);
+        a.spmv_par(&x, &mut y2);
+        prop_assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn transpose_is_involution((coo, _dense) in coo_and_dense(15)) {
+        let a = coo.to_csr();
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_flips_entries((coo, _dense) in coo_and_dense(10)) {
+        let a = coo.to_csr();
+        let at = a.transpose();
+        for (i, j, v) in a.iter() {
+            prop_assert_eq!(at.get(j, i), v);
+        }
+    }
+
+    #[test]
+    fn add_is_linear((coo, _d) in coo_and_dense(10), beta in -3.0f64..3.0) {
+        let a = coo.to_csr();
+        let n = a.n_rows();
+        let b = Csr::identity(n);
+        let c = a.add(beta, &b).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).cos()).collect();
+        let cx = c.mul_vec(&x);
+        let ax = a.mul_vec(&x);
+        for i in 0..n {
+            prop_assert!((cx[i] - (ax[i] + beta * x[i])).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_dense((coo, da) in coo_and_dense(8), (coo2, db) in coo_and_dense(8)) {
+        let a = coo.to_csr();
+        let b = coo2.to_csr();
+        if a.n_cols() == b.n_rows() {
+            let c = a.matmul(&b).unwrap();
+            for i in 0..a.n_rows() {
+                for j in 0..b.n_cols() {
+                    let want: f64 = (0..a.n_cols()).map(|k| da[i][k] * db[k][j]).sum();
+                    prop_assert!((c.get(i, j) - want).abs() < 1e-9 * (1.0 + want.abs()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sym_permutation_commutes_with_matvec(
+        (coo, _d) in coo_and_dense(12),
+        seed in any::<u32>(),
+    ) {
+        let a = coo.to_csr();
+        let n = a.n_rows();
+        // Fisher-Yates with a tiny LCG.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed as u64 | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let p = Permutation::from_vec(perm).unwrap();
+        let b = p.apply_sym(&a);
+        b.validate().unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let lhs = b.mul_vec(&p.apply_vec(&x));
+        let rhs = p.apply_vec(&a.mul_vec(&x));
+        for (u, v) in lhs.iter().zip(&rhs) {
+            prop_assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn triangular_solves_invert_products(n in 1usize..20, seed in any::<u32>()) {
+        // Build a well-conditioned unit-lower L and upper U.
+        let mut state = seed as u64 | 1;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut l = vec![vec![0.0; n]; n];
+        let mut u = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            l[i][i] = 1.0;
+            u[i][i] = 2.0 + rnd().abs();
+            for j in 0..i {
+                l[i][j] = 0.5 * rnd();
+            }
+            for j in (i + 1)..n {
+                u[i][j] = 0.5 * rnd();
+            }
+        }
+        let lm = Csr::from_dense_rows(&l);
+        let um = Csr::from_dense_rows(&u);
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut b = lm.mul_vec(&x_true);
+        ops::solve_unit_lower(&lm, &mut b);
+        for (a, t) in b.iter().zip(&x_true) {
+            prop_assert!((a - t).abs() < 1e-9);
+        }
+        let mut c = um.mul_vec(&x_true);
+        ops::solve_upper(&um, &mut c);
+        for (a, t) in c.iter().zip(&x_true) {
+            prop_assert!((a - t).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Type-I discrete sine transform via the FFT.
+
+use crate::fft::fft;
+use crate::C64;
+
+/// DST-I: `X_k = Σ_{j=1}^{n} x_j · sin(π j k / (n+1))`, for `k = 1..n`
+/// (0-based input/output of length `n`).
+///
+/// Self-inverse up to the factor `2/(n+1)`: `dst1(dst1(x)) = (n+1)/2 · x`.
+pub fn dst1(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Odd extension of length 2(n+1): [0, x_1..x_n, 0, -x_n..-x_1].
+    let m = 2 * (n + 1);
+    let mut buf = vec![C64::default(); m];
+    for (j, &v) in x.iter().enumerate() {
+        buf[j + 1] = C64::new(v, 0.0);
+        buf[m - 1 - j] = C64::new(-v, 0.0);
+    }
+    fft(&mut buf);
+    // X_k = -Im(FFT)_k / 2.
+    (1..=n).map(|k| -0.5 * buf[k].im).collect()
+}
+
+/// Inverse DST-I.
+pub fn idst1(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut y = dst1(x);
+    let s = 2.0 / (n as f64 + 1.0);
+    for v in &mut y {
+        *v *= s;
+    }
+    y
+}
+
+/// Applies DST-I to every row of a row-major `nx`-wide matrix, in place.
+pub fn dst1_rows(data: &mut [f64], nx: usize) {
+    debug_assert_eq!(data.len() % nx, 0);
+    for row in data.chunks_mut(nx) {
+        let t = dst1(row);
+        row.copy_from_slice(&t);
+    }
+}
+
+/// Applies DST-I to every column of a row-major `nx × ny` matrix, in place.
+pub fn dst1_cols(data: &mut [f64], nx: usize) {
+    let ny = data.len() / nx;
+    debug_assert_eq!(data.len(), nx * ny);
+    let mut col = vec![0.0; ny];
+    for i in 0..nx {
+        for j in 0..ny {
+            col[j] = data[j * nx + i];
+        }
+        let t = dst1(&col);
+        for j in 0..ny {
+            data[j * nx + i] = t[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dst1_naive(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (1..=n)
+            .map(|k| {
+                x.iter()
+                    .enumerate()
+                    .map(|(j, &v)| {
+                        v * (std::f64::consts::PI * (j + 1) as f64 * k as f64
+                            / (n + 1) as f64)
+                            .sin()
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_definition() {
+        for n in [1usize, 2, 3, 5, 8, 13, 31] {
+            let x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.9).sin() + 0.3).collect();
+            let fast = dst1(&x);
+            let slow = dst1_naive(&x);
+            for (u, v) in fast.iter().zip(&slow) {
+                assert!((u - v).abs() < 1e-10, "n={n}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_inverse_up_to_scale() {
+        let x: Vec<f64> = (0..17).map(|j| 1.0 / (1.0 + j as f64)).collect();
+        let y = idst1(&dst1(&x));
+        for (u, v) in y.iter().zip(&x) {
+            assert!((u - v).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn diagonalizes_the_dirichlet_laplacian() {
+        // T = tridiag(-1, 2, -1): its eigenvectors are the DST-I modes with
+        // eigenvalues 4 sin²(kπ/(2(n+1))).
+        let n = 12;
+        let x: Vec<f64> = (0..n).map(|j| (j as f64 + 1.0).cos()).collect();
+        // y = T x
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            y[i] = 2.0 * x[i];
+            if i > 0 {
+                y[i] -= x[i - 1];
+            }
+            if i + 1 < n {
+                y[i] -= x[i + 1];
+            }
+        }
+        let xh = dst1(&x);
+        let yh = dst1(&y);
+        for k in 1..=n {
+            let lam = 4.0
+                * (std::f64::consts::PI * k as f64 / (2.0 * (n as f64 + 1.0)))
+                    .sin()
+                    .powi(2);
+            assert!((yh[k - 1] - lam * xh[k - 1]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn row_and_column_transforms_consistent() {
+        let (nx, ny) = (5, 4);
+        let mut a: Vec<f64> = (0..nx * ny).map(|i| (i as f64 * 0.31).sin()).collect();
+        let mut b = a.clone();
+        // Transforming rows then cols must equal cols then rows.
+        dst1_rows(&mut a, nx);
+        dst1_cols(&mut a, nx);
+        dst1_cols(&mut b, nx);
+        dst1_rows(&mut b, nx);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+}

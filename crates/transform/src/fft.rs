@@ -1,0 +1,197 @@
+//! Complex FFT: iterative radix-2 with a Bluestein fallback for arbitrary
+//! lengths.
+
+use crate::C64;
+use std::f64::consts::PI;
+
+/// In-place forward FFT (`X_k = Σ x_j e^{-2πi jk/n}`) for any length.
+pub fn fft(x: &mut Vec<C64>) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        fft_pow2(x, false);
+    } else {
+        bluestein(x, false);
+    }
+}
+
+/// In-place inverse FFT (`x_j = (1/n) Σ X_k e^{+2πi jk/n}`).
+pub fn ifft(x: &mut Vec<C64>) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        fft_pow2(x, true);
+    } else {
+        bluestein(x, true);
+    }
+    let scale = 1.0 / n as f64;
+    for v in x.iter_mut() {
+        *v = *v * scale;
+    }
+}
+
+/// Iterative Cooley–Tukey radix-2 (bit-reversal + butterflies).
+fn fft_pow2(x: &mut [C64], inverse: bool) {
+    let n = x.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = C64::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = C64::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = x[i + k];
+                let v = x[i + k + len / 2] * w;
+                x[i + k] = u + v;
+                x[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein chirp-z: expresses an arbitrary-length DFT as a convolution,
+/// evaluated with power-of-two FFTs of length ≥ 2n − 1.
+fn bluestein(x: &mut Vec<C64>, inverse: bool) {
+    let n = x.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let m = (2 * n - 1).next_power_of_two();
+    // Chirp: w_j = e^{sign·iπ j²/n}.
+    let chirp: Vec<C64> = (0..n)
+        .map(|j| {
+            // j² mod 2n avoids precision loss for large j.
+            let jj = (j * j) % (2 * n);
+            C64::cis(sign * PI * jj as f64 / n as f64)
+        })
+        .collect();
+    let mut a = vec![C64::default(); m];
+    for j in 0..n {
+        a[j] = x[j] * chirp[j];
+    }
+    let mut b = vec![C64::default(); m];
+    b[0] = chirp[0].conj();
+    for j in 1..n {
+        let c = chirp[j].conj();
+        b[j] = c;
+        b[m - j] = c;
+    }
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for (ai, bi) in a.iter_mut().zip(&b) {
+        *ai = *ai * *bi;
+    }
+    fft_pow2(&mut a, true);
+    let scale = 1.0 / m as f64;
+    for j in 0..n {
+        x[j] = a[j] * scale * chirp[j];
+    }
+}
+
+/// Naive `O(n²)` DFT (reference for tests).
+pub fn dft_naive(x: &[C64], inverse: bool) -> Vec<C64> {
+    let n = x.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![C64::default(); n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = C64::default();
+        for (j, &xj) in x.iter().enumerate() {
+            acc = acc + xj * C64::cis(sign * 2.0 * PI * (j * k % n) as f64 / n as f64);
+        }
+        *o = if inverse { acc * (1.0 / n as f64) } else { acc };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|j| C64::new((j as f64 * 0.7).sin(), (j as f64 * 1.3).cos() * 0.5))
+            .collect()
+    }
+
+    fn close(a: &[C64], b: &[C64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (u, v) in a.iter().zip(b) {
+            assert!(
+                (u.re - v.re).abs() < tol && (u.im - v.im).abs() < tol,
+                "{u:?} vs {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pow2_matches_naive() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let mut x = signal(n);
+            let want = dft_naive(&x, false);
+            fft(&mut x);
+            close(&x, &want, 1e-10);
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive() {
+        for n in [3usize, 5, 6, 7, 12, 15, 100] {
+            let mut x = signal(n);
+            let want = dft_naive(&x, false);
+            fft(&mut x);
+            close(&x, &want, 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_lengths() {
+        for n in 1..40 {
+            let orig = signal(n);
+            let mut x = orig.clone();
+            fft(&mut x);
+            ifft(&mut x);
+            close(&x, &orig, 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let x = signal(37);
+        let mut y = x.clone();
+        fft(&mut y);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / 37.0;
+        assert!((ex - ey).abs() < 1e-9 * ex);
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let mut x = vec![C64::default(); 9];
+        x[0] = C64::new(1.0, 0.0);
+        fft(&mut x);
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+}

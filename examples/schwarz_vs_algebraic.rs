@@ -1,0 +1,60 @@
+//! Paper §5.2 in miniature: the additive-Schwarz preconditioner (overlap
+//! ≈ 5 %, FFT-preconditioned CG subdomain solves) against the four
+//! algebraic preconditioners on Test Case 1 — without coarse-grid
+//! corrections the Schwarz iteration count grows "dangerously" with P;
+//! with CGCs it beats everything.
+//!
+//! ```text
+//! cargo run --release --example schwarz_vs_algebraic
+//! ```
+
+use parapre::core::{
+    build_case, AdditiveSchwarz, CaseId, CaseSize, PrecondKind, SchwarzConfig,
+};
+use parapre::core::runner::{run_case, RunConfig};
+use parapre::krylov::{Gmres, GmresConfig};
+
+fn schwarz_iters(case: &parapre::core::AssembledCase, cfg: &SchwarzConfig) -> Option<usize> {
+    let dims = case.structured_dims.unwrap();
+    let m = AdditiveSchwarz::build(dims[0], dims[1], cfg);
+    let mut x = case.x0.clone();
+    let rep = Gmres::new(GmresConfig { max_iters: 800, ..Default::default() })
+        .solve(&case.sys.a, &m, &case.sys.b, &mut x);
+    rep.converged.then_some(rep.iterations)
+}
+
+fn main() {
+    let case = build_case(CaseId::Tc1, CaseSize::Tiny);
+    println!("== additive Schwarz vs algebraic preconditioners ==");
+    println!("{} on {}\n", case.id.name(), case.grid_desc);
+
+    println!("{:>4} {:>16} {:>16}", "P", "Schwarz no-CGC", "Schwarz + CGC");
+    let mut growth = Vec::new();
+    for p in [2usize, 4, 8, 16] {
+        let no = schwarz_iters(&case, &SchwarzConfig::without_cgc(p));
+        let yes = schwarz_iters(&case, &SchwarzConfig::with_cgc(p));
+        growth.push(no.unwrap_or(usize::MAX));
+        println!(
+            "{:>4} {:>16} {:>16}",
+            p,
+            no.map_or("n.c.".into(), |i| i.to_string()),
+            yes.map_or("n.c.".into(), |i| i.to_string())
+        );
+    }
+    assert!(
+        growth.last().unwrap() > growth.first().unwrap(),
+        "no-CGC iteration count should grow with P"
+    );
+
+    println!("\nalgebraic preconditioners at P = 16 (same tolerance):");
+    for kind in PrecondKind::ALL {
+        let res = run_case(&case, &RunConfig::paper(kind, 16));
+        println!(
+            "{:>10}: {}",
+            kind.label(),
+            if res.converged { format!("{} iterations", res.iterations) } else { "n.c.".into() }
+        );
+    }
+    println!("\npaper: with CGCs additive Schwarz converges faster than all four;");
+    println!("without CGCs its growth with P is the worst of the lot.");
+}

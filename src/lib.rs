@@ -1,0 +1,45 @@
+//! # parapre
+//!
+//! A from-scratch Rust reproduction of **Cai & Sosonkina, *A Numerical
+//! Study of Some Parallel Algebraic Preconditioners* (IPPS 2003)** — a
+//! study of parallel block (`Block 1`/`Block 2`) and Schur-complement
+//! (`Schur 1`/`Schur 2`) preconditioners for distributed FGMRES on six FEM
+//! test problems, plus an additive-Schwarz comparison.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`sparse`] — CSR/COO/dense storage and kernels;
+//! * [`transform`] — FFT / DST-I / fast Poisson solvers;
+//! * [`grid`] — structured, curvilinear and Delaunay meshes;
+//! * [`partition`] — graph / box / RCB partitioners (Metis stand-in);
+//! * [`fem`] — P1 assembly of the paper's four PDEs;
+//! * [`mpisim`] — the SPMD message-passing runtime (MPI stand-in) with
+//!   α–β machine models;
+//! * [`krylov`] — sequential GMRES/FGMRES/CG, ILU(0), ILUT, ARMS;
+//! * [`dist`] — distributed sparse systems and distributed (F)GMRES;
+//! * [`core`] — the paper's preconditioners, test cases and experiment
+//!   runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parapre::core::{build_case, run_case, CaseId, CaseSize, PrecondKind, RunConfig};
+//!
+//! // Paper Test Case 1 (2-D Poisson), tiny grid, 4 ranks, Schur 1.
+//! let case = build_case(CaseId::Tc1, CaseSize::Tiny);
+//! let result = run_case(&case, &RunConfig::paper(PrecondKind::Schur1, 4));
+//! assert!(result.converged);
+//! println!("{} iterations", result.iterations);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use parapre_core as core;
+pub use parapre_dist as dist;
+pub use parapre_fem as fem;
+pub use parapre_grid as grid;
+pub use parapre_krylov as krylov;
+pub use parapre_mpisim as mpisim;
+pub use parapre_partition as partition;
+pub use parapre_sparse as sparse;
+pub use parapre_transform as transform;

@@ -1,0 +1,97 @@
+//! The paper's §1.1 claim that the global system "only exists logically":
+//! assembling per-subdomain (fem::submesh path) and distributing rows of a
+//! globally assembled matrix (dist::from_global path) must produce the same
+//! local systems, and hence identical distributed solves.
+
+use parapre::dist::DistMatrix;
+use parapre::fem::{poisson, submesh};
+use parapre::grid::structured::unit_square;
+use parapre::partition::partition_graph;
+use parapre::sparse::Coo;
+
+#[test]
+fn subdomain_assembly_equals_row_distribution() {
+    let mesh = unit_square(14, 14);
+    let p = 4;
+    let part = partition_graph(&mesh.adjacency(), p, 13);
+    let (a_glob, _) = poisson::assemble_2d(&mesh, poisson::rhs_tc1);
+
+    for rank in 0..p {
+        // Path A: distribute rows of the global matrix.
+        let dm = DistMatrix::from_global(&a_glob, &part.owner, rank as usize, p);
+
+        // Path B: extract the subdomain mesh and assemble locally.
+        let sub = submesh::extract_2d(&mesh, &part.owner, rank as u32);
+        let (a_loc, _) = poisson::assemble_2d(&sub.mesh, poisson::rhs_tc1);
+
+        // Compare each owned row as a map global-column → value.
+        let n_owned = dm.layout.n_owned();
+        for lrow in 0..n_owned {
+            let grow = dm.layout.local_to_global[lrow];
+            // Locate the row in the submesh numbering.
+            let srow = sub
+                .local_to_global
+                .iter()
+                .position(|&g| g == grow)
+                .expect("owned row present in submesh");
+            assert!(sub.owned[srow]);
+
+            let (dc, dv) = dm.a_loc.row(lrow);
+            let (sc, sv) = a_loc.row(srow);
+            assert_eq!(dc.len(), sc.len(), "row {grow} nnz differs");
+            let mut dist_entries: Vec<(usize, f64)> = dc
+                .iter()
+                .zip(dv)
+                .map(|(&c, &v)| (dm.layout.local_to_global[c], v))
+                .collect();
+            dist_entries.sort_by_key(|&(c, _)| c);
+            let mut sub_entries: Vec<(usize, f64)> = sc
+                .iter()
+                .zip(sv)
+                .map(|(&c, &v)| (sub.local_to_global[c], v))
+                .collect();
+            sub_entries.sort_by_key(|&(c, _)| c);
+            for ((gc, gv), (hc, hv)) in dist_entries.iter().zip(&sub_entries) {
+                assert_eq!(gc, hc, "row {grow}: column sets differ");
+                assert!((gv - hv).abs() < 1e-13, "row {grow}, col {gc}: {gv} vs {hv}");
+            }
+        }
+    }
+}
+
+#[test]
+fn no_global_matrix_needed_for_local_rows() {
+    // Assemble each rank's rows purely from its submesh, stitch them back
+    // together, and compare with the global assembly — the distributed
+    // discretization loses nothing.
+    let mesh = unit_square(10, 10);
+    let p = 3;
+    let part = partition_graph(&mesh.adjacency(), p, 4);
+    let (a_glob, b_glob) = poisson::assemble_2d(&mesh, poisson::rhs_tc1);
+    let n = mesh.n_nodes();
+
+    let mut stitched = Coo::new(n, n);
+    let mut b_stitched = vec![0.0; n];
+    for rank in 0..p as u32 {
+        let sub = submesh::extract_2d(&mesh, &part.owner, rank);
+        let (a_loc, b_loc) = poisson::assemble_2d(&sub.mesh, poisson::rhs_tc1);
+        for (li, &gi) in sub.local_to_global.iter().enumerate() {
+            if !sub.owned[li] {
+                continue;
+            }
+            let (cols, vals) = a_loc.row(li);
+            for (&c, &v) in cols.iter().zip(vals) {
+                stitched.push(gi, sub.local_to_global[c], v);
+            }
+            b_stitched[gi] = b_loc[li];
+        }
+    }
+    let a_stitched = stitched.to_csr();
+    assert_eq!(a_stitched.nnz(), a_glob.nnz());
+    for (i, j, v) in a_glob.iter() {
+        assert!((a_stitched.get(i, j) - v).abs() < 1e-13);
+    }
+    for (u, v) in b_stitched.iter().zip(&b_glob) {
+        assert!((u - v).abs() < 1e-13);
+    }
+}

@@ -1,0 +1,150 @@
+//! Cross-solver consistency: different accelerators and preconditioners
+//! must agree on the solution (to tolerance) for the same system; the
+//! heterogeneous-coefficient extension behaves under all preconditioners.
+
+use parapre::core::{build_case, run_case, CaseId, CaseSize, PrecondKind, RunConfig};
+use parapre::dist::{scatter_vector, DistCg, DistCgConfig, DistGmres, DistGmresConfig, DistMatrix};
+use parapre::fem::{bc, varcoeff, LinearSystem};
+use parapre::grid::refine::refine_uniform;
+use parapre::grid::structured::unit_square;
+use parapre::krylov::{
+    BiCgStab, BiCgStabConfig, Gmres, GmresConfig, IdentityPrecond, Ilutp, IlutpConfig, Ssor,
+};
+use parapre::mpisim::Universe;
+use parapre::partition::partition_graph;
+
+#[test]
+fn bicgstab_gmres_ssor_agree_on_tc5_system() {
+    let case = build_case(CaseId::Tc5, CaseSize::Tiny);
+    let n = case.n_unknowns();
+    let a = &case.sys.a;
+    let b = &case.sys.b;
+    let mut x_g = vec![0.0; n];
+    let rg = Gmres::new(GmresConfig { rel_tol: 1e-9, max_iters: 2000, ..Default::default() })
+        .solve(a, &IdentityPrecond::new(n), b, &mut x_g);
+    assert!(rg.converged);
+
+    let f = Ilutp::factor(a, &IlutpConfig::default()).unwrap();
+    let mut x_b = vec![0.0; n];
+    let rb = BiCgStab::new(BiCgStabConfig { rel_tol: 1e-9, ..Default::default() })
+        .solve(a, &f, b, &mut x_b);
+    assert!(rb.converged, "bicgstab+ilutp relres {}", rb.final_relres);
+
+    for (u, v) in x_g.iter().zip(&x_b) {
+        assert!((u - v).abs() < 1e-5, "{u} vs {v}");
+    }
+    // SSOR-preconditioned GMRES on the symmetric TC1 system also agrees.
+    let tc1 = build_case(CaseId::Tc1, CaseSize::Tiny);
+    let m = Ssor::new(&tc1.sys.a, 1.2).unwrap();
+    let mut x_s = tc1.x0.clone();
+    let rs = Gmres::new(GmresConfig { rel_tol: 1e-9, max_iters: 2000, ..Default::default() })
+        .solve(&tc1.sys.a, &m, &tc1.sys.b, &mut x_s);
+    assert!(rs.converged);
+}
+
+#[test]
+fn distributed_cg_and_fgmres_same_solution_on_spd_case() {
+    let case = build_case(CaseId::Tc1, CaseSize::Tiny);
+    let p = 3;
+    let part = partition_graph(&case.node_adjacency, p, 2);
+    let owner = case.dof_owner(&part.owner);
+    let (a, b, x0) = (&case.sys.a, &case.sys.b, &case.x0);
+    let owner_ref = &owner;
+    let diffs = Universe::run(p, move |comm| {
+        let dm = DistMatrix::from_global(a, owner_ref, comm.rank(), p);
+        let m = parapre::core::BlockPrecond::ilu0(&dm).unwrap();
+        let b_loc = scatter_vector(&dm.layout, b);
+        let mut x1 = scatter_vector(&dm.layout, x0);
+        let r1 = DistGmres::new(DistGmresConfig { rel_tol: 1e-9, ..Default::default() })
+            .solve(comm, &dm, &m, &b_loc, &mut x1);
+        let mut x2 = scatter_vector(&dm.layout, x0);
+        let r2 = DistCg::new(DistCgConfig { rel_tol: 1e-9, ..Default::default() })
+            .solve(comm, &dm, &m, &b_loc, &mut x2);
+        assert!(r1.converged && r2.converged);
+        x1.iter()
+            .zip(&x2)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0f64, f64::max)
+    });
+    for d in diffs {
+        assert!(d < 1e-6, "CG/FGMRES divergence {d}");
+    }
+}
+
+#[test]
+fn heterogeneous_diffusion_solved_by_all_preconditioners() {
+    // −∇·(k∇u) with a 100:1 layered coefficient, distributed solves.
+    let mesh = unit_square(17, 17);
+    let (a, b) = varcoeff::assemble_2d(
+        &mesh,
+        |x, _| if x < 0.5 { 1.0 } else { 100.0 },
+        |_, _| 1.0,
+    );
+    let mut sys = LinearSystem { a, b };
+    let fixed = bc::dirichlet_where(&mesh.coords, |p| p[0] < 1e-12 || p[0] > 1.0 - 1e-12, |_| 0.0);
+    bc::apply_dirichlet(&mut sys, &fixed);
+    let part = partition_graph(&mesh.adjacency(), 4, 7);
+    let (a_ref, b_ref, owner_ref) = (&sys.a, &sys.b, &part.owner);
+    for use_schur in [false, true] {
+        let out = Universe::run(4, move |comm| {
+            let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), 4);
+            let b_loc = scatter_vector(&dm.layout, b_ref);
+            let mut x = vec![0.0; dm.layout.n_owned()];
+            let rep = if use_schur {
+                let m = parapre::core::Schur1Precond::build(&dm, Default::default()).unwrap();
+                DistGmres::new(DistGmresConfig { max_iters: 500, ..Default::default() })
+                    .solve(comm, &dm, &m, &b_loc, &mut x)
+            } else {
+                let m = parapre::core::BlockPrecond::ilut(&dm, &Default::default()).unwrap();
+                DistGmres::new(DistGmresConfig { max_iters: 500, ..Default::default() })
+                    .solve(comm, &dm, &m, &b_loc, &mut x)
+            };
+            rep.converged
+        });
+        assert!(out.iter().all(|&c| c), "schur={use_schur} failed on layered medium");
+    }
+}
+
+#[test]
+fn refined_unstructured_mesh_still_solves() {
+    // TC3-style pipeline on a refined Delaunay mesh: refinement preserves
+    // solvability and the Schur preconditioner's advantage.
+    let coarse = parapre::grid::delaunay::square_with_hole(250, 9);
+    let mesh = refine_uniform(&coarse);
+    let (a, b) = parapre::fem::poisson::assemble_2d(&mesh, parapre::fem::poisson::rhs_tc1);
+    let mut sys = LinearSystem { a, b };
+    let fixed: Vec<(usize, f64)> = mesh
+        .boundary_nodes()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &on)| on)
+        .map(|(i, _)| {
+            let p = mesh.coords[i];
+            (i, parapre::fem::poisson::exact_tc1(p[0], p[1]))
+        })
+        .collect();
+    bc::apply_dirichlet(&mut sys, &fixed);
+    let part = partition_graph(&mesh.adjacency(), 4, 5);
+    let (a_ref, b_ref, owner_ref) = (&sys.a, &sys.b, &part.owner);
+    let out = Universe::run(4, move |comm| {
+        let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), 4);
+        let m = parapre::core::Schur1Precond::build(&dm, Default::default()).unwrap();
+        let b_loc = scatter_vector(&dm.layout, b_ref);
+        let mut x = vec![0.0; dm.layout.n_owned()];
+        let rep = DistGmres::new(DistGmresConfig::default()).solve(comm, &dm, &m, &b_loc, &mut x);
+        (rep.converged, rep.iterations)
+    });
+    assert!(out[0].0, "refined TC3 failed");
+    assert!(out[0].1 < 40, "iterations {}", out[0].1);
+}
+
+#[test]
+fn run_case_results_expose_partition_quality() {
+    let case = build_case(CaseId::Tc1, CaseSize::Tiny);
+    let res = run_case(&case, &RunConfig::paper(PrecondKind::Block1, 4));
+    assert!(res.edge_cut > 0);
+    assert!(res.imbalance >= 1.0);
+    assert!(res.total_msgs > 0);
+    assert!(res.total_bytes > 0);
+    assert!(res.setup_seconds >= 0.0);
+}
