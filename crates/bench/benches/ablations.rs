@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parapre_core::{
-    build_case, run_case, AdditiveSchwarz, CaseId, CaseSize, PrecondKind, RunConfig,
-    SchwarzConfig,
+    build_case, run_case, AdditiveSchwarz, CaseId, CaseSize, PrecondKind, RunConfig, SchwarzConfig,
 };
 use parapre_krylov::{ArmsConfig, Gmres, GmresConfig, IlutConfig};
 use std::hint::black_box;
@@ -31,11 +30,18 @@ fn ablate_ilut_params(c: &mut Criterion) {
     g.sample_size(10);
     for (tol, fill) in [(1e-1, 5usize), (1e-2, 10), (1e-3, 30), (1e-4, 60)] {
         let name = format!("tol{tol:.0e}_fill{fill}");
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(tol, fill), |b, &(t, f)| {
-            let mut cfg = RunConfig::paper(PrecondKind::Block2, 4);
-            cfg.ilut = IlutConfig { drop_tol: t, fill: f };
-            b.iter(|| run_case(black_box(&case), &cfg).iterations)
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(tol, fill),
+            |b, &(t, f)| {
+                let mut cfg = RunConfig::paper(PrecondKind::Block2, 4);
+                cfg.ilut = IlutConfig {
+                    drop_tol: t,
+                    fill: f,
+                };
+                b.iter(|| run_case(black_box(&case), &cfg).iterations)
+            },
+        );
     }
     g.finish();
 }
@@ -52,8 +58,11 @@ fn ablate_arms_levels(c: &mut Criterion) {
             &(levels, group),
             |b, &(l, gs)| {
                 let mut cfg = RunConfig::paper(PrecondKind::Schur2, 4);
-                cfg.schur2.arms =
-                    ArmsConfig { n_levels: l, group_size: gs, ..ArmsConfig::default() };
+                cfg.schur2.arms = ArmsConfig {
+                    n_levels: l,
+                    group_size: gs,
+                    ..ArmsConfig::default()
+                };
                 b.iter(|| run_case(black_box(&case), &cfg).iterations)
             },
         );
@@ -79,9 +88,12 @@ fn ablate_overlap(c: &mut Criterion) {
             let m = AdditiveSchwarz::build(dims[0], dims[1], &cfg);
             b.iter(|| {
                 let mut x = case.x0.clone();
-                Gmres::new(GmresConfig { max_iters: 500, ..Default::default() })
-                    .solve(&case.sys.a, &m, &case.sys.b, &mut x)
-                    .iterations
+                Gmres::new(GmresConfig {
+                    max_iters: 500,
+                    ..Default::default()
+                })
+                .solve(&case.sys.a, &m, &case.sys.b, &mut x)
+                .iterations
             })
         });
     }

@@ -76,7 +76,9 @@ fn bench_partitioning(c: &mut Criterion) {
     g.bench_function("general_p16", |b| {
         b.iter(|| partition_graph(black_box(&adj), 16, 7))
     });
-    g.bench_function("boxes_p16", |b| b.iter(|| partition_boxes_2d(101, 101, 4, 4)));
+    g.bench_function("boxes_p16", |b| {
+        b.iter(|| partition_boxes_2d(101, 101, 4, 4))
+    });
     g.finish();
 }
 

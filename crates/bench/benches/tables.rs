@@ -6,8 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parapre_core::runner::PartitionScheme;
 use parapre_core::{
-    build_case, run_case, AdditiveSchwarz, CaseId, CaseSize, PrecondKind, RunConfig,
-    SchwarzConfig,
+    build_case, run_case, AdditiveSchwarz, CaseId, CaseSize, PrecondKind, RunConfig, SchwarzConfig,
 };
 use parapre_krylov::{Gmres, GmresConfig};
 use std::hint::black_box;
@@ -66,8 +65,10 @@ fn e7_shape(c: &mut Criterion) {
     let case = build_case(CaseId::Tc2, CaseSize::Tiny);
     let mut g = c.benchmark_group("table_e7_shape");
     g.sample_size(10);
-    for (scheme, name) in [(PartitionScheme::General, "general"), (PartitionScheme::Boxes, "boxes")]
-    {
+    for (scheme, name) in [
+        (PartitionScheme::General, "general"),
+        (PartitionScheme::Boxes, "boxes"),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &s| {
             let mut cfg = RunConfig::paper(PrecondKind::Block2, 4);
             cfg.scheme = s;
@@ -92,16 +93,17 @@ fn e8_schwarz(c: &mut Criterion) {
             let m = AdditiveSchwarz::build(dims[0], dims[1], &cfg);
             b.iter(|| {
                 let mut x = case.x0.clone();
-                Gmres::new(GmresConfig { max_iters: 500, ..Default::default() })
-                    .solve(&case.sys.a, &m, &case.sys.b, &mut x)
-                    .iterations
+                Gmres::new(GmresConfig {
+                    max_iters: 500,
+                    ..Default::default()
+                })
+                .solve(&case.sys.a, &m, &case.sys.b, &mut x)
+                .iterations
             })
         });
     }
     g.finish();
 }
 
-criterion_group!(
-    benches, e1_tc1, e2_tc2, e3_tc3, e4_tc4, e5_tc5, e6_tc6, e7_shape, e8_schwarz
-);
+criterion_group!(benches, e1_tc1, e2_tc2, e3_tc3, e4_tc4, e5_tc5, e6_tc6, e7_shape, e8_schwarz);
 criterion_main!(benches);

@@ -133,7 +133,12 @@ fn main() {
             ..Default::default()
         })
         .solve(comm, &dm, &m, &b_loc, &mut x);
-        (rep.converged, rep.iterations, rep.final_relres, comm.stats())
+        (
+            rep.converged,
+            rep.iterations,
+            rep.final_relres,
+            comm.stats(),
+        )
     });
     let (conv, iters, relres, _) = &results[0];
     let msgs: u64 = results.iter().map(|r| r.3.msgs_sent).sum();

@@ -19,16 +19,26 @@ fn main() {
         "{:>4} | {:^22} | {:^22}",
         "P", "Schwarz without CGCs", "Schwarz with CGCs"
     );
-    println!("{:>4} | {:>6} {:>10} | {:>6} {:>10}", "", "#itr", "wall(s)", "#itr", "wall(s)");
+    println!(
+        "{:>4} | {:>6} {:>10} | {:>6} {:>10}",
+        "", "#itr", "wall(s)", "#itr", "wall(s)"
+    );
     for &p in &cli.ranks {
         let mut row = format!("{p:>4}");
         for cgc in [false, true] {
-            let cfg = if cgc { SchwarzConfig::with_cgc(p) } else { SchwarzConfig::without_cgc(p) };
+            let cfg = if cgc {
+                SchwarzConfig::with_cgc(p)
+            } else {
+                SchwarzConfig::without_cgc(p)
+            };
             let m = AdditiveSchwarz::build(nx, ny, &cfg);
             let mut x = case.x0.clone();
             let t = Instant::now();
-            let rep = Gmres::new(GmresConfig { max_iters: 1000, ..Default::default() })
-                .solve(&case.sys.a, &m, &case.sys.b, &mut x);
+            let rep = Gmres::new(GmresConfig {
+                max_iters: 1000,
+                ..Default::default()
+            })
+            .solve(&case.sys.a, &m, &case.sys.b, &mut x);
             let dt = t.elapsed().as_secs_f64();
             if rep.converged {
                 row += &format!(" | {:>6} {:>10.3}", rep.iterations, dt);

@@ -16,7 +16,10 @@ fn main() {
     }
     if cli.machine.name == "Origin3800" {
         // Paper's Origin table: Schur 1 vs Block 2, P = 8..64.
-        let cli = Cli { ranks: or_default(&cli.ranks, &[8, 16, 32]), ..cli.clone() };
+        let cli = Cli {
+            ranks: or_default(&cli.ranks, &[8, 16, 32]),
+            ..cli.clone()
+        };
         print_table(&case, &cli, &[PrecondKind::Schur1, PrecondKind::Block2]);
     } else {
         print_table(&case, &cli, &PrecondKind::ALL);
@@ -24,5 +27,9 @@ fn main() {
 }
 
 fn or_default(ranks: &[usize], def: &[usize]) -> Vec<usize> {
-    if ranks == [2, 4, 8, 16] { def.to_vec() } else { ranks.to_vec() }
+    if ranks == [2, 4, 8, 16] {
+        def.to_vec()
+    } else {
+        ranks.to_vec()
+    }
 }

@@ -10,7 +10,15 @@ fn main() {
     let cli = Cli::parse(&[2, 4, 8, 16]);
     let case = load_case(CaseId::Tc5, &cli);
     if cli.machine.name == "Origin3800" {
-        print_table(&case, &cli, &[PrecondKind::Schur1, PrecondKind::Schur2, PrecondKind::Block2]);
+        print_table(
+            &case,
+            &cli,
+            &[
+                PrecondKind::Schur1,
+                PrecondKind::Schur2,
+                PrecondKind::Block2,
+            ],
+        );
     } else {
         print_table(&case, &cli, &PrecondKind::ALL);
     }

@@ -11,16 +11,19 @@
 //! --machine cluster|origin     α–β machine profile (default: cluster)
 //! --ranks 2,4,8,16             P sweep (default per table)
 //! --scheme general|boxes|rcb   partitioning scheme (default: general)
+//! --trace <dir>                record per-rank JSONL traces into <dir>
+//!                              and print per-phase summaries
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use parapre_core::{
-    build_case, run_case, AssembledCase, CaseId, CaseSize, PrecondKind, RunConfig,
-};
 use parapre_core::runner::PartitionScheme;
+use parapre_core::{
+    build_case, run_case_traced, AssembledCase, CaseId, CaseSize, PrecondKind, RunConfig, RunResult,
+};
 use parapre_mpisim::MachineModel;
+use std::path::PathBuf;
 
 /// Parsed command-line options for a table binary.
 #[derive(Debug, Clone)]
@@ -33,6 +36,9 @@ pub struct Cli {
     pub ranks: Vec<usize>,
     /// Partitioning scheme.
     pub scheme: PartitionScheme,
+    /// When set, write one JSONL trace per (cell, rank) into this directory
+    /// and print per-phase summaries alongside the tables.
+    pub trace_dir: Option<PathBuf>,
     /// Leftover flags (table-specific).
     pub extra: Vec<String>,
 }
@@ -45,6 +51,7 @@ impl Cli {
             machine: MachineModel::linux_cluster(),
             ranks: default_ranks.to_vec(),
             scheme: PartitionScheme::General,
+            trace_dir: None,
             extra: Vec::new(),
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,6 +91,10 @@ impl Cli {
                         other => panic!("unknown --scheme {other}"),
                     };
                 }
+                "--trace" => {
+                    i += 1;
+                    cli.trace_dir = Some(PathBuf::from(&args[i]));
+                }
                 other => cli.extra.push(other.to_string()),
             }
             i += 1;
@@ -103,6 +114,72 @@ pub fn cell_config(cli: &Cli, kind: PrecondKind, p: usize) -> RunConfig {
     cfg.machine = cli.machine;
     cfg.scheme = cli.scheme;
     cfg
+}
+
+/// Runs one table cell, honoring `--trace`: when a trace directory is set
+/// the run is recorded and each rank's trace lands in
+/// `<dir>/<case>_<precond>_p<P>_rank<r>.jsonl`.
+pub fn run_cell(case: &AssembledCase, cli: &Cli, cfg: &RunConfig) -> RunResult {
+    let Some(dir) = &cli.trace_dir else {
+        return run_case_traced(case, cfg, false).0;
+    };
+    let (res, traces) = run_case_traced(case, cfg, true);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("[trace] cannot create {}: {e}", dir.display());
+        return res;
+    }
+    let sanitize = |s: &str| {
+        s.to_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|p| !p.is_empty())
+            .collect::<Vec<_>>()
+            .join("_")
+    };
+    let label = sanitize(cfg.precond.label());
+    for tr in &traces {
+        let path = dir.join(format!(
+            "{}_{}_p{}_rank{}.jsonl",
+            sanitize(case.id.name()),
+            label,
+            cfg.n_ranks,
+            tr.rank
+        ));
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                if let Err(e) = tr.write_jsonl(&mut f) {
+                    eprintln!("[trace] write {} failed: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("[trace] create {} failed: {e}", path.display()),
+        }
+    }
+    res
+}
+
+/// The phase columns of the summary tables: label + canonical phase name.
+pub const PHASE_COLUMNS: [(&str, &str); 5] = [
+    ("setup", parapre_trace::phase::SETUP),
+    ("spmv", parapre_trace::phase::SPMV),
+    ("halo", parapre_trace::phase::HALO),
+    ("precond", parapre_trace::phase::PRECOND_APPLY),
+    ("orth", parapre_trace::phase::ORTH),
+];
+
+/// Renders the per-phase breakdown of a traced run as one table line
+/// (seconds per phase, max across ranks); `None` for untraced runs.
+pub fn phase_line(res: &RunResult) -> Option<String> {
+    let s = res.phases.as_ref()?;
+    let mut line = String::new();
+    for (label, phase) in PHASE_COLUMNS {
+        if !line.is_empty() {
+            line.push_str("  ");
+        }
+        line.push_str(&format!("{label} {:.3}s", s.phase_seconds(phase)));
+    }
+    Some(line)
 }
 
 /// Prints the paper-format table for a case: one row per P, `#itr` and
@@ -128,9 +205,10 @@ pub fn print_table(case: &AssembledCase, cli: &Cli, kinds: &[PrecondKind]) {
     println!();
     for &p in &cli.ranks {
         print!("{p:>4}");
+        let mut phase_lines: Vec<(PrecondKind, String)> = Vec::new();
         for &kind in kinds {
             let cfg = cell_config(cli, kind, p);
-            let res = run_case(case, &cfg);
+            let res = run_cell(case, cli, &cfg);
             if res.converged {
                 print!(
                     " | {:>5} {:>9.3} {:>10.3}",
@@ -139,15 +217,25 @@ pub fn print_table(case: &AssembledCase, cli: &Cli, kinds: &[PrecondKind]) {
             } else {
                 print!(" | {:>5} {:>9} {:>10}", "--", "n.c.", "n.c.");
             }
+            if let Some(line) = phase_line(&res) {
+                phase_lines.push((kind, line));
+            }
         }
         println!();
+        for (kind, line) in phase_lines {
+            println!("     [{}] {}", kind.label(), line);
+        }
     }
     println!();
 }
 
 /// Convenience: builds the case for a table binary and prints a header.
 pub fn load_case(id: CaseId, cli: &Cli) -> AssembledCase {
-    eprintln!("[parapre] assembling {} at {:?} size ...", id.name(), cli.size);
+    eprintln!(
+        "[parapre] assembling {} at {:?} size ...",
+        id.name(),
+        cli.size
+    );
     let case = build_case(id, cli.size);
     eprintln!("[parapre] {} unknowns", case.n_unknowns());
     case

@@ -22,14 +22,20 @@ pub struct BlockPrecond {
 impl BlockPrecond {
     /// `Block 1`: ILU(0) of the owned block.
     pub fn ilu0(dm: &DistMatrix) -> Result<Self> {
+        let _s = parapre_trace::span(parapre_trace::phase::FACTOR);
         let a_i = dm.owned_block();
-        Ok(BlockPrecond { factors: Ilu0::factor(&a_i)? })
+        Ok(BlockPrecond {
+            factors: Ilu0::factor(&a_i)?,
+        })
     }
 
     /// `Block 2`: ILUT(τ, p) of the owned block.
     pub fn ilut(dm: &DistMatrix, cfg: &IlutConfig) -> Result<Self> {
+        let _s = parapre_trace::span(parapre_trace::phase::FACTOR);
         let a_i = dm.owned_block();
-        Ok(BlockPrecond { factors: Ilut::factor(&a_i, cfg)? })
+        Ok(BlockPrecond {
+            factors: Ilut::factor(&a_i, cfg)?,
+        })
     }
 
     /// Fill of the stored factor (diagnostics).
@@ -85,8 +91,11 @@ mod tests {
                 };
                 let b_loc = scatter_vector(&dm.layout, b_ref);
                 let mut x = vec![0.0; dm.layout.n_owned()];
-                let rep = DistGmres::new(DistGmresConfig { max_iters: 400, ..Default::default() })
-                    .solve(comm, &dm, &m, &b_loc, &mut x);
+                let rep = DistGmres::new(DistGmresConfig {
+                    max_iters: 400,
+                    ..Default::default()
+                })
+                .solve(comm, &dm, &m, &b_loc, &mut x);
                 (rep.iterations, rep.converged)
             });
             out[0]
@@ -96,8 +105,17 @@ mod tests {
                 let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), p);
                 let b_loc = scatter_vector(&dm.layout, b_ref);
                 let mut x = vec![0.0; dm.layout.n_owned()];
-                let rep = DistGmres::new(DistGmresConfig { max_iters: 400, ..Default::default() })
-                    .solve(comm, &dm, &parapre_dist::IdentityDistPrecond, &b_loc, &mut x);
+                let rep = DistGmres::new(DistGmresConfig {
+                    max_iters: 400,
+                    ..Default::default()
+                })
+                .solve(
+                    comm,
+                    &dm,
+                    &parapre_dist::IdentityDistPrecond,
+                    &b_loc,
+                    &mut x,
+                );
                 (rep.iterations, rep.converged)
             });
             out[0]
@@ -155,9 +173,12 @@ mod tests {
                 let m = BlockPrecond::ilu0(&dm).unwrap();
                 let b_loc = scatter_vector(&dm.layout, b_ref);
                 let mut x = vec![0.0; dm.layout.n_owned()];
-                DistGmres::new(DistGmresConfig { max_iters: 500, ..Default::default() })
-                    .solve(comm, &dm, &m, &b_loc, &mut x)
-                    .iterations
+                DistGmres::new(DistGmresConfig {
+                    max_iters: 500,
+                    ..Default::default()
+                })
+                .solve(comm, &dm, &m, &b_loc, &mut x)
+                .iterations
             });
             iters.push(out[0]);
         }

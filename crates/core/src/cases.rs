@@ -25,8 +25,14 @@ pub enum CaseId {
 
 impl CaseId {
     /// All six cases.
-    pub const ALL: [CaseId; 6] =
-        [CaseId::Tc1, CaseId::Tc2, CaseId::Tc3, CaseId::Tc4, CaseId::Tc5, CaseId::Tc6];
+    pub const ALL: [CaseId; 6] = [
+        CaseId::Tc1,
+        CaseId::Tc2,
+        CaseId::Tc3,
+        CaseId::Tc4,
+        CaseId::Tc5,
+        CaseId::Tc6,
+    ];
 
     /// Paper-style name.
     pub fn name(self) -> &'static str {
@@ -232,8 +238,7 @@ pub fn build_case_sized(id: CaseId, n: usize) -> AssembledCase {
                 .collect();
             let mut sys = heat::assemble_step(&mesh, heat::DT, &u0);
             // u = 0 on x = 1, Neumann elsewhere.
-            let fixed =
-                bc::dirichlet_where(&mesh.coords, |p| (p[0] - 1.0).abs() < 1e-12, |_| 0.0);
+            let fixed = bc::dirichlet_where(&mesh.coords, |p| (p[0] - 1.0).abs() < 1e-12, |_| 0.0);
             bc::apply_dirichlet(&mut sys, &fixed);
             // Initial guess = the initial condition (paper §4.3).
             let mut x0 = u0;

@@ -31,9 +31,9 @@ pub mod schur2;
 pub mod schwarz;
 
 pub use block::BlockPrecond;
-pub use overlap::OverlapBlockPrecond;
 pub use cases::{build_case, build_case_sized, AssembledCase, CaseId, CaseSize};
-pub use runner::{run_case, PrecondKind, RunConfig, RunResult};
+pub use overlap::OverlapBlockPrecond;
+pub use runner::{run_case, run_case_traced, PrecondKind, RunConfig, RunResult};
 pub use schur::{Schur1Config, Schur1Precond};
 pub use schur2::{Schur2Config, Schur2Precond};
 pub use schwarz::{AdditiveSchwarz, SchwarzConfig};

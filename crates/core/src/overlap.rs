@@ -35,6 +35,7 @@ impl OverlapBlockPrecond {
     /// outside the local set; those couplings are dropped (the standard
     /// overlapping-Schwarz restriction).
     pub fn build(dm: &DistMatrix, a_global: &Csr, cfg: &IlutConfig) -> Result<Self> {
+        let _assemble = parapre_trace::span(parapre_trace::phase::INTERFACE_ASSEMBLY);
         let lay = &dm.layout;
         let nl = lay.n_local();
         let no = lay.n_owned();
@@ -59,7 +60,8 @@ impl OverlapBlockPrecond {
                 let mut entries: Vec<(usize, f64)> = cols
                     .iter()
                     .zip(vs)
-                    .filter_map(|(&c, &v)| (g2l[c] != usize::MAX).then(|| (g2l[c], v)))
+                    .filter(|&(&c, &_v)| g2l[c] != usize::MAX)
+                    .map(|(&c, &v)| (g2l[c], v))
                     .collect();
                 entries.sort_unstable_by_key(|&(c, _)| c);
                 for (c, v) in entries {
@@ -70,8 +72,15 @@ impl OverlapBlockPrecond {
             row_ptr.push(col_idx.len());
         }
         let a_ext = Csr::from_parts_unchecked(nl, nl, row_ptr, col_idx, vals);
-        let factors = Ilut::factor(&a_ext, cfg)?;
-        Ok(OverlapBlockPrecond { layout: lay.clone(), factors })
+        drop(_assemble);
+        let factors = {
+            let _s = parapre_trace::span(parapre_trace::phase::FACTOR);
+            Ilut::factor(&a_ext, cfg)?
+        };
+        Ok(OverlapBlockPrecond {
+            layout: lay.clone(),
+            factors,
+        })
     }
 
     /// Fill of the extended factor (diagnostics).
@@ -130,8 +139,11 @@ mod tests {
             let m = make(&dm);
             let b_loc = scatter_vector(&dm.layout, b);
             let mut x = vec![0.0; dm.layout.n_owned()];
-            let rep = DistGmres::new(DistGmresConfig { max_iters: 500, ..Default::default() })
-                .solve(comm, &dm, &m, &b_loc, &mut x);
+            let rep = DistGmres::new(DistGmresConfig {
+                max_iters: 500,
+                ..Default::default()
+            })
+            .solve(comm, &dm, &m, &b_loc, &mut x);
             assert!(rep.converged);
             rep.iterations
         })[0]

@@ -41,8 +41,12 @@ pub enum PrecondKind {
 
 impl PrecondKind {
     /// All four, in the paper's column order.
-    pub const ALL: [PrecondKind; 4] =
-        [PrecondKind::Schur1, PrecondKind::Schur2, PrecondKind::Block1, PrecondKind::Block2];
+    pub const ALL: [PrecondKind; 4] = [
+        PrecondKind::Schur1,
+        PrecondKind::Schur2,
+        PrecondKind::Block1,
+        PrecondKind::Block2,
+    ];
 
     /// Paper-style label.
     pub fn label(self) -> &'static str {
@@ -105,7 +109,10 @@ impl RunConfig {
                 rel_tol: 1e-6,
                 ..Default::default()
             },
-            ilut: IlutConfig { drop_tol: 1e-3, fill: 30 },
+            ilut: IlutConfig {
+                drop_tol: 1e-3,
+                fill: 30,
+            },
             schur1: Schur1Config::default(),
             schur2: Schur2Config::default(),
         }
@@ -146,14 +153,19 @@ pub struct RunResult {
     pub edge_cut: usize,
     /// Partition quality: load imbalance (max/mean).
     pub imbalance: f64,
+    /// Cross-rank phase/counter summary when the run was traced
+    /// ([`run_case_traced`]); `None` for untraced runs.
+    pub phases: Option<parapre_trace::TraceSummary>,
 }
 
 /// Partitions the case's node graph under the requested scheme.
 pub fn partition_case(case: &AssembledCase, cfg: &RunConfig) -> Partition {
     match cfg.scheme {
-        PartitionScheme::General => {
-            partition_graph(&case.node_adjacency, cfg.n_ranks, cfg.machine.partition_seed)
-        }
+        PartitionScheme::General => partition_graph(
+            &case.node_adjacency,
+            cfg.n_ranks,
+            cfg.machine.partition_seed,
+        ),
         PartitionScheme::Rcb => partition_rcb(&case.node_coords, cfg.n_ranks),
         PartitionScheme::Boxes => {
             let dims = case
@@ -172,6 +184,20 @@ pub fn partition_case(case: &AssembledCase, cfg: &RunConfig) -> Partition {
 
 /// Runs one experiment cell: partition, distribute, precondition, solve.
 pub fn run_case(case: &AssembledCase, cfg: &RunConfig) -> RunResult {
+    run_case_traced(case, cfg, false).0
+}
+
+/// Like [`run_case`], but with `trace = true` each rank records a
+/// structured [`parapre_trace`] event stream (phase spans, comm events,
+/// per-iteration residuals). The traces come back alongside the result and
+/// the merged phase summary is folded into [`RunResult::phases`]. With
+/// `trace = false` the recorder is never installed and the run behaves
+/// exactly like [`run_case`].
+pub fn run_case_traced(
+    case: &AssembledCase,
+    cfg: &RunConfig,
+    trace: bool,
+) -> (RunResult, Vec<parapre_trace::RankTrace>) {
     let node_part = partition_case(case, cfg);
     let owner = case.dof_owner(&node_part.owner);
     let p = cfg.n_ranks;
@@ -188,28 +214,37 @@ pub fn run_case(case: &AssembledCase, cfg: &RunConfig) -> RunResult {
         setup: f64,
         solve: f64,
         stats: CommStats,
+        trace: Option<parapre_trace::RankTrace>,
     }
 
     let outs: Vec<RankOut> = Universe::run(p, move |comm| {
+        // Install the recorder before any communication so the trace's comm
+        // totals equal the rank's full CommStats for the run.
+        if trace {
+            parapre_trace::install(comm.rank());
+        }
         let dm = DistMatrix::from_global(a, owner_ref, comm.rank(), p);
         let t0 = Instant::now();
-        let m: Box<dyn DistPrecond> = match cfg_ref.precond {
-            PrecondKind::Block1 => {
-                Box::new(BlockPrecond::ilu0(&dm).expect("ILU(0) factorization"))
+        let m: Box<dyn DistPrecond> = {
+            let _setup = parapre_trace::span(parapre_trace::phase::SETUP);
+            match cfg_ref.precond {
+                PrecondKind::Block1 => {
+                    Box::new(BlockPrecond::ilu0(&dm).expect("ILU(0) factorization"))
+                }
+                PrecondKind::Block2 => {
+                    Box::new(BlockPrecond::ilut(&dm, &cfg_ref.ilut).expect("ILUT factorization"))
+                }
+                PrecondKind::Schur1 => {
+                    Box::new(Schur1Precond::build(&dm, cfg_ref.schur1).expect("Schur1 setup"))
+                }
+                PrecondKind::Schur2 => {
+                    Box::new(Schur2Precond::build(&dm, comm, cfg_ref.schur2).expect("Schur2 setup"))
+                }
+                PrecondKind::BlockOverlap => Box::new(
+                    crate::overlap::OverlapBlockPrecond::build(&dm, a, &cfg_ref.ilut)
+                        .expect("overlap ILUT factorization"),
+                ),
             }
-            PrecondKind::Block2 => {
-                Box::new(BlockPrecond::ilut(&dm, &cfg_ref.ilut).expect("ILUT factorization"))
-            }
-            PrecondKind::Schur1 => {
-                Box::new(Schur1Precond::build(&dm, cfg_ref.schur1).expect("Schur1 setup"))
-            }
-            PrecondKind::Schur2 => Box::new(
-                Schur2Precond::build(&dm, comm, cfg_ref.schur2).expect("Schur2 setup"),
-            ),
-            PrecondKind::BlockOverlap => Box::new(
-                crate::overlap::OverlapBlockPrecond::build(&dm, a, &cfg_ref.ilut)
-                    .expect("overlap ILUT factorization"),
-            ),
         };
         let setup = t0.elapsed().as_secs_f64();
         let b_loc = scatter_vector(&dm.layout, b);
@@ -225,12 +260,8 @@ pub fn run_case(case: &AssembledCase, cfg: &RunConfig) -> RunResult {
             final_relres: rep.final_relres,
             setup,
             solve,
-            stats: CommStats {
-                msgs_sent: stats_after.msgs_sent - stats_before.msgs_sent,
-                bytes_sent: stats_after.bytes_sent - stats_before.bytes_sent,
-                msgs_recv: stats_after.msgs_recv - stats_before.msgs_recv,
-                bytes_recv: stats_after.bytes_recv - stats_before.bytes_recv,
-            },
+            stats: CommStats::delta(&stats_after, &stats_before),
+            trace: if trace { parapre_trace::take() } else { None },
         }
     });
 
@@ -245,7 +276,18 @@ pub fn run_case(case: &AssembledCase, cfg: &RunConfig) -> RunResult {
         .iter()
         .map(|o| cfg.machine.modeled_total(mean_solve, &o.stats))
         .fold(0.0, f64::max);
-    RunResult {
+    let traces: Vec<parapre_trace::RankTrace> =
+        outs.iter().filter_map(|o| o.trace.clone()).collect();
+    let phases = if traces.is_empty() {
+        None
+    } else {
+        let per_rank: Vec<parapre_trace::TraceSummary> = traces
+            .iter()
+            .map(parapre_trace::RankTrace::summary)
+            .collect();
+        Some(parapre_trace::TraceSummary::merge(&per_rank))
+    };
+    let result = RunResult {
         precond: cfg.precond,
         n_ranks: p,
         iterations: outs[0].iterations,
@@ -258,7 +300,9 @@ pub fn run_case(case: &AssembledCase, cfg: &RunConfig) -> RunResult {
         total_bytes: outs.iter().map(|o| o.stats.bytes_sent).sum(),
         edge_cut: node_part.edge_cut(&case.node_adjacency),
         imbalance: node_part.imbalance(),
-    }
+        phases,
+    };
+    (result, traces)
 }
 
 #[cfg(test)]
@@ -272,7 +316,12 @@ mod tests {
         for kind in PrecondKind::ALL {
             let cfg = RunConfig::paper(kind, 3);
             let res = run_case(&case, &cfg);
-            assert!(res.converged, "{} failed: relres {}", kind.label(), res.final_relres);
+            assert!(
+                res.converged,
+                "{} failed: relres {}",
+                kind.label(),
+                res.final_relres
+            );
             assert!(res.iterations > 0);
             assert_eq!(res.n_ranks, 3);
         }
@@ -300,8 +349,11 @@ mod tests {
         // Different machine seed ⇒ (almost surely) different partition ⇒
         // the paper's different-iteration-counts effect; at minimum the
         // modeled network differs.
-        assert!(cl.edge_cut != or.edge_cut || cl.iterations != or.iterations
-            || cl.modeled_seconds != or.modeled_seconds);
+        assert!(
+            cl.edge_cut != or.edge_cut
+                || cl.iterations != or.iterations
+                || cl.modeled_seconds != or.modeled_seconds
+        );
     }
 
     #[test]

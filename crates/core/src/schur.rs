@@ -24,7 +24,9 @@
 //! Inner solves vary between applications ⇒ the outer accelerator must be
 //! FGMRES (paper §4.3).
 
-use parapre_dist::{DistGmres, DistGmresConfig, DistMatrix, DistOp, DistPrecond, LocalBlocks, LocalLayout};
+use parapre_dist::{
+    DistGmres, DistGmresConfig, DistMatrix, DistOp, DistPrecond, LocalBlocks, LocalLayout,
+};
 use parapre_krylov::{Gmres, GmresConfig, Ilut, IlutConfig, LuFactors, Preconditioner};
 use parapre_mpisim::Comm;
 use parapre_sparse::Result;
@@ -43,7 +45,10 @@ pub struct Schur1Config {
 impl Default for Schur1Config {
     fn default() -> Self {
         Schur1Config {
-            ilut: IlutConfig { drop_tol: 1e-3, fill: 30 },
+            ilut: IlutConfig {
+                drop_tol: 1e-3,
+                fill: 30,
+            },
             inner_b_iters: 5,
             schur_iters: 5,
         }
@@ -80,8 +85,15 @@ impl Schur1Precond {
     /// Factors the subdomain matrix and extracts the Schur factors.
     pub fn build(dm: &DistMatrix, cfg: Schur1Config) -> Result<Self> {
         let a_i = dm.owned_block(); // already ordered internal-first
-        let factors = Ilut::factor(&a_i, &cfg.ilut)?;
-        let schur_factors = factors.trailing_block(dm.layout.n_internal);
+        let factors = {
+            let _s = parapre_trace::span(parapre_trace::phase::FACTOR);
+            Ilut::factor(&a_i, &cfg.ilut)?
+        };
+        let schur_factors = {
+            let _s = parapre_trace::span(parapre_trace::phase::SCHUR_EXTRACT);
+            factors.trailing_block(dm.layout.n_internal)
+        };
+        let _s = parapre_trace::span(parapre_trace::phase::INTERFACE_ASSEMBLY);
         Ok(Schur1Precond {
             layout: dm.layout.clone(),
             blocks: dm.split_blocks(),
@@ -100,7 +112,10 @@ impl Schur1Precond {
         if ni == 0 {
             return x;
         }
-        let m = LeadingPrecond { factors: &self.factors, nb: ni };
+        let m = LeadingPrecond {
+            factors: &self.factors,
+            nb: ni,
+        };
         Gmres::new(GmresConfig::inner(self.cfg.inner_b_iters)).solve(&self.blocks.b, &m, r, &mut x);
         x
     }
@@ -206,13 +221,7 @@ mod tests {
         (sys.a, sys.b, part.owner)
     }
 
-    fn solve_with<MB>(
-        a: &Csr,
-        b: &[f64],
-        owner: &[u32],
-        p: usize,
-        make: MB,
-    ) -> (usize, bool, f64)
+    fn solve_with<MB>(a: &Csr, b: &[f64], owner: &[u32], p: usize, make: MB) -> (usize, bool, f64)
     where
         MB: Fn(&DistMatrix, &mut Comm) -> Box<dyn DistPrecond> + Sync,
     {
@@ -222,8 +231,11 @@ mod tests {
             let m = make(&dm, comm);
             let b_loc = scatter_vector(&dm.layout, b);
             let mut x = vec![0.0; dm.layout.n_owned()];
-            let rep = DistGmres::new(DistGmresConfig { max_iters: 300, ..Default::default() })
-                .solve(comm, &dm, &m, &b_loc, &mut x);
+            let rep = DistGmres::new(DistGmresConfig {
+                max_iters: 300,
+                ..Default::default()
+            })
+            .solve(comm, &dm, &m, &b_loc, &mut x);
             (rep.iterations, rep.converged, rep.final_relres)
         });
         out[0]
@@ -283,7 +295,10 @@ mod tests {
                 Box::new(
                     Schur1Precond::build(
                         dm,
-                        Schur1Config { schur_iters: k, ..Default::default() },
+                        Schur1Config {
+                            schur_iters: k,
+                            ..Default::default()
+                        },
                     )
                     .unwrap(),
                 )

@@ -33,7 +33,10 @@ pub struct Schur2Config {
 
 impl Default for Schur2Config {
     fn default() -> Self {
-        Schur2Config { arms: ArmsConfig::default(), schur_iters: 5 }
+        Schur2Config {
+            arms: ArmsConfig::default(),
+            schur_iters: 5,
+        }
     }
 }
 
@@ -64,10 +67,14 @@ impl Schur2Precond {
         for f in forced.iter_mut().skip(ni) {
             *f = true;
         }
-        let arms = Arms::factor_with_coarse(&a_i, &cfg.arms, &forced)?;
+        let arms = {
+            let _s = parapre_trace::span(parapre_trace::phase::FACTOR);
+            Arms::factor_with_coarse(&a_i, &cfg.arms, &forced)?
+        };
         let local_ok = arms.n_levels() >= 1;
         let multilevel = comm.all_land(local_ok, parapre_dist::tags::REDUCE + 40);
 
+        let _s = parapre_trace::span(parapre_trace::phase::SCHUR_EXTRACT);
         let (red_of_local, dist_ilu0) = if multilevel {
             let lvl = &arms.levels()[0];
             let n_ind = lvl.n_ind();
@@ -83,6 +90,8 @@ impl Schur2Precond {
             // ARMS/ILUT solve of the whole block on every rank.
             (vec![usize::MAX; no], arms.last_factors().clone())
         };
+        drop(_s);
+        let _s = parapre_trace::span(parapre_trace::phase::INTERFACE_ASSEMBLY);
         Ok(Schur2Precond {
             layout: dm.layout.clone(),
             arms,
@@ -225,8 +234,11 @@ mod tests {
             let m = Schur2Precond::build(&dm, comm, Schur2Config::default()).unwrap();
             let b_loc = scatter_vector(&dm.layout, b);
             let mut x = vec![0.0; dm.layout.n_owned()];
-            let rep = DistGmres::new(DistGmresConfig { max_iters: 300, ..Default::default() })
-                .solve(comm, &dm, &m, &b_loc, &mut x);
+            let rep = DistGmres::new(DistGmresConfig {
+                max_iters: 300,
+                ..Default::default()
+            })
+            .solve(comm, &dm, &m, &b_loc, &mut x);
             (rep.iterations, rep.converged)
         });
         out[0]

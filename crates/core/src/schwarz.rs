@@ -16,7 +16,7 @@
 //! are reproduced in the `table_schwarz` harness.
 //!
 //! The implementation is a shared-memory preconditioner (subdomain solves
-//! fan out over rayon) applied inside sequential GMRES; for the *timing*
+//! fan out over scoped threads) applied inside sequential GMRES; for the *timing*
 //! columns the harness reports host wall time, and iteration counts are
 //! bit-identical to what a message-passing implementation would produce.
 
@@ -25,7 +25,6 @@ use parapre_partition::balanced_box_layout;
 use parapre_sparse::dense::DenseLu;
 use parapre_sparse::Dense;
 use parapre_transform::FastPoisson2d;
-use rayon::prelude::*;
 
 /// Schwarz parameters.
 #[derive(Debug, Clone, Copy)]
@@ -44,7 +43,12 @@ pub struct SchwarzConfig {
 impl SchwarzConfig {
     /// Paper §5.2 configuration without coarse-grid corrections.
     pub fn without_cgc(p: usize) -> Self {
-        SchwarzConfig { n_subdomains: p, overlap_frac: 0.05, coarse: None, cg_iters: 1 }
+        SchwarzConfig {
+            n_subdomains: p,
+            overlap_frac: 0.05,
+            coarse: None,
+            cg_iters: 1,
+        }
     }
 
     /// Paper §5.2 configuration with the fixed 5 × 17 coarse grid.
@@ -131,9 +135,19 @@ impl AdditiveSchwarz {
             for (i, j, v) in sys.a.iter() {
                 dense[(i, j)] = v;
             }
-            CoarseGrid { cx, cy, lu: DenseLu::factor(dense).expect("coarse operator regular") }
+            CoarseGrid {
+                cx,
+                cy,
+                lu: DenseLu::factor(dense).expect("coarse operator regular"),
+            }
         });
-        AdditiveSchwarz { nx, ny, subs, coarse, cg_iters: cfg.cg_iters }
+        AdditiveSchwarz {
+            nx,
+            ny,
+            subs,
+            coarse,
+            cg_iters: cfg.cg_iters,
+        }
     }
 
     /// Number of subdomains.
@@ -157,9 +171,7 @@ impl AdditiveSchwarz {
                 break;
             }
             let alpha = rz / zaz;
-            for ((xi, &zi), (ri, &azi)) in
-                x.iter_mut().zip(&z).zip(res.iter_mut().zip(&az))
-            {
+            for ((xi, &zi), (ri, &azi)) in x.iter_mut().zip(&z).zip(res.iter_mut().zip(&az)) {
                 *xi += alpha * zi;
                 *ri -= alpha * azi;
             }
@@ -178,21 +190,35 @@ impl Preconditioner for AdditiveSchwarz {
         z.fill(0.0);
         // Subdomain solves in parallel; accumulation is sequential because
         // overlapping regions receive contributions from several subdomains.
-        let locals: Vec<Vec<f64>> = self
-            .subs
-            .par_iter()
-            .map(|s| {
-                let w = s.i1 - s.i0;
-                let h = s.j1 - s.j0;
-                let mut rs = vec![0.0; w * h];
-                for j in 0..h {
-                    for i in 0..w {
-                        rs[j * w + i] = r[(s.j0 + j) * nx + (s.i0 + i)];
-                    }
+        let solve_one = |s: &Subdomain| {
+            let w = s.i1 - s.i0;
+            let h = s.j1 - s.j0;
+            let mut rs = vec![0.0; w * h];
+            for j in 0..h {
+                for i in 0..w {
+                    rs[j * w + i] = r[(s.j0 + j) * nx + (s.i0 + i)];
                 }
-                self.subdomain_solve(s, &rs)
-            })
-            .collect();
+            }
+            self.subdomain_solve(s, &rs)
+        };
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let locals: Vec<Vec<f64>> = if threads <= 1 || self.subs.len() <= 1 {
+            self.subs.iter().map(solve_one).collect()
+        } else {
+            // Fan the subdomain solves out over scoped threads, one chunk
+            // per hardware thread, preserving subdomain order.
+            let chunk = self.subs.len().div_ceil(threads);
+            let mut out: Vec<Vec<Vec<f64>>> = self.subs.chunks(chunk).map(|_| Vec::new()).collect();
+            std::thread::scope(|scope| {
+                for (slot, subs) in out.iter_mut().zip(self.subs.chunks(chunk)) {
+                    let solve_one = &solve_one;
+                    scope.spawn(move || {
+                        *slot = subs.iter().map(solve_one).collect();
+                    });
+                }
+            });
+            out.into_iter().flatten().collect()
+        };
         for (s, zs) in self.subs.iter().zip(&locals) {
             let w = s.i1 - s.i0;
             let h = s.j1 - s.j0;
@@ -289,8 +315,11 @@ mod tests {
         let (a, b, x0) = tc1_at(nx);
         let m = AdditiveSchwarz::build(nx, nx, cfg);
         let mut x = x0;
-        let rep = Gmres::new(GmresConfig { max_iters: 400, ..Default::default() })
-            .solve(&a, &m, &b, &mut x);
+        let rep = Gmres::new(GmresConfig {
+            max_iters: 400,
+            ..Default::default()
+        })
+        .solve(&a, &m, &b, &mut x);
         (rep.iterations, rep.converged)
     }
 
@@ -339,12 +368,15 @@ mod tests {
         // One subdomain covering the whole interior + exact FFT solve +
         // Dirichlet pass-through = exact inverse: GMRES converges in 1
         // iteration.
-        let (it, conv) = solve_iters(17, &SchwarzConfig {
-            n_subdomains: 1,
-            overlap_frac: 0.0,
-            coarse: None,
-            cg_iters: 1,
-        });
+        let (it, conv) = solve_iters(
+            17,
+            &SchwarzConfig {
+                n_subdomains: 1,
+                overlap_frac: 0.0,
+                coarse: None,
+                cg_iters: 1,
+            },
+        );
         assert!(conv);
         assert!(it <= 2, "expected near-exact solve, got {it} iterations");
     }

@@ -23,7 +23,11 @@ pub struct DistCgConfig {
 
 impl Default for DistCgConfig {
     fn default() -> Self {
-        DistCgConfig { max_iters: 1000, rel_tol: 1e-6, abs_tol: 1e-300 }
+        DistCgConfig {
+            max_iters: 1000,
+            rel_tol: 1e-6,
+            abs_tol: 1e-300,
+        }
     }
 }
 
@@ -76,7 +80,11 @@ impl DistCg {
         }
         let r0 = dot(comm, &r, &r).sqrt();
         if r0 <= cfg.abs_tol {
-            return DistCgReport { converged: true, iterations: 0, final_relres: 0.0 };
+            return DistCgReport {
+                converged: true,
+                iterations: 0,
+                final_relres: 0.0,
+            };
         }
         let target = (cfg.rel_tol * r0).max(cfg.abs_tol);
 
@@ -97,9 +105,7 @@ impl DistCg {
                 };
             }
             let alpha = rz / pap;
-            for ((xi, &pi), (ri, &api)) in
-                x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap))
-            {
+            for ((xi, &pi), (ri, &api)) in x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
                 *xi += alpha * pi;
                 *ri -= alpha * api;
             }
@@ -169,8 +175,11 @@ mod tests {
             let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), 4);
             let b_loc = scatter_vector(&dm.layout, b_ref);
             let mut x = vec![0.0; dm.layout.n_owned()];
-            let rep = DistCg::new(DistCgConfig { rel_tol: 1e-8, ..Default::default() })
-                .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
+            let rep = DistCg::new(DistCgConfig {
+                rel_tol: 1e-8,
+                ..Default::default()
+            })
+            .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
             (rep.converged, rep.iterations)
         });
         for &(conv, it) in &out {
@@ -208,8 +217,13 @@ mod tests {
                     let m = BlockIlu0(Ilu0::factor(&dm.owned_block()).unwrap());
                     DistCg::new(Default::default()).solve(comm, &dm, &m, &b_loc, &mut x)
                 } else {
-                    DistCg::new(Default::default())
-                        .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x)
+                    DistCg::new(Default::default()).solve(
+                        comm,
+                        &dm,
+                        &IdentityDistPrecond,
+                        &b_loc,
+                        &mut x,
+                    )
                 };
                 (rep.converged, rep.iterations)
             })[0]

@@ -87,6 +87,7 @@ impl LocalLayout {
     /// the owners' current values.
     pub fn update_ghosts(&self, comm: &mut Comm, x: &mut [f64]) {
         debug_assert_eq!(x.len(), self.n_local());
+        let _span = parapre_trace::span(parapre_trace::phase::HALO);
         for (k, &q) in self.neighbors.iter().enumerate() {
             let data: Vec<f64> = self.send_idx[k].iter().map(|&i| x[i]).collect();
             comm.send_f64s(q, tags::GHOST, data);
@@ -107,6 +108,7 @@ impl LocalLayout {
     pub fn exchange_interface(&self, comm: &mut Comm, y: &[f64], ghosts: &mut [f64]) {
         debug_assert_eq!(y.len(), self.n_interface);
         debug_assert_eq!(ghosts.len(), self.n_ghost);
+        let _span = parapre_trace::span(parapre_trace::phase::INTERFACE_EXCHANGE);
         let base = self.n_internal;
         for (k, &q) in self.neighbors.iter().enumerate() {
             let data: Vec<f64> = self.send_idx[k].iter().map(|&i| y[i - base]).collect();
@@ -203,7 +205,9 @@ impl DistMatrix {
         neighbors.dedup();
         let mut recv_idx: Vec<Vec<usize>> = vec![Vec::new(); neighbors.len()];
         for &g in &ghost_set {
-            let k = neighbors.binary_search(&(owner[g] as usize)).expect("ghost owner listed");
+            let k = neighbors
+                .binary_search(&(owner[g] as usize))
+                .expect("ghost owner listed");
             recv_idx[k].push(global_to_local[g]);
         }
         // recv order within a neighbour must match the peer's send order:
@@ -273,6 +277,7 @@ impl DistMatrix {
     pub fn matvec(&self, comm: &mut Comm, x: &mut [f64], y: &mut [f64]) {
         self.layout.update_ghosts(comm, x);
         debug_assert_eq!(y.len(), self.layout.n_owned());
+        let _span = parapre_trace::span(parapre_trace::phase::SPMV);
         self.a_loc.spmv(x, y);
     }
 
@@ -287,8 +292,9 @@ impl DistMatrix {
         let internal_rows: Vec<usize> = (0..ni).collect();
         let iface_rows: Vec<usize> = (ni..no).collect();
         let map_b: Vec<Option<usize>> = (0..nl).map(|j| (j < ni).then_some(j)).collect();
-        let map_f: Vec<Option<usize>> =
-            (0..nl).map(|j| (j >= ni && j < no).then(|| j - ni)).collect();
+        let map_f: Vec<Option<usize>> = (0..nl)
+            .map(|j| (j >= ni && j < no).then(|| j - ni))
+            .collect();
         let map_g: Vec<Option<usize>> = (0..nl).map(|j| (j >= no).then(|| j - no)).collect();
         LocalBlocks {
             b: self.a_loc.extract(&internal_rows, &map_b, ni),
@@ -399,8 +405,9 @@ mod tests {
     #[test]
     fn send_and_recv_plans_pair_up() {
         let (a, owner) = setup();
-        let dms: Vec<DistMatrix> =
-            (0..4).map(|r| DistMatrix::from_global(&a, &owner, r, 4)).collect();
+        let dms: Vec<DistMatrix> = (0..4)
+            .map(|r| DistMatrix::from_global(&a, &owner, r, 4))
+            .collect();
         for p in 0..4 {
             for (k, &q) in dms[p].layout.neighbors.iter().enumerate() {
                 // p's send list to q must match q's recv list from p,
@@ -490,8 +497,9 @@ mod tests {
         // Paper Fig. 1: every local node is internal, interdomain interface
         // or external interface; ghosts mirror neighbours' interfaces.
         let (a, owner) = setup();
-        let dms: Vec<DistMatrix> =
-            (0..4).map(|r| DistMatrix::from_global(&a, &owner, r, 4)).collect();
+        let dms: Vec<DistMatrix> = (0..4)
+            .map(|r| DistMatrix::from_global(&a, &owner, r, 4))
+            .collect();
         for dm in &dms {
             assert_eq!(
                 dm.layout.n_local(),
@@ -504,7 +512,10 @@ mod tests {
                     .iter()
                     .position(|&gg| gg == g)
                     .expect("ghost owned by neighbor");
-                assert!(lo >= dms[o].layout.n_internal, "ghost not an interface node");
+                assert!(
+                    lo >= dms[o].layout.n_internal,
+                    "ghost not an interface node"
+                );
             }
         }
     }

@@ -79,6 +79,11 @@ pub struct DistGmresConfig {
     /// Flexible variant (store `Z = M⁻¹V`); required when the
     /// preconditioner involves inner iterations.
     pub flexible: bool,
+    /// Emit per-iteration convergence events to `parapre-trace` and label
+    /// the solve with the outer [`parapre_trace::phase::SOLVE`] span.
+    /// Inner solves (see [`DistGmresConfig::inner`]) switch this off so
+    /// the convergence stream carries only outer iterations.
+    pub trace_iters: bool,
 }
 
 impl Default for DistGmresConfig {
@@ -90,6 +95,7 @@ impl Default for DistGmresConfig {
             abs_tol: 1e-300,
             record_history: false,
             flexible: true,
+            trace_iters: true,
         }
     }
 }
@@ -104,6 +110,7 @@ impl DistGmresConfig {
             abs_tol: 1e-300,
             record_history: false,
             flexible: false,
+            trace_iters: false,
         }
     }
 }
@@ -149,6 +156,11 @@ impl DistGmres {
         assert_eq!(x.len(), n);
         let cfg = &self.config;
         let restart = cfg.restart.max(1);
+        let _solve_span = parapre_trace::span(if cfg.trace_iters {
+            parapre_trace::phase::SOLVE
+        } else {
+            parapre_trace::phase::INNER_SOLVE
+        });
 
         let mut report = DistSolveReport {
             converged: false,
@@ -205,13 +217,17 @@ impl DistGmres {
             let mut k = 0usize;
             let mut cycle_done = false;
             while k < restart && total_iters < cfg.max_iters && !cycle_done {
-                m.apply(comm, &v[k], &mut z);
+                {
+                    let _s = parapre_trace::span(parapre_trace::phase::PRECOND_APPLY);
+                    m.apply(comm, &v[k], &mut z);
+                }
                 if cfg.flexible {
                     zdirs.push(z.clone());
                 }
                 a.apply(comm, &z, &mut w);
                 total_iters += 1;
 
+                let orth = parapre_trace::span(parapre_trace::phase::ORTH);
                 let mut hcol = vec![0.0; k + 2];
                 for (i, vi) in v.iter().enumerate() {
                     let hik = dot(comm, &w, vi);
@@ -221,6 +237,7 @@ impl DistGmres {
                     }
                 }
                 let wnorm = dot(comm, &w, &w).sqrt();
+                drop(orth);
                 hcol[k + 1] = wnorm;
                 for (i, &(c, s)) in givens.iter().enumerate() {
                     let t = c * hcol[i] + s * hcol[i + 1];
@@ -240,6 +257,9 @@ impl DistGmres {
                 let res_est = g[k].abs();
                 if cfg.record_history {
                     report.residual_history.push(res_est);
+                }
+                if cfg.trace_iters {
+                    parapre_trace::iteration(total_iters, res_est / r0_norm);
                 }
                 if res_est <= target || wnorm == 0.0 {
                     cycle_done = true;
@@ -275,7 +295,10 @@ impl DistGmres {
                             *ui += y[j] * vji;
                         }
                     }
-                    m.apply(comm, &u, &mut z);
+                    {
+                        let _s = parapre_trace::span(parapre_trace::phase::PRECOND_APPLY);
+                        m.apply(comm, &u, &mut z);
+                    }
                     for (xi, &zi) in x.iter_mut().zip(&z) {
                         *xi += zi;
                     }
@@ -390,8 +413,11 @@ mod tests {
             let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), 4);
             let b_loc = scatter_vector(&dm.layout, b_ref);
             let mut x = vec![0.0; dm.layout.n_owned()];
-            let rep = DistGmres::new(DistGmresConfig { max_iters: 300, ..Default::default() })
-                .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
+            let rep = DistGmres::new(DistGmresConfig {
+                max_iters: 300,
+                ..Default::default()
+            })
+            .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
             (rep.iterations, rep.converged)
         });
         for &(it, conv) in &iters {
@@ -433,8 +459,13 @@ mod tests {
             assert_eq!(dm.layout.n_interface, 0);
             let b_loc = scatter_vector(&dm.layout, b_ref);
             let mut x = vec![0.0; dm.layout.n_owned()];
-            let rep = DistGmres::new(Default::default())
-                .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
+            let rep = DistGmres::new(Default::default()).solve(
+                comm,
+                &dm,
+                &IdentityDistPrecond,
+                &b_loc,
+                &mut x,
+            );
             rep.converged
         });
         assert!(out[0]);

@@ -77,7 +77,10 @@ mod tests {
             vec![-1.0, 2.0, -1.0],
             vec![0.0, -1.0, 2.0],
         ]);
-        let mut sys = LinearSystem { a, b: vec![1.0, 1.0, 1.0] };
+        let mut sys = LinearSystem {
+            a,
+            b: vec![1.0, 1.0, 1.0],
+        };
         apply_dirichlet(&mut sys, &[(0, 5.0)]);
         assert_eq!(sys.a.get(0, 0), 1.0);
         assert_eq!(sys.a.get(0, 1), 0.0);
@@ -103,7 +106,10 @@ mod tests {
                 rows[i][i + 1] = -1.0;
             }
         }
-        let mut sys = LinearSystem { a: Csr::from_dense_rows(&rows), b: vec![0.0; n] };
+        let mut sys = LinearSystem {
+            a: Csr::from_dense_rows(&rows),
+            b: vec![0.0; n],
+        };
         apply_dirichlet(&mut sys, &[(0, 1.0), (4, 3.0)]);
         // Solve densely.
         let mut d = parapre_sparse::Dense::zeros(n, n);

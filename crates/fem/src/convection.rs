@@ -57,8 +57,7 @@ pub fn assemble_2d(mesh: &Mesh2d, vx: f64, vy: f64) -> (Csr, Vec<f64>) {
         for i in 0..3 {
             for j in 0..3 {
                 // Diffusion (Galerkin; SUPG diffusion term vanishes for P1).
-                let diff = g.area
-                    * (g.grad[i][0] * g.grad[j][0] + g.grad[i][1] * g.grad[j][1]);
+                let diff = g.area * (g.grad[i][0] * g.grad[j][0] + g.grad[i][1] * g.grad[j][1]);
                 // Convection, Galerkin part: ∫ (v·∇φ_j) φ_i = (v·∇φ_j)·area/3.
                 let conv = vg[j] * g.area / 3.0;
                 // SUPG stabilization: τ ∫ (v·∇φ_j)(v·∇φ_i).
@@ -135,9 +134,19 @@ mod tests {
         bc::apply_dirichlet(&mut sys, &dirichlet_tc5(&mesh.coords));
         let n = sys.b.len();
         let mut x = vec![0.0; n];
-        let f = Ilut::factor(&sys.a, &IlutConfig { drop_tol: 1e-4, fill: 30 }).unwrap();
-        let rep = Gmres::new(GmresConfig { max_iters: 800, ..Default::default() })
-            .solve(&sys.a, &f, &sys.b, &mut x);
+        let f = Ilut::factor(
+            &sys.a,
+            &IlutConfig {
+                drop_tol: 1e-4,
+                fill: 30,
+            },
+        )
+        .unwrap();
+        let rep = Gmres::new(GmresConfig {
+            max_iters: 800,
+            ..Default::default()
+        })
+        .solve(&sys.a, &f, &sys.b, &mut x);
         assert!(rep.converged, "relres {}", rep.final_relres);
         let at = |ix: usize, iy: usize| x[iy * nx + ix];
         // Upper-left region (above the front): carried inlet value 1.
@@ -145,9 +154,11 @@ mod tests {
         // Lower-right region (below the front): value 0.
         assert!(at(nx - 2, 2).abs() < 0.2, "lower right {}", at(nx - 2, 2));
         // SUPG keeps over/undershoot moderate.
-        let (lo, hi) = x.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
-            (l.min(v), h.max(v))
-        });
+        let (lo, hi) = x
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
         assert!(lo > -0.3 && hi < 1.3, "range [{lo}, {hi}]");
     }
 

@@ -41,8 +41,7 @@ pub fn assemble_2d(
         let fe = f(g.centroid[0], g.centroid[1]);
         for i in 0..3 {
             for j in 0..3 {
-                let lap = g.area
-                    * (g.grad[i][0] * g.grad[j][0] + g.grad[i][1] * g.grad[j][1]);
+                let lap = g.area * (g.grad[i][0] * g.grad[j][0] + g.grad[i][1] * g.grad[j][1]);
                 for a in 0..2 {
                     for c in 0..2 {
                         // µ-Laplacian contributes only to matching components.

@@ -30,7 +30,12 @@ impl TriGeom {
         let centroid = [(a[0] + b[0] + c[0]) / 3.0, (a[1] + b[1] + c[1]) / 3.0];
         let e = |u: [f64; 2], v: [f64; 2]| ((u[0] - v[0]).powi(2) + (u[1] - v[1]).powi(2)).sqrt();
         let h = e(a, b).max(e(b, c)).max(e(c, a));
-        TriGeom { area, grad, centroid, h }
+        TriGeom {
+            area,
+            grad,
+            centroid,
+            h,
+        }
     }
 
     /// Stiffness element matrix `∫ ∇φⱼ·∇φᵢ`.
@@ -109,7 +114,11 @@ impl TetGeom {
             (a[1] + b[1] + c[1] + d[1]) / 4.0,
             (a[2] + b[2] + c[2] + d[2]) / 4.0,
         ];
-        TetGeom { volume, grad: [grad0, grad1, grad2, grad3], centroid }
+        TetGeom {
+            volume,
+            grad: [grad0, grad1, grad2, grad3],
+            centroid,
+        }
     }
 
     /// Stiffness element matrix `∫ ∇φⱼ·∇φᵢ`.

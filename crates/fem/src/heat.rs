@@ -96,8 +96,12 @@ mod tests {
         let fixed = bc::dirichlet_where(&mesh.coords, |p| (p[0] - 1.0).abs() < 1e-12, |_| 0.0);
         bc::apply_dirichlet(&mut sys, &fixed);
         let mut u1 = u0.clone();
-        let rep = ConjugateGradient::new(CgConfig { max_iters: 2000, rel_tol: 1e-10, ..Default::default() })
-            .solve(&sys.a, &IdentityPrecond::new(n), &sys.b, &mut u1);
+        let rep = ConjugateGradient::new(CgConfig {
+            max_iters: 2000,
+            rel_tol: 1e-10,
+            ..Default::default()
+        })
+        .solve(&sys.a, &IdentityPrecond::new(n), &sys.b, &mut u1);
         assert!(rep.converged);
         let amp0 = u0.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         let amp1 = u1.iter().fold(0.0f64, |m, v| m.max(v.abs()));

@@ -26,6 +26,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Index loops mirror the papers' pseudocode in the numeric kernels.
+#![allow(clippy::needless_range_loop)]
 
 pub mod bc;
 pub mod convection;

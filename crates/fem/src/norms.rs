@@ -33,7 +33,11 @@ pub fn error_norms_2d(
     let mut l2_sq = 0.0;
     let mut h1_sq = 0.0;
     for tri in &mesh.triangles {
-        let p = [mesh.coords[tri[0]], mesh.coords[tri[1]], mesh.coords[tri[2]]];
+        let p = [
+            mesh.coords[tri[0]],
+            mesh.coords[tri[1]],
+            mesh.coords[tri[2]],
+        ];
         let g = TriGeom::new(p);
         let v = [uh[tri[0]], uh[tri[1]], uh[tri[2]]];
         // Edge midpoints: quadrature weights area/3 each; P1 values are
@@ -51,7 +55,10 @@ pub fn error_norms_2d(
         let eg = exact_grad(g.centroid[0], g.centroid[1]);
         h1_sq += g.area * ((gx - eg[0]).powi(2) + (gy - eg[1]).powi(2));
     }
-    ErrorNorms { l2: l2_sq.sqrt(), h1_semi: h1_sq.sqrt() }
+    ErrorNorms {
+        l2: l2_sq.sqrt(),
+        h1_semi: h1_sq.sqrt(),
+    }
 }
 
 /// Computes error norms on a tetrahedral mesh (vertex+centroid quadrature
@@ -90,7 +97,10 @@ pub fn error_norms_3d(
         h1_sq += g.volume
             * ((grad[0] - eg[0]).powi(2) + (grad[1] - eg[1]).powi(2) + (grad[2] - eg[2]).powi(2));
     }
-    ErrorNorms { l2: l2_sq.sqrt(), h1_semi: h1_sq.sqrt() }
+    ErrorNorms {
+        l2: l2_sq.sqrt(),
+        h1_semi: h1_sq.sqrt(),
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +112,11 @@ mod tests {
     fn exact_nodal_interpolant_of_linear_has_zero_error() {
         // u = 2x + 3y is in the P1 space: both norms vanish.
         let mesh = unit_square(6, 6);
-        let uh: Vec<f64> = mesh.coords.iter().map(|p| 2.0 * p[0] + 3.0 * p[1]).collect();
+        let uh: Vec<f64> = mesh
+            .coords
+            .iter()
+            .map(|p| 2.0 * p[0] + 3.0 * p[1])
+            .collect();
         let e = error_norms_2d(&mesh, &uh, |x, y| 2.0 * x + 3.0 * y, |_, _| [2.0, 3.0]);
         assert!(e.l2 < 1e-13, "l2 {}", e.l2);
         assert!(e.h1_semi < 1e-12, "h1 {}", e.h1_semi);
@@ -144,7 +158,12 @@ mod tests {
     fn linear_field_exact_in_3d() {
         let mesh = unit_cube(4, 4, 4);
         let uh: Vec<f64> = mesh.coords.iter().map(|p| p[0] - 2.0 * p[2]).collect();
-        let e = error_norms_3d(&mesh, &uh, |x, _, z| x - 2.0 * z, |_, _, _| [1.0, 0.0, -2.0]);
+        let e = error_norms_3d(
+            &mesh,
+            &uh,
+            |x, _, z| x - 2.0 * z,
+            |_, _, _| [1.0, 0.0, -2.0],
+        );
         assert!(e.l2 < 1e-13);
         assert!(e.h1_semi < 1e-12);
     }

@@ -59,7 +59,11 @@ pub fn extract_2d(mesh: &Mesh2d, owner: &[u32], rank: u32) -> SubMesh2d {
     }
     let coords = local_to_global.iter().map(|&g| mesh.coords[g]).collect();
     let owned = local_to_global.iter().map(|&g| owner[g] == rank).collect();
-    SubMesh2d { mesh: Mesh2d { coords, triangles }, local_to_global, owned }
+    SubMesh2d {
+        mesh: Mesh2d { coords, triangles },
+        local_to_global,
+        owned,
+    }
 }
 
 /// Extracts rank `rank`'s subdomain from a partitioned 3-D mesh.
@@ -90,7 +94,11 @@ pub fn extract_3d(mesh: &Mesh3d, owner: &[u32], rank: u32) -> SubMesh3d {
     }
     let coords = local_to_global.iter().map(|&g| mesh.coords[g]).collect();
     let owned = local_to_global.iter().map(|&g| owner[g] == rank).collect();
-    SubMesh3d { mesh: Mesh3d { coords, tets }, local_to_global, owned }
+    SubMesh3d {
+        mesh: Mesh3d { coords, tets },
+        local_to_global,
+        owned,
+    }
 }
 
 #[cfg(test)]

@@ -96,11 +96,7 @@ mod tests {
         // linear with slope ratio 10:1 (flux continuity).
         let nx = 33;
         let mesh = unit_square(nx, nx);
-        let (a, b) = assemble_2d(
-            &mesh,
-            |x, _| if x < 0.5 { 1.0 } else { 10.0 },
-            |_, _| 0.0,
-        );
+        let (a, b) = assemble_2d(&mesh, |x, _| if x < 0.5 { 1.0 } else { 10.0 }, |_, _| 0.0);
         let mut sys = crate::LinearSystem { a, b };
         // Dirichlet on left/right; homogeneous Neumann top/bottom.
         let fixed = bc::dirichlet_where(

@@ -42,8 +42,7 @@ fn in_circumcircle(a: [f64; 2], b: [f64; 2], c: [f64; 2], p: [f64; 2]) -> bool {
     let by = b[1] - p[1];
     let cx = c[0] - p[0];
     let cy = c[1] - p[1];
-    let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
-        - (bx * bx + by * by) * (ax * cy - cx * ay)
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by) - (bx * bx + by * by) * (ax * cy - cx * ay)
         + (cx * cx + cy * cy) * (ax * by - bx * ay);
     det > 0.0
 }
@@ -83,7 +82,11 @@ impl Triangulator {
 
         let mut t = Triangulator {
             points: all,
-            tris: vec![Tri { v: [n, n + 1, n + 2], nbr: [NONE; 3], alive: true }],
+            tris: vec![Tri {
+                v: [n, n + 1, n + 2],
+                nbr: [NONE; 3],
+                alive: true,
+            }],
             last: 0,
             n_real: n,
         };
@@ -148,7 +151,11 @@ impl Triangulator {
         let mut new_ids = Vec::with_capacity(boundary.len());
         for &(a, b, outer) in &boundary {
             let id = self.tris.len();
-            self.tris.push(Tri { v: [a, b, pi], nbr: [NONE, NONE, outer], alive: true });
+            self.tris.push(Tri {
+                v: [a, b, pi],
+                nbr: [NONE, NONE, outer],
+                alive: true,
+            });
             // Fix the outer triangle's back pointer.
             if outer != NONE {
                 let ot = &mut self.tris[outer];
@@ -195,12 +202,10 @@ impl Triangulator {
             for k in 0..3 {
                 let a = self.points[tri.v[(k + 1) % 3]];
                 let b = self.points[tri.v[(k + 2) % 3]];
-                if orient2d(a, b, p) < 0.0 {
-                    if tri.nbr[k] != NONE {
-                        t = tri.nbr[k];
-                        moved = true;
-                        break;
-                    }
+                if orient2d(a, b, p) < 0.0 && tri.nbr[k] != NONE {
+                    t = tri.nbr[k];
+                    moved = true;
+                    break;
                 }
             }
             if !moved {
@@ -230,7 +235,10 @@ impl Triangulator {
             .filter(|t| t.alive && t.v.iter().all(|&v| v < n))
             .map(|t| t.v)
             .collect();
-        Mesh2d { coords: self.points[..n].to_vec(), triangles }
+        Mesh2d {
+            coords: self.points[..n].to_vec(),
+            triangles,
+        }
     }
 }
 
@@ -312,11 +320,12 @@ pub fn square_with_hole(n_target: usize, seed: u64) -> Mesh2d {
         .iter()
         .copied()
         .filter(|t| {
-            let c = t
-                .iter()
-                .fold([0.0, 0.0], |acc, &v| {
-                    [acc[0] + mesh.coords[v][0] / 3.0, acc[1] + mesh.coords[v][1] / 3.0]
-                });
+            let c = t.iter().fold([0.0, 0.0], |acc, &v| {
+                [
+                    acc[0] + mesh.coords[v][0] / 3.0,
+                    acc[1] + mesh.coords[v][1] / 3.0,
+                ]
+            });
             let dx = c[0] - HOLE_CENTER[0];
             let dy = c[1] - HOLE_CENTER[1];
             dx * dx + dy * dy > HOLE_RADIUS * HOLE_RADIUS
@@ -346,7 +355,10 @@ fn compact(coords: Vec<[f64; 2]>, triangles: Vec<[usize; 3]>) -> Mesh2d {
         .into_iter()
         .map(|t| [remap[t[0]], remap[t[1]], remap[t[2]]])
         .collect();
-    Mesh2d { coords: new_coords, triangles: new_tris }
+    Mesh2d {
+        coords: new_coords,
+        triangles: new_tris,
+    }
 }
 
 /// True when node `p` lies on the outer square boundary of the TC3 domain.
@@ -438,7 +450,11 @@ mod tests {
         assert!(n > 400 && n < 900, "n = {n}");
         // Area ≈ 16 − π.
         let exact = DOMAIN_SIDE * DOMAIN_SIDE - std::f64::consts::PI;
-        assert!((m.total_area() - exact).abs() / exact < 0.02, "area {}", m.total_area());
+        assert!(
+            (m.total_area() - exact).abs() / exact < 0.02,
+            "area {}",
+            m.total_area()
+        );
         // Both boundary families present.
         let b = m.boundary_nodes();
         let outer = m

@@ -249,7 +249,12 @@ mod tests {
     #[test]
     fn single_tet_volume_and_boundary() {
         let m = Mesh3d {
-            coords: vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            coords: vec![
+                [0.0, 0.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+            ],
             tets: vec![[0, 1, 2, 3]],
         };
         m.check();

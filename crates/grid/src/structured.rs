@@ -81,7 +81,10 @@ pub fn unit_cube(nx: usize, ny: usize, nz: usize) -> Mesh3d {
     }
     // Fix orientation: Kuhn tets alternate sign depending on the permutation
     // parity; swap two vertices for odd permutations.
-    let mesh_tmp = Mesh3d { coords: coords.clone(), tets: tets.clone() };
+    let mesh_tmp = Mesh3d {
+        coords: coords.clone(),
+        tets: tets.clone(),
+    };
     for (t, tet) in tets.iter_mut().enumerate() {
         if mesh_tmp.signed_volume(t) < 0.0 {
             tet.swap(2, 3);

@@ -231,7 +231,11 @@ impl Arms {
     pub fn factor_with_coarse(a: &Csr, cfg: &ArmsConfig, forced_coarse: &[bool]) -> Result<Self> {
         let n = a.n_rows();
         if n != a.n_cols() {
-            return Err(Error::DimensionMismatch { op: "arms", expected: n, found: a.n_cols() });
+            return Err(Error::DimensionMismatch {
+                op: "arms",
+                expected: n,
+                found: a.n_cols(),
+            });
         }
         let mut levels = Vec::new();
         let mut cur = a.clone();
@@ -257,7 +261,14 @@ impl Arms {
             levels.push(level);
         }
         let last = Ilut::factor(&cur, &cfg.ilut)?;
-        Ok(Arms { n, levels, last, last_n: cur.n_rows() })
+        parapre_trace::gauge("arms.levels", levels.len() as f64);
+        parapre_trace::gauge("arms.last_n", cur.n_rows() as f64);
+        Ok(Arms {
+            n,
+            levels,
+            last,
+            last_n: cur.n_rows(),
+        })
     }
 
     /// Number of elimination levels (excluding the final ILUT).
@@ -327,10 +338,8 @@ fn build_level(a: &Csr, gis: &GroupIndependentSet, cfg: &ArmsConfig) -> Result<A
     // Split the permuted matrix into B, F, E, C.
     let ind_rows: Vec<usize> = (0..n_ind).collect();
     let coarse_rows: Vec<usize> = (n_ind..n).collect();
-    let map_ind: Vec<Option<usize>> =
-        (0..n).map(|j| (j < n_ind).then_some(j)).collect();
-    let map_coarse: Vec<Option<usize>> =
-        (0..n).map(|j| (j >= n_ind).then(|| j - n_ind)).collect();
+    let map_ind: Vec<Option<usize>> = (0..n).map(|j| (j < n_ind).then_some(j)).collect();
+    let map_coarse: Vec<Option<usize>> = (0..n).map(|j| (j >= n_ind).then(|| j - n_ind)).collect();
     let b = ap.extract(&ind_rows, &map_ind, n_ind);
     let f = ap.extract(&ind_rows, &map_coarse, nc);
     let e = ap.extract(&coarse_rows, &map_ind, n_ind);
@@ -486,7 +495,11 @@ mod tests {
         }
         for (i, j, _) in a.iter() {
             if member[i] != usize::MAX && member[j] != usize::MAX {
-                assert_eq!(member[i], member[j], "groups {}/{} coupled", member[i], member[j]);
+                assert_eq!(
+                    member[i], member[j],
+                    "groups {}/{} coupled",
+                    member[i], member[j]
+                );
             }
         }
     }
@@ -528,7 +541,10 @@ mod tests {
             n_levels: 2,
             group_size: 4,
             drop_tol: 0.0,
-            ilut: IlutConfig { drop_tol: 0.0, fill: 10_000 },
+            ilut: IlutConfig {
+                drop_tol: 0.0,
+                fill: 10_000,
+            },
             min_reduced: 1,
         };
         let arms = Arms::factor(&a, &cfg).unwrap();
@@ -549,7 +565,10 @@ mod tests {
             n_levels: 4,
             group_size: 3,
             drop_tol: 0.0,
-            ilut: IlutConfig { drop_tol: 0.0, fill: 10_000 },
+            ilut: IlutConfig {
+                drop_tol: 0.0,
+                fill: 10_000,
+            },
             min_reduced: 1,
         };
         let arms = Arms::factor(&a, &cfg).unwrap();
@@ -571,8 +590,11 @@ mod tests {
         let arms = Arms::factor(&a, &ArmsConfig::default()).unwrap();
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
-        let rep = FGmres::new(GmresConfig { max_iters: 200, ..Default::default() })
-            .solve(&a, &arms, &b, &mut x);
+        let rep = FGmres::new(GmresConfig {
+            max_iters: 200,
+            ..Default::default()
+        })
+        .solve(&a, &arms, &b, &mut x);
         assert!(rep.converged);
         assert!(rep.iterations < 40, "iterations {}", rep.iterations);
     }
@@ -586,7 +608,10 @@ mod tests {
         for i in (n - 8)..n {
             forced[i] = true;
         }
-        let cfg = ArmsConfig { n_levels: 2, ..Default::default() };
+        let cfg = ArmsConfig {
+            n_levels: 2,
+            ..Default::default()
+        };
         let arms = Arms::factor_with_coarse(&a, &cfg, &forced).unwrap();
         assert_eq!(arms.n_levels(), 1);
         let lvl = &arms.levels()[0];
@@ -617,8 +642,11 @@ mod tests {
         let arms = Arms::factor(&a, &ArmsConfig::default()).unwrap();
         let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) - 5.0).collect();
         let mut x = vec![0.0; n];
-        let rep = FGmres::new(GmresConfig { max_iters: 150, ..Default::default() })
-            .solve(&a, &arms, &b, &mut x);
+        let rep = FGmres::new(GmresConfig {
+            max_iters: 150,
+            ..Default::default()
+        })
+        .solve(&a, &arms, &b, &mut x);
         assert!(rep.converged, "relres {}", rep.final_relres);
     }
 

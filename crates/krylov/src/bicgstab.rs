@@ -189,7 +189,12 @@ mod tests {
 
     fn relres(a: &Csr, b: &[f64], x: &[f64]) -> f64 {
         let ax = a.mul_vec(x);
-        let r: f64 = b.iter().zip(&ax).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let r: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         r / bn
     }
@@ -200,8 +205,7 @@ mod tests {
         let a = convection_band(n);
         let b: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) - 4.0).collect();
         let mut x = vec![0.0; n];
-        let rep = BiCgStab::new(Default::default())
-            .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        let rep = BiCgStab::new(Default::default()).solve(&a, &IdentityPrecond::new(n), &b, &mut x);
         assert!(rep.converged, "relres {}", rep.final_relres);
         assert!(relres(&a, &b, &x) < 1e-5);
     }
@@ -212,8 +216,8 @@ mod tests {
         let a = convection_band(n);
         let b = vec![1.0; n];
         let mut x1 = vec![0.0; n];
-        let plain = BiCgStab::new(Default::default())
-            .solve(&a, &IdentityPrecond::new(n), &b, &mut x1);
+        let plain =
+            BiCgStab::new(Default::default()).solve(&a, &IdentityPrecond::new(n), &b, &mut x1);
         let f = Ilut::factor(&a, &IlutConfig::default()).unwrap();
         let mut x2 = vec![0.0; n];
         let prec = BiCgStab::new(Default::default()).solve(&a, &f, &b, &mut x2);
@@ -226,8 +230,11 @@ mod tests {
     fn zero_rhs_early_exit() {
         let a = convection_band(20);
         let mut x = vec![0.0; 20];
-        let rep = BiCgStab::new(BiCgStabConfig { abs_tol: 1e-14, ..Default::default() })
-            .solve(&a, &IdentityPrecond::new(20), &vec![0.0; 20], &mut x);
+        let rep = BiCgStab::new(BiCgStabConfig {
+            abs_tol: 1e-14,
+            ..Default::default()
+        })
+        .solve(&a, &IdentityPrecond::new(20), &[0.0; 20], &mut x);
         assert!(rep.converged);
         assert_eq!(rep.iterations, 0);
     }
@@ -260,8 +267,11 @@ mod tests {
         })
         .solve(&a, &IdentityPrecond::new(n), &b, &mut xg);
         let mut xb = vec![0.0; n];
-        BiCgStab::new(BiCgStabConfig { rel_tol: 1e-10, ..Default::default() })
-            .solve(&a, &IdentityPrecond::new(n), &b, &mut xb);
+        BiCgStab::new(BiCgStabConfig {
+            rel_tol: 1e-10,
+            ..Default::default()
+        })
+        .solve(&a, &IdentityPrecond::new(n), &b, &mut xb);
         for (u, v) in xg.iter().zip(&xb) {
             assert!((u - v).abs() < 1e-6, "{u} vs {v}");
         }

@@ -24,7 +24,12 @@ pub struct CgConfig {
 
 impl Default for CgConfig {
     fn default() -> Self {
-        CgConfig { max_iters: 1000, rel_tol: 1e-6, abs_tol: 1e-300, record_history: false }
+        CgConfig {
+            max_iters: 1000,
+            rel_tol: 1e-6,
+            abs_tol: 1e-300,
+            record_history: false,
+        }
     }
 }
 
@@ -150,8 +155,12 @@ mod tests {
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
         let b = a.mul_vec(&x_true);
         let mut x = vec![0.0; n];
-        let rep = ConjugateGradient::new(Default::default())
-            .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        let rep = ConjugateGradient::new(Default::default()).solve(
+            &a,
+            &IdentityPrecond::new(n),
+            &b,
+            &mut x,
+        );
         assert!(rep.converged);
         for (u, v) in x.iter().zip(&x_true) {
             assert!((u - v).abs() < 1e-4);
@@ -173,10 +182,12 @@ mod tests {
         }
         let a = coo.to_csr();
         let b = vec![1.0; n];
-        let cfg = CgConfig { max_iters: 2000, ..Default::default() };
+        let cfg = CgConfig {
+            max_iters: 2000,
+            ..Default::default()
+        };
         let mut x1 = vec![0.0; n];
-        let plain =
-            ConjugateGradient::new(cfg).solve(&a, &IdentityPrecond::new(n), &b, &mut x1);
+        let plain = ConjugateGradient::new(cfg).solve(&a, &IdentityPrecond::new(n), &b, &mut x1);
         let mut x2 = vec![0.0; n];
         let jac = JacobiPrecond::from_diagonal(&a.diagonal().unwrap());
         let prec = ConjugateGradient::new(cfg).solve(&a, &jac, &b, &mut x2);
@@ -201,8 +212,11 @@ mod tests {
         let a = laplacian_2d(5);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = ConjugateGradient::new(CgConfig { abs_tol: 1e-14, ..Default::default() })
-            .solve(&a, &IdentityPrecond::new(n), &vec![0.0; n], &mut x);
+        let rep = ConjugateGradient::new(CgConfig {
+            abs_tol: 1e-14,
+            ..Default::default()
+        })
+        .solve(&a, &IdentityPrecond::new(n), &vec![0.0; n], &mut x);
         assert!(rep.converged);
         assert_eq!(rep.iterations, 0);
     }

@@ -119,6 +119,22 @@ fn run_gmres<A: LinOp, M: Preconditioner>(
     cfg: &GmresConfig,
     flexible: bool,
 ) -> SolveReport {
+    let report = run_gmres_core(a, m, b, x, cfg, flexible);
+    // Sequential (F)GMRES runs inside preconditioner applications in the
+    // distributed stack; surface its effort as a counter rather than
+    // polluting the outer convergence stream.
+    parapre_trace::counter("gmres.iters", report.iterations as u64);
+    report
+}
+
+fn run_gmres_core<A: LinOp, M: Preconditioner>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &GmresConfig,
+    flexible: bool,
+) -> SolveReport {
     let n = a.dim();
     assert_eq!(b.len(), n, "gmres: rhs length");
     assert_eq!(x.len(), n, "gmres: x length");
@@ -343,7 +359,12 @@ mod tests {
     fn check_solution(a: &Csr, b: &[f64], x: &[f64], tol: f64) {
         let mut ax = vec![0.0; b.len()];
         a.spmv(x, &mut ax);
-        let r: f64 = b.iter().zip(&ax).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let r: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(r <= tol * bn.max(1e-30), "residual {r} vs {} * {bn}", tol);
     }
@@ -354,8 +375,11 @@ mod tests {
         let n = a.n_rows();
         let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
         let mut x = vec![0.0; n];
-        let rep = Gmres::new(GmresConfig { max_iters: 300, ..Default::default() })
-            .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        let rep = Gmres::new(GmresConfig {
+            max_iters: 300,
+            ..Default::default()
+        })
+        .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
         assert!(rep.converged, "relres {}", rep.final_relres);
         check_solution(&a, &b, &x, 1e-5);
     }
@@ -365,7 +389,10 @@ mod tests {
         let a = laplacian_2d(16);
         let n = a.n_rows();
         let b = vec![1.0; n];
-        let cfg = GmresConfig { max_iters: 400, ..Default::default() };
+        let cfg = GmresConfig {
+            max_iters: 400,
+            ..Default::default()
+        };
 
         let mut x0 = vec![0.0; n];
         let plain = Gmres::new(cfg).solve(&a, &IdentityPrecond::new(n), &b, &mut x0);
@@ -414,8 +441,11 @@ mod tests {
         let n = a.n_rows();
         let b = vec![0.0; n];
         let mut x = vec![1.0; n];
-        let rep = Gmres::new(GmresConfig { abs_tol: 1e-14, ..Default::default() })
-            .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        let rep = Gmres::new(GmresConfig {
+            abs_tol: 1e-14,
+            ..Default::default()
+        })
+        .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
         assert!(rep.converged);
         let xn: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(xn < 1e-8, "‖x‖ = {xn}");
@@ -427,8 +457,12 @@ mod tests {
         let n = a.n_rows();
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
-        let rep = Gmres::new(GmresConfig { max_iters: 3, rel_tol: 1e-14, ..Default::default() })
-            .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        let rep = Gmres::new(GmresConfig {
+            max_iters: 3,
+            rel_tol: 1e-14,
+            ..Default::default()
+        })
+        .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
         assert!(!rep.converged);
         assert_eq!(rep.iterations, 3);
     }
@@ -439,8 +473,17 @@ mod tests {
         let n = a.n_rows();
         let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
         let mut x = vec![0.0; n];
-        let rep = Gmres::new(GmresConfig { restart: 5, max_iters: 2000, ..Default::default() })
-            .solve(&a, &JacobiPrecond::from_diagonal(&a.diagonal().unwrap()), &b, &mut x);
+        let rep = Gmres::new(GmresConfig {
+            restart: 5,
+            max_iters: 2000,
+            ..Default::default()
+        })
+        .solve(
+            &a,
+            &JacobiPrecond::from_diagonal(&a.diagonal().unwrap()),
+            &b,
+            &mut x,
+        );
         assert!(rep.converged, "relres {}", rep.final_relres);
         check_solution(&a, &b, &x, 1e-5);
     }
@@ -468,8 +511,11 @@ mod tests {
         let m = InnerSolve { a: &a, f };
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
         let mut x = vec![0.0; n];
-        let rep = FGmres::new(GmresConfig { max_iters: 100, ..Default::default() })
-            .solve(&a, &m, &b, &mut x);
+        let rep = FGmres::new(GmresConfig {
+            max_iters: 100,
+            ..Default::default()
+        })
+        .solve(&a, &m, &b, &mut x);
         assert!(rep.converged, "relres {}", rep.final_relres);
         assert!(rep.iterations < 30, "iterations {}", rep.iterations);
         check_solution(&a, &b, &x, 1e-5);
@@ -481,7 +527,10 @@ mod tests {
         let n = a.n_rows();
         let f = Ilu0::factor(&a).unwrap();
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
-        let cfg = GmresConfig { max_iters: 200, ..Default::default() };
+        let cfg = GmresConfig {
+            max_iters: 200,
+            ..Default::default()
+        };
         let mut x1 = vec![0.0; n];
         let r1 = Gmres::new(cfg).solve(&a, &f, &b, &mut x1);
         let mut x2 = vec![0.0; n];

@@ -37,7 +37,11 @@ impl LuFactors {
                 Err(_) => return Err(Error::MissingDiagonal(i)),
             }
         }
-        Ok(LuFactors { lu, diag_ptr, pivot_fixes })
+        Ok(LuFactors {
+            lu,
+            diag_ptr,
+            pivot_fixes,
+        })
     }
 
     /// The merged factor matrix (tests, diagnostics).
@@ -223,6 +227,7 @@ impl Ilu0 {
             }
         }
         let lu = Csr::from_parts_unchecked(n, n, row_ptr, col_idx, vals);
+        parapre_trace::counter("factor.fill_nnz", lu.nnz() as u64);
         LuFactors::from_merged(lu, 0)
     }
 }
@@ -241,7 +246,10 @@ pub struct IlutConfig {
 impl Default for IlutConfig {
     fn default() -> Self {
         // The classical pARMS-ish defaults used throughout the benches.
-        IlutConfig { drop_tol: 1e-3, fill: 20 }
+        IlutConfig {
+            drop_tol: 1e-3,
+            fill: 20,
+        }
     }
 }
 
@@ -405,6 +413,7 @@ impl Ilut {
             row_ptr.push(col_idx.len());
         }
         let lu = Csr::from_parts_unchecked(n, n, row_ptr, col_idx, vals);
+        parapre_trace::counter("factor.fill_nnz", lu.nnz() as u64);
         LuFactors::from_merged(lu, pivot_fixes)
     }
 }
@@ -496,7 +505,12 @@ mod tests {
         // ||b - A M^{-1} b|| < ||b - A*0|| = ||b||.
         let mut az = vec![0.0; n];
         a.spmv(&z, &mut az);
-        let r: f64 = b.iter().zip(&az).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let r: f64 = b
+            .iter()
+            .zip(&az)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
         let r0: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(r < 0.75 * r0, "r={r}, r0={r0}");
     }
@@ -504,7 +518,14 @@ mod tests {
     #[test]
     fn ilut_with_huge_fill_is_nearly_exact() {
         let a = laplacian_2d(8);
-        let f = Ilut::factor(&a, &IlutConfig { drop_tol: 0.0, fill: 1000 }).unwrap();
+        let f = Ilut::factor(
+            &a,
+            &IlutConfig {
+                drop_tol: 0.0,
+                fill: 1000,
+            },
+        )
+        .unwrap();
         let n = a.n_rows();
         let x_true: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
         let b = a.mul_vec(&x_true);
@@ -519,7 +540,10 @@ mod tests {
     #[test]
     fn ilut_respects_fill_cap() {
         let a = laplacian_2d(10);
-        let cfg = IlutConfig { drop_tol: 0.0, fill: 2 };
+        let cfg = IlutConfig {
+            drop_tol: 0.0,
+            fill: 2,
+        };
         let f = Ilut::factor(&a, &cfg).unwrap();
         let n = a.n_rows();
         for i in 0..n {
@@ -535,15 +559,33 @@ mod tests {
     fn ilut_tighter_drop_tol_gives_better_preconditioner() {
         let a = laplacian_2d(12);
         let n = a.n_rows();
-        let loose = Ilut::factor(&a, &IlutConfig { drop_tol: 0.5, fill: 50 }).unwrap();
-        let tight = Ilut::factor(&a, &IlutConfig { drop_tol: 1e-4, fill: 50 }).unwrap();
+        let loose = Ilut::factor(
+            &a,
+            &IlutConfig {
+                drop_tol: 0.5,
+                fill: 50,
+            },
+        )
+        .unwrap();
+        let tight = Ilut::factor(
+            &a,
+            &IlutConfig {
+                drop_tol: 1e-4,
+                fill: 50,
+            },
+        )
+        .unwrap();
         let b = vec![1.0; n];
         let resid = |f: &LuFactors| {
             let mut z = vec![0.0; n];
             f.apply(&b, &mut z);
             let mut az = vec![0.0; n];
             a.spmv(&z, &mut az);
-            b.iter().zip(&az).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            b.iter()
+                .zip(&az)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         assert!(resid(&tight) < resid(&loose));
     }
@@ -593,7 +635,14 @@ mod tests {
             coo.push(nb + i, nb + j, v);
         }
         let a = coo.to_csr();
-        let f = Ilut::factor(&a, &IlutConfig { drop_tol: 0.0, fill: 100 }).unwrap();
+        let f = Ilut::factor(
+            &a,
+            &IlutConfig {
+                drop_tol: 0.0,
+                fill: 100,
+            },
+        )
+        .unwrap();
         let fs = f.trailing_block(nb);
         assert_eq!(fs.dim(), 5);
         let y_true: Vec<f64> = (0..5).map(|i| 1.0 + i as f64).collect();
@@ -616,7 +665,14 @@ mod tests {
         let n = a.n_rows();
         // Declare the last grid row as "interface".
         let nb = n - nx;
-        let f = Ilut::factor(&a, &IlutConfig { drop_tol: 0.0, fill: 1000 }).unwrap();
+        let f = Ilut::factor(
+            &a,
+            &IlutConfig {
+                drop_tol: 0.0,
+                fill: 1000,
+            },
+        )
+        .unwrap();
         let fs = f.trailing_block(nb);
         // Dense true Schur complement.
         let ad = a.to_dense();
@@ -644,7 +700,12 @@ mod tests {
         let mut z = y.clone();
         fs.solve_in_place(&mut z);
         let sz = smat.mul_vec(&z);
-        let err: f64 = sz.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let err: f64 = sz
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         let ynorm: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err / ynorm < 0.35, "relative Schur error {}", err / ynorm);
     }
@@ -654,7 +715,14 @@ mod tests {
         // A matrix engineered to hit the pivot fallback: row 1 becomes
         // exactly zero on the diagonal after elimination.
         let a = Csr::from_dense_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
-        let f = Ilut::factor(&a, &IlutConfig { drop_tol: 0.0, fill: 10 }).unwrap();
+        let f = Ilut::factor(
+            &a,
+            &IlutConfig {
+                drop_tol: 0.0,
+                fill: 10,
+            },
+        )
+        .unwrap();
         assert_eq!(f.pivot_fixes(), 1);
         // The solve still produces finite values.
         let mut x = vec![1.0, 2.0];
@@ -677,7 +745,14 @@ mod tests {
             }
         }
         let a = coo.to_csr();
-        let f = Ilut::factor(&a, &IlutConfig { drop_tol: 0.0, fill: 10 }).unwrap();
+        let f = Ilut::factor(
+            &a,
+            &IlutConfig {
+                drop_tol: 0.0,
+                fill: 10,
+            },
+        )
+        .unwrap();
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).exp() % 3.0).collect();
         let b = a.mul_vec(&x_true);
         let mut x = b;

@@ -7,8 +7,8 @@
 //! factorization approximates `A·Q` for a column permutation `Q`, and the
 //! solve un-permutes transparently.
 
-use crate::precond::Preconditioner;
 use crate::ilu::IlutConfig;
+use crate::precond::Preconditioner;
 use parapre_sparse::{Csr, Error, Result};
 
 /// Parameters of ILUTP.
@@ -24,7 +24,10 @@ pub struct IlutpConfig {
 
 impl Default for IlutpConfig {
     fn default() -> Self {
-        IlutpConfig { ilut: IlutConfig::default(), permtol: 0.05 }
+        IlutpConfig {
+            ilut: IlutConfig::default(),
+            permtol: 0.05,
+        }
     }
 }
 
@@ -104,7 +107,11 @@ impl Ilutp {
     pub fn factor(a: &Csr, cfg: &IlutpConfig) -> Result<PivotedLu> {
         let n = a.n_rows();
         if n != a.n_cols() {
-            return Err(Error::DimensionMismatch { op: "ilutp", expected: n, found: a.n_cols() });
+            return Err(Error::DimensionMismatch {
+                op: "ilutp",
+                expected: n,
+                found: a.n_cols(),
+            });
         }
         // Column permutation: pos(col) and its inverse.
         let mut q: Vec<usize> = (0..n).collect(); // q[pos] = col
@@ -175,7 +182,11 @@ impl Ilutp {
             // Pivot selection among positions >= i.
             let diag_col = q[i];
             let mut best_col = diag_col;
-            let mut best_val = if in_w[diag_col] { w[diag_col].abs() } else { 0.0 };
+            let mut best_val = if in_w[diag_col] {
+                w[diag_col].abs()
+            } else {
+                0.0
+            };
             if cfg.permtol > 0.0 {
                 for &j in &touched {
                     if in_w[j] && pos_of[j] > i && w[j].abs() * cfg.permtol > best_val {
@@ -205,9 +216,8 @@ impl Ilutp {
 
             // Store L part.
             if lower_kept.len() > cfg.ilut.fill {
-                lower_kept.sort_unstable_by(|a, b| {
-                    b.1.abs().partial_cmp(&a.1.abs()).expect("no NaN")
-                });
+                lower_kept
+                    .sort_unstable_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("no NaN"));
                 lower_kept.truncate(cfg.ilut.fill);
             }
             lower_kept.sort_unstable_by_key(|&(p, _)| p);
@@ -232,9 +242,8 @@ impl Ilutp {
                 })
                 .collect();
             if upper_kept.len() > cfg.ilut.fill {
-                upper_kept.sort_unstable_by(|a, b| {
-                    b.1.abs().partial_cmp(&a.1.abs()).expect("no NaN")
-                });
+                upper_kept
+                    .sort_unstable_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("no NaN"));
                 upper_kept.truncate(cfg.ilut.fill);
             }
             for &(j, v) in &upper_kept {
@@ -276,10 +285,17 @@ impl Ilutp {
         let mut diag_ptr = Vec::with_capacity(n);
         for i in 0..n {
             let (cols, _) = lu.row(i);
-            let k = cols.binary_search(&i).map_err(|_| Error::MissingDiagonal(i))?;
+            let k = cols
+                .binary_search(&i)
+                .map_err(|_| Error::MissingDiagonal(i))?;
             diag_ptr.push(lu.row_ptr()[i] + k);
         }
-        Ok(PivotedLu { lu, diag_ptr, q, pivots_swapped })
+        Ok(PivotedLu {
+            lu,
+            diag_ptr,
+            q,
+            pivots_swapped,
+        })
     }
 }
 
@@ -306,7 +322,10 @@ mod tests {
         }
         let a = coo.to_csr();
         let cfg = IlutpConfig {
-            ilut: IlutConfig { drop_tol: 0.0, fill: 100 },
+            ilut: IlutConfig {
+                drop_tol: 0.0,
+                fill: 100,
+            },
             permtol: 0.0,
         };
         let f = Ilutp::factor(&a, &cfg).unwrap();
@@ -330,7 +349,10 @@ mod tests {
             vec![0.0, 0.0, 4.0],
         ]);
         let cfg = IlutpConfig {
-            ilut: IlutConfig { drop_tol: 0.0, fill: 10 },
+            ilut: IlutConfig {
+                drop_tol: 0.0,
+                fill: 10,
+            },
             permtol: 1.0,
         };
         let f = Ilutp::factor(&a, &cfg).unwrap();
@@ -363,8 +385,11 @@ mod tests {
         let f = Ilutp::factor(&a, &IlutpConfig::default()).unwrap();
         let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
         let mut x = vec![0.0; n];
-        let rep = Gmres::new(GmresConfig { max_iters: 300, ..Default::default() })
-            .solve(&a, &f, &b, &mut x);
+        let rep = Gmres::new(GmresConfig {
+            max_iters: 300,
+            ..Default::default()
+        })
+        .solve(&a, &f, &b, &mut x);
         assert!(rep.converged, "relres {}", rep.final_relres);
         assert!(rep.iterations < 60, "{}", rep.iterations);
     }
@@ -396,7 +421,10 @@ mod tests {
         }
         let a = coo.to_csr();
         let cfg = IlutpConfig {
-            ilut: IlutConfig { drop_tol: 0.0, fill: 10 * n },
+            ilut: IlutConfig {
+                drop_tol: 0.0,
+                fill: 10 * n,
+            },
             permtol: 0.1,
         };
         let f = Ilutp::factor(&a, &cfg).unwrap();

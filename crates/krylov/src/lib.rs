@@ -27,6 +27,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Index loops mirror the papers' pseudocode in the numeric kernels.
+#![allow(clippy::needless_range_loop)]
 
 pub mod arms;
 pub mod bicgstab;
@@ -40,13 +42,13 @@ pub mod ssor;
 
 pub use arms::{Arms, ArmsConfig};
 pub use bicgstab::{BiCgStab, BiCgStabConfig};
-pub use cg::{ConjugateGradient, CgConfig};
+pub use cg::{CgConfig, ConjugateGradient};
 pub use gmres::{FGmres, Gmres, GmresConfig};
 pub use ilu::{Ilu0, Ilut, IlutConfig, LuFactors};
 pub use ilutp::{Ilutp, IlutpConfig, PivotedLu};
 pub use op::LinOp;
-pub use ssor::Ssor;
 pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner};
+pub use ssor::Ssor;
 
 /// Outcome of an iterative solve.
 #[derive(Debug, Clone)]

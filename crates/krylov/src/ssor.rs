@@ -29,7 +29,11 @@ impl Ssor {
             }
             inv_diag.push(1.0 / d);
         }
-        Ok(Ssor { a: a.clone(), inv_diag, omega })
+        Ok(Ssor {
+            a: a.clone(),
+            inv_diag,
+            omega,
+        })
     }
 
     /// The relaxation factor.
@@ -118,14 +122,22 @@ mod tests {
         let a = laplacian_2d(16);
         let n = a.n_rows();
         let b = vec![1.0; n];
-        let cfg = CgConfig { max_iters: 1000, ..Default::default() };
+        let cfg = CgConfig {
+            max_iters: 1000,
+            ..Default::default()
+        };
         let mut x1 = vec![0.0; n];
         let plain = ConjugateGradient::new(cfg).solve(&a, &IdentityPrecond::new(n), &b, &mut x1);
         let m = Ssor::new(&a, 1.0).unwrap();
         let mut x2 = vec![0.0; n];
         let prec = ConjugateGradient::new(cfg).solve(&a, &m, &b, &mut x2);
         assert!(plain.converged && prec.converged);
-        assert!(prec.iterations < plain.iterations, "{} vs {}", prec.iterations, plain.iterations);
+        assert!(
+            prec.iterations < plain.iterations,
+            "{} vs {}",
+            prec.iterations,
+            plain.iterations
+        );
     }
 
     #[test]
@@ -135,7 +147,9 @@ mod tests {
         let m = Ssor::new(&a, 1.3).unwrap();
         let n = a.n_rows();
         for k in 0..5 {
-            let r: Vec<f64> = (0..n).map(|i| ((i * (k + 2)) as f64 * 0.37).sin()).collect();
+            let r: Vec<f64> = (0..n)
+                .map(|i| ((i * (k + 2)) as f64 * 0.37).sin())
+                .collect();
             let mut z = vec![0.0; n];
             m.apply(&r, &mut z);
             let dot: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();

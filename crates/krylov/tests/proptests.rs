@@ -1,8 +1,9 @@
+#![allow(clippy::needless_range_loop)]
 //! Property-based tests for Krylov solvers and factorizations.
 
 use parapre_krylov::{
-    Arms, ArmsConfig, ConjugateGradient, FGmres, Gmres, GmresConfig, IdentityPrecond, Ilu0,
-    Ilut, IlutConfig,
+    Arms, ArmsConfig, ConjugateGradient, FGmres, Gmres, GmresConfig, IdentityPrecond, Ilu0, Ilut,
+    IlutConfig,
 };
 use parapre_sparse::{Coo, Csr};
 use proptest::prelude::*;
@@ -11,7 +12,9 @@ use proptest::prelude::*;
 fn diag_dominant(n: usize, seed: u64, symmetric: bool) -> Csr {
     let mut state = seed | 1;
     let mut rnd = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
     };
     let mut coo = Coo::new(n, n);
@@ -42,7 +45,12 @@ fn diag_dominant(n: usize, seed: u64, symmetric: bool) -> Csr {
 fn relative_residual(a: &Csr, b: &[f64], x: &[f64]) -> f64 {
     let mut ax = vec![0.0; b.len()];
     a.spmv(x, &mut ax);
-    let r: f64 = b.iter().zip(&ax).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+    let r: f64 = b
+        .iter()
+        .zip(&ax)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt();
     let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     r / bn.max(1e-300)
 }

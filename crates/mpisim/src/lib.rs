@@ -6,7 +6,7 @@
 //! The paper ran on two MPI machines (a fast-Ethernet Linux cluster and an
 //! SGI Origin 3800). Rust's MPI bindings are immature and no cluster is
 //! available here, so the distributed algorithms run as `P` threads
-//! exchanging typed messages through lock-free channels:
+//! exchanging typed messages through unbounded std `mpsc` channels:
 //!
 //! * [`Universe::run`] spawns `P` ranks executing the same closure (SPMD),
 //!   each holding a [`Comm`];
@@ -17,9 +17,12 @@
 //!   [`Comm::gather_vec`], …) built **on top of point-to-point messages**
 //!   along a binomial tree, so their cost shows up in the communication
 //!   statistics just like on a real machine (`O(log P)` latency);
-//! * per-rank [`CommStats`] (message and byte counts) feeding the α–β
+//! * per-rank [`CommStats`] (message and byte counts, aggregate and
+//!   per-neighbor via [`Comm::peer_stats`]) feeding the α–β
 //!   [`MachineModel`]s that emulate the paper's two platforms for the
-//!   timing *shape* discussion.
+//!   timing *shape* discussion; when a `parapre-trace` recorder is
+//!   installed on the rank's thread, every send/receive additionally
+//!   emits a structured comm event.
 //!
 //! Iteration counts — the paper's primary measurement — are entirely
 //! deterministic under this substitution: the algebra does not care whether
@@ -28,8 +31,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::cell::RefCell;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::Duration;
 
 /// How long a blocking receive waits before declaring a deadlock.
@@ -94,8 +97,25 @@ impl CommStats {
     /// Models the communication time of this rank under `machine`:
     /// `Σ (α + bytes/β)` over sent messages.
     pub fn modeled_comm_seconds(&self, machine: &MachineModel) -> f64 {
-        self.msgs_sent as f64 * machine.latency
-            + self.bytes_sent as f64 * machine.seconds_per_byte
+        self.msgs_sent as f64 * machine.latency + self.bytes_sent as f64 * machine.seconds_per_byte
+    }
+
+    /// Field-wise difference `after − before` (saturating), for measuring
+    /// the traffic of a code region between two [`Comm::stats`] snapshots.
+    pub fn delta(after: &CommStats, before: &CommStats) -> CommStats {
+        CommStats {
+            msgs_sent: after.msgs_sent.saturating_sub(before.msgs_sent),
+            bytes_sent: after.bytes_sent.saturating_sub(before.bytes_sent),
+            msgs_recv: after.msgs_recv.saturating_sub(before.msgs_recv),
+            bytes_recv: after.bytes_recv.saturating_sub(before.bytes_recv),
+        }
+    }
+}
+
+impl std::ops::Sub for CommStats {
+    type Output = CommStats;
+    fn sub(self, rhs: CommStats) -> CommStats {
+        CommStats::delta(&self, &rhs)
     }
 }
 
@@ -149,8 +169,7 @@ impl MachineModel {
     /// Modeled wall-clock for a rank that spent `compute_seconds` computing
     /// (measured on the host) and communicated per `stats`.
     pub fn modeled_total(&self, compute_seconds: f64, stats: &CommStats) -> f64 {
-        self.load_factor
-            * (compute_seconds / self.compute_scale + stats.modeled_comm_seconds(self))
+        self.load_factor * (compute_seconds / self.compute_scale + stats.modeled_comm_seconds(self))
     }
 }
 
@@ -177,7 +196,7 @@ impl Universe {
             let mut row_tx = Vec::with_capacity(n_ranks);
             let mut row_rx = Vec::with_capacity(n_ranks);
             for _src in 0..n_ranks {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 row_tx.push(tx);
                 row_rx.push(rx);
             }
@@ -196,6 +215,7 @@ impl Universe {
                 from: rx_row,
                 pending: RefCell::new((0..n_ranks).map(|_| Vec::new()).collect()),
                 stats: CommStats::default(),
+                peer_stats: vec![CommStats::default(); n_ranks],
             })
             .collect();
         drop(txs);
@@ -211,7 +231,9 @@ impl Universe {
                 *slot = Some(h.join().expect("rank panicked"));
             }
         });
-        out.into_iter().map(|t| t.expect("all ranks joined")).collect()
+        out.into_iter()
+            .map(|t| t.expect("all ranks joined"))
+            .collect()
     }
 }
 
@@ -224,6 +246,8 @@ pub struct Comm {
     /// Out-of-order messages parked per source rank.
     pending: RefCell<Vec<Vec<Envelope>>>,
     stats: CommStats,
+    /// Per-neighbor send/recv accounting (indexed by peer rank).
+    peer_stats: Vec<CommStats>,
 }
 
 impl Comm {
@@ -242,46 +266,101 @@ impl Comm {
         self.stats
     }
 
+    /// Per-neighbor communication counters, indexed by peer rank.
+    pub fn peer_stats(&self) -> &[CommStats] {
+        &self.peer_stats
+    }
+
     /// Sends `payload` to rank `to` under `tag` (non-blocking, buffered).
     pub fn send(&mut self, to: usize, tag: u64, payload: Payload) {
         assert!(to < self.size, "send to rank {to} of {}", self.size);
+        let bytes = payload.n_bytes();
         self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += payload.n_bytes();
+        self.stats.bytes_sent += bytes;
+        self.peer_stats[to].msgs_sent += 1;
+        self.peer_stats[to].bytes_sent += bytes;
+        parapre_trace::comm(parapre_trace::CommDir::Send, to, tag, bytes);
         self.to[to]
-            .send(Envelope { from: self.rank, tag, payload })
+            .send(Envelope {
+                from: self.rank,
+                tag,
+                payload,
+            })
             .expect("receiver alive for the duration of Universe::run");
+    }
+
+    fn note_recv(&mut self, from: usize, tag: u64, bytes: u64) {
+        self.stats.msgs_recv += 1;
+        self.stats.bytes_recv += bytes;
+        self.peer_stats[from].msgs_recv += 1;
+        self.peer_stats[from].bytes_recv += bytes;
+        parapre_trace::comm(parapre_trace::CommDir::Recv, from, tag, bytes);
+    }
+
+    /// Dumps the pending (received-but-unmatched) message queues — the
+    /// deadlock diagnostic shown when a receive times out.
+    fn pending_dump(&self) -> String {
+        let pending = self.pending.borrow();
+        let mut out = String::new();
+        let mut any = false;
+        for (src, queue) in pending.iter().enumerate() {
+            if queue.is_empty() {
+                continue;
+            }
+            any = true;
+            let tags: Vec<String> = queue
+                .iter()
+                .take(16)
+                .map(|e| format!("tag {:#x} ({} B)", e.tag, e.payload.n_bytes()))
+                .collect();
+            out.push_str(&format!(
+                "\n  pending from rank {src}: {} message(s): {}{}",
+                queue.len(),
+                tags.join(", "),
+                if queue.len() > 16 { ", …" } else { "" }
+            ));
+        }
+        if !any {
+            out.push_str("\n  (no pending messages parked on this rank)");
+        }
+        out
     }
 
     /// Receives the next message from `from` with matching `tag`, buffering
     /// any other tags that arrive first.
     ///
     /// # Panics
-    /// Panics after 60 s without a matching message (deadlock tripwire).
+    /// Panics after 60 s without a matching message (deadlock tripwire),
+    /// dumping this rank's pending queues to aid diagnosis.
     pub fn recv(&mut self, from: usize, tag: u64) -> Payload {
         assert!(from < self.size);
         // Check the parked messages first.
-        {
+        let parked = {
             let mut pending = self.pending.borrow_mut();
-            if let Some(pos) = pending[from].iter().position(|e| e.tag == tag) {
-                let env = pending[from].remove(pos);
-                self.stats.msgs_recv += 1;
-                self.stats.bytes_recv += env.payload.n_bytes();
-                return env.payload;
-            }
+            pending[from]
+                .iter()
+                .position(|e| e.tag == tag)
+                .map(|pos| pending[from].remove(pos))
+        };
+        if let Some(env) = parked {
+            self.note_recv(from, tag, env.payload.n_bytes());
+            return env.payload;
         }
         loop {
-            let env = self.from[from]
-                .recv_timeout(RECV_TIMEOUT)
-                .unwrap_or_else(|_| {
+            let env = match self.from[from].recv_timeout(RECV_TIMEOUT) {
+                Ok(env) => env,
+                Err(_) => {
+                    let dump = self.pending_dump();
                     panic!(
-                        "rank {} timed out receiving tag {tag} from {from}",
-                        self.rank
-                    )
-                });
+                        "rank {} timed out after {:?} receiving tag {tag:#x} from rank {from} \
+                         (likely deadlock); queue state:{dump}",
+                        self.rank, RECV_TIMEOUT
+                    );
+                }
+            };
             debug_assert_eq!(env.from, from);
             if env.tag == tag {
-                self.stats.msgs_recv += 1;
-                self.stats.bytes_recv += env.payload.n_bytes();
+                self.note_recv(from, tag, env.payload.n_bytes());
                 return env.payload;
             }
             self.pending.borrow_mut()[from].push(env);
@@ -317,7 +396,7 @@ impl Comm {
         // Reduce to rank 0 up the binomial tree.
         let mut span = 1;
         while span < self.size {
-            if self.rank % (2 * span) == 0 {
+            if self.rank.is_multiple_of(2 * span) {
                 let partner = self.rank + span;
                 if partner < self.size {
                     let data = self.recv_f64s(partner, tag);
@@ -499,9 +578,7 @@ mod tests {
     fn allreduce_deterministic_order() {
         // Summation order is fixed by the tree: repeated runs bit-match.
         let vals = [0.1, 0.2, 0.3, 0.4, 0.7, 0.9, 1.3];
-        let run = || {
-            Universe::run(7, |c| c.allreduce_sum(vals[c.rank()], 3))
-        };
+        let run = || Universe::run(7, |c| c.allreduce_sum(vals[c.rank()], 3));
         assert_eq!(run(), run());
     }
 
@@ -513,17 +590,22 @@ mod tests {
 
     #[test]
     fn gather_concatenates_in_rank_order() {
-        let out = Universe::run(4, |c| {
-            c.gather_vec(0, &[c.rank() as f64; 2], 11)
-        });
-        assert_eq!(out[0].as_ref().unwrap(), &vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        let out = Universe::run(4, |c| c.gather_vec(0, &[c.rank() as f64; 2], 11));
+        assert_eq!(
+            out[0].as_ref().unwrap(),
+            &vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+        );
         assert!(out[1].is_none());
     }
 
     #[test]
     fn bcast_from_zero() {
         let out = Universe::run(8, |c| {
-            let mut x = if c.rank() == 0 { vec![42.0, 7.0] } else { vec![0.0, 0.0] };
+            let mut x = if c.rank() == 0 {
+                vec![42.0, 7.0]
+            } else {
+                vec![0.0, 0.0]
+            };
             c.bcast_vec_from_zero(&mut x, 21);
             x
         });
@@ -558,11 +640,13 @@ mod tests {
     fn machine_models_differ_as_expected() {
         let cluster = MachineModel::linux_cluster();
         let origin = MachineModel::origin_3800();
-        let stats = CommStats { msgs_sent: 1000, bytes_sent: 8_000_000, ..Default::default() };
+        let stats = CommStats {
+            msgs_sent: 1000,
+            bytes_sent: 8_000_000,
+            ..Default::default()
+        };
         // The cluster pays far more for the same traffic (latency+bandwidth).
-        assert!(
-            stats.modeled_comm_seconds(&cluster) > 10.0 * stats.modeled_comm_seconds(&origin)
-        );
+        assert!(stats.modeled_comm_seconds(&cluster) > 10.0 * stats.modeled_comm_seconds(&origin));
         // …but the loaded Origin multiplies everything.
         assert!(origin.load_factor > cluster.load_factor);
         assert_ne!(cluster.partition_seed, origin.partition_seed);

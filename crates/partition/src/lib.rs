@@ -22,6 +22,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Index loops mirror the papers' pseudocode in the numeric kernels.
+#![allow(clippy::needless_range_loop)]
 
 pub mod ordering;
 
@@ -96,7 +98,9 @@ impl Partition {
     pub fn n_interface_vertices(&self, adj: &Adjacency) -> usize {
         (0..adj.n())
             .filter(|&v| {
-                adj.neighbors(v).iter().any(|&w| self.owner[w] != self.owner[v])
+                adj.neighbors(v)
+                    .iter()
+                    .any(|&w| self.owner[w] != self.owner[v])
             })
             .count()
     }
@@ -353,7 +357,10 @@ pub fn partition_boxes_2d(nx: usize, ny: usize, px: usize, py: usize) -> Partiti
             owner[j * nx + i] = (bj * px + bi) as u32;
         }
     }
-    Partition { owner, n_parts: px * py }
+    Partition {
+        owner,
+        n_parts: px * py,
+    }
 }
 
 /// 3-D box partitioning of an `nx × ny × nz`-node grid into
@@ -377,21 +384,24 @@ pub fn partition_boxes_3d(
             }
         }
     }
-    Partition { owner, n_parts: px * py * pz }
+    Partition {
+        owner,
+        n_parts: px * py * pz,
+    }
 }
 
 /// Picks a near-square/cubic processor box layout for `p` parts in `dims`
 /// dimensions (used by the shape-study harness): returns factors of `p`
 /// whose product is `p`, as equal as possible.
 pub fn balanced_box_layout(p: usize, dims: usize) -> Vec<usize> {
-    assert!(dims >= 1 && dims <= 3);
+    assert!((1..=3).contains(&dims));
     let mut layout = vec![1usize; dims];
     let mut rem = p;
     // Repeatedly peel the smallest prime factor onto the smallest dimension.
     let mut d = 2usize;
     let mut factors = Vec::new();
     while d * d <= rem {
-        while rem % d == 0 {
+        while rem.is_multiple_of(d) {
             factors.push(d);
             rem /= d;
         }
@@ -424,7 +434,11 @@ mod tests {
             assert!(part.owner.iter().all(|&o| (o as usize) < p));
             let sizes = part.part_sizes();
             assert!(sizes.iter().all(|&s| s > 0), "{p} parts: {sizes:?}");
-            assert!(part.imbalance() < 1.25, "p={p} imbalance {}", part.imbalance());
+            assert!(
+                part.imbalance() < 1.25,
+                "p={p} imbalance {}",
+                part.imbalance()
+            );
         }
     }
 
@@ -516,7 +530,7 @@ mod tests {
         let part = partition_boxes_2d(20, 20, 2, 2);
         let n_if = part.n_interface_vertices(&adj);
         // Two cutting lines of 20 nodes each, doubled for both sides ≈ 80.
-        assert!(n_if >= 40 && n_if <= 120, "{n_if}");
+        assert!((40..=120).contains(&n_if), "{n_if}");
     }
 
     #[test]

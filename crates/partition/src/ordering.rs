@@ -136,7 +136,10 @@ mod tests {
         let rcm = reverse_cuthill_mckee(&adj);
         let bw_scrambled = bandwidth(&adj, &scrambled);
         let bw_rcm = bandwidth(&adj, &rcm);
-        assert!(bw_rcm * 4 < bw_scrambled, "rcm {bw_rcm} vs scrambled {bw_scrambled}");
+        assert!(
+            bw_rcm * 4 < bw_scrambled,
+            "rcm {bw_rcm} vs scrambled {bw_scrambled}"
+        );
         assert!(bw_rcm <= 2 * n, "rcm bandwidth {bw_rcm} too large");
     }
 

@@ -19,7 +19,13 @@ pub struct Coo {
 impl Coo {
     /// Creates an empty builder of the given shape.
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
-        Coo { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        Coo {
+            n_rows,
+            n_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates an empty builder with a triplet capacity hint.
@@ -65,10 +71,16 @@ impl Coo {
     /// Fallible variant of [`Coo::push`].
     pub fn try_push(&mut self, i: usize, j: usize, v: f64) -> Result<()> {
         if i >= self.n_rows {
-            return Err(Error::IndexOutOfBounds { index: i, bound: self.n_rows });
+            return Err(Error::IndexOutOfBounds {
+                index: i,
+                bound: self.n_rows,
+            });
         }
         if j >= self.n_cols {
-            return Err(Error::IndexOutOfBounds { index: j, bound: self.n_cols });
+            return Err(Error::IndexOutOfBounds {
+                index: j,
+                bound: self.n_cols,
+            });
         }
         self.rows.push(i);
         self.cols.push(j);

@@ -29,7 +29,13 @@ impl Csc {
         row_idx: Vec<usize>,
         vals: Vec<f64>,
     ) -> Result<Self> {
-        let m = Csc { n_rows, n_cols, col_ptr, row_idx, vals };
+        let m = Csc {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            vals,
+        };
         m.validate()?;
         Ok(m)
     }
@@ -58,7 +64,13 @@ impl Csc {
                 next[j] += 1;
             }
         }
-        Csc { n_rows, n_cols, col_ptr, row_idx, vals }
+        Csc {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            vals,
+        }
     }
 
     /// Converts to CSR.
@@ -156,8 +168,7 @@ impl Csc {
         if self.col_ptr.len() != self.n_cols + 1 || self.col_ptr[0] != 0 {
             return Err(Error::InvalidStructure("col_ptr shape"));
         }
-        if *self.col_ptr.last().unwrap() != self.vals.len()
-            || self.row_idx.len() != self.vals.len()
+        if *self.col_ptr.last().unwrap() != self.vals.len() || self.row_idx.len() != self.vals.len()
         {
             return Err(Error::InvalidStructure("nnz mismatch"));
         }

@@ -1,7 +1,6 @@
 //! Compressed sparse row matrices.
 
 use crate::{Error, Result};
-use rayon::prelude::*;
 
 /// A sparse matrix in compressed sparse row format.
 ///
@@ -27,7 +26,13 @@ impl Csr {
         col_idx: Vec<usize>,
         vals: Vec<f64>,
     ) -> Result<Self> {
-        let m = Csr { n_rows, n_cols, row_ptr, col_idx, vals };
+        let m = Csr {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            vals,
+        };
         m.validate()?;
         Ok(m)
     }
@@ -53,7 +58,13 @@ impl Csr {
             };
             m.validate().is_ok()
         });
-        Csr { n_rows, n_cols, row_ptr, col_idx, vals }
+        Csr {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// An `n x n` empty (all-zero) matrix.
@@ -96,7 +107,13 @@ impl Csr {
             }
             row_ptr.push(col_idx.len());
         }
-        Csr { n_rows, n_cols, row_ptr, col_idx, vals }
+        Csr {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Number of rows.
@@ -174,8 +191,7 @@ impl Csr {
         if self.row_ptr[0] != 0 {
             return Err(Error::InvalidStructure("row_ptr[0] != 0"));
         }
-        if *self.row_ptr.last().unwrap() != self.vals.len()
-            || self.col_idx.len() != self.vals.len()
+        if *self.row_ptr.last().unwrap() != self.vals.len() || self.col_idx.len() != self.vals.len()
         {
             return Err(Error::InvalidStructure("nnz mismatch"));
         }
@@ -233,25 +249,36 @@ impl Csr {
         }
     }
 
-    /// Data-parallel SpMV using rayon (row-chunked).
+    /// Data-parallel SpMV over scoped threads (row-chunked).
     ///
     /// Bitwise identical to [`Csr::spmv`]: each output element is an
     /// independent dot product, so parallelization does not reorder the
-    /// floating-point reduction within a row.
+    /// floating-point reduction within a row. Small matrices fall back to
+    /// the serial kernel to avoid thread spawn overhead.
     pub fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols);
         assert_eq!(y.len(), self.n_rows);
-        let row_ptr = &self.row_ptr;
-        let col_idx = &self.col_idx;
-        let vals = &self.vals;
-        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
-            let lo = row_ptr[i];
-            let hi = row_ptr[i + 1];
-            let mut acc = 0.0;
-            for (&j, &v) in col_idx[lo..hi].iter().zip(&vals[lo..hi]) {
-                acc += v * x[j];
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if threads <= 1 || self.n_rows < 4096 {
+            return self.spmv(x, y);
+        }
+        let chunk = self.n_rows.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (c, ys) in y.chunks_mut(chunk).enumerate() {
+                let row0 = c * chunk;
+                scope.spawn(move || {
+                    for (k, yi) in ys.iter_mut().enumerate() {
+                        let i = row0 + k;
+                        let lo = self.row_ptr[i];
+                        let hi = self.row_ptr[i + 1];
+                        let mut acc = 0.0;
+                        for (&j, &v) in self.col_idx[lo..hi].iter().zip(&self.vals[lo..hi]) {
+                            acc += v * x[j];
+                        }
+                        *yi = acc;
+                    }
+                });
             }
-            *yi = acc;
         });
     }
 
@@ -453,7 +480,13 @@ impl Csr {
             }
             row_ptr.push(col_idx.len());
         }
-        Ok(Csr { n_rows: n, n_cols: m, row_ptr, col_idx, vals })
+        Ok(Csr {
+            n_rows: n,
+            n_cols: m,
+            row_ptr,
+            col_idx,
+            vals,
+        })
     }
 
     /// Drops stored entries with `|a_ij| <= tol` (keeps diagonal always).
@@ -521,7 +554,8 @@ impl Csr {
         if self.n_rows != self.n_cols {
             return false;
         }
-        self.iter().all(|(i, j, v)| (self.get(j, i) - v).abs() <= tol)
+        self.iter()
+            .all(|(i, j, v)| (self.get(j, i) - v).abs() <= tol)
     }
 }
 

@@ -17,7 +17,11 @@ pub struct Dense {
 impl Dense {
     /// Zero matrix of the given shape.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        Dense { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+        Dense {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
     }
 
     /// Identity matrix.
@@ -75,7 +79,10 @@ impl Dense {
     /// In-place LU factorization with partial pivoting; returns the pivot
     /// permutation (row swaps applied in order).
     pub fn lu_factor(&mut self) -> Result<Vec<usize>> {
-        assert_eq!(self.n_rows, self.n_cols, "lu_factor: square matrix required");
+        assert_eq!(
+            self.n_rows, self.n_cols,
+            "lu_factor: square matrix required"
+        );
         let n = self.n_rows;
         let mut piv = Vec::with_capacity(n);
         for k in 0..n {

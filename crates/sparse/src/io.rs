@@ -22,11 +22,15 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr> {
         return Err(Error::InvalidStructure("missing %%MatrixMarket header"));
     }
     if !h.contains("matrix") || !h.contains("coordinate") || !h.contains("real") {
-        return Err(Error::InvalidStructure("only `matrix coordinate real` supported"));
+        return Err(Error::InvalidStructure(
+            "only `matrix coordinate real` supported",
+        ));
     }
     let symmetric = h.contains("symmetric");
     if !symmetric && !h.contains("general") {
-        return Err(Error::InvalidStructure("only general/symmetric qualifiers supported"));
+        return Err(Error::InvalidStructure(
+            "only general/symmetric qualifiers supported",
+        ));
     }
 
     let mut dims: Option<(usize, usize, usize)> = None;
@@ -43,7 +47,11 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr> {
             let n: usize = parse(it.next())?;
             let nnz: usize = parse(it.next())?;
             dims = Some((m, n, nnz));
-            coo = Some(Coo::with_capacity(m, n, if symmetric { 2 * nnz } else { nnz }));
+            coo = Some(Coo::with_capacity(
+                m,
+                n,
+                if symmetric { 2 * nnz } else { nnz },
+            ));
             continue;
         }
         let coo = coo.as_mut().expect("dims parsed first");

@@ -16,10 +16,12 @@
 //!
 //! Hot kernels follow the idioms of the Rust Performance Book: flat `Vec`
 //! storage, slice iteration instead of indexing, and optional data-parallel
-//! row-chunked SpMV via rayon ([`Csr::spmv_par`]).
+//! row-chunked SpMV over scoped threads ([`Csr::spmv_par`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Index loops mirror the papers' pseudocode in the numeric kernels.
+#![allow(clippy::needless_range_loop)]
 
 pub mod coo;
 pub mod csc;
@@ -70,8 +72,15 @@ pub enum Error {
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Error::DimensionMismatch { op, expected, found } => {
-                write!(f, "dimension mismatch in {op}: expected {expected}, found {found}")
+            Error::DimensionMismatch {
+                op,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch in {op}: expected {expected}, found {found}"
+                )
             }
             Error::MissingDiagonal(i) => write!(f, "missing diagonal entry in row {i}"),
             Error::ZeroPivot(i) => write!(f, "zero pivot encountered at row {i}"),

@@ -21,7 +21,10 @@ impl Permutation {
     /// Identity permutation of length `n`.
     pub fn identity(n: usize) -> Self {
         let perm: Vec<usize> = (0..n).collect();
-        Permutation { inv: perm.clone(), perm }
+        Permutation {
+            inv: perm.clone(),
+            perm,
+        }
     }
 
     /// Builds from a gather vector `perm[new] = old`; validates bijectivity.
@@ -30,7 +33,10 @@ impl Permutation {
         let mut inv = vec![usize::MAX; n];
         for (new, &old) in perm.iter().enumerate() {
             if old >= n {
-                return Err(Error::IndexOutOfBounds { index: old, bound: n });
+                return Err(Error::IndexOutOfBounds {
+                    index: old,
+                    bound: n,
+                });
             }
             if inv[old] != usize::MAX {
                 return Err(Error::InvalidStructure("permutation not injective"));

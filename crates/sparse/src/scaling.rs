@@ -66,7 +66,10 @@ pub fn equilibrate_symmetric(a: &Csr) -> (Csr, Vec<f64>) {
         }
         row_ptr.push(col_idx.len());
     }
-    (Csr::from_parts_unchecked(n, a.n_cols(), row_ptr, col_idx, vals), d)
+    (
+        Csr::from_parts_unchecked(n, a.n_cols(), row_ptr, col_idx, vals),
+        d,
+    )
 }
 
 /// Gershgorin bounds: every eigenvalue lies in

@@ -1,3 +1,4 @@
+#![allow(clippy::needless_range_loop)]
 //! Property-based tests for the sparse substrate.
 
 use parapre_sparse::{ops, Coo, Csr, Permutation};

@@ -1,0 +1,351 @@
+//! Unit suite for the trace recorder: span nesting, counter aggregation,
+//! JSONL round-trips, and cross-rank merging.
+
+use parapre_trace::{
+    install, phase, span, take, CommDir, Event, EventKind, PhaseStat, RankTrace, TraceSummary,
+};
+
+/// Builds a trace from (t_us, kind) pairs without going through a recorder.
+fn trace_of(rank: usize, events: Vec<(u64, EventKind)>) -> RankTrace {
+    RankTrace {
+        rank,
+        events: events
+            .into_iter()
+            .map(|(t_us, kind)| Event { t_us, kind })
+            .collect(),
+    }
+}
+
+fn enter(name: &str) -> EventKind {
+    EventKind::SpanEnter {
+        name: name.to_string(),
+    }
+}
+
+fn exit(name: &str) -> EventKind {
+    EventKind::SpanExit {
+        name: name.to_string(),
+    }
+}
+
+#[test]
+fn nested_spans_split_inclusive_and_exclusive_time() {
+    // solve [0, 100] containing spmv [10, 30] and spmv [50, 90].
+    let tr = trace_of(
+        0,
+        vec![
+            (0, enter(phase::SOLVE)),
+            (10, enter(phase::SPMV)),
+            (30, exit(phase::SPMV)),
+            (50, enter(phase::SPMV)),
+            (90, exit(phase::SPMV)),
+            (100, exit(phase::SOLVE)),
+        ],
+    );
+    let s = tr.summary();
+    let solve = s.phase(phase::SOLVE).unwrap();
+    assert_eq!(
+        *solve,
+        PhaseStat {
+            calls: 1,
+            incl_us: 100,
+            excl_us: 40
+        }
+    );
+    let spmv = s.phase(phase::SPMV).unwrap();
+    assert_eq!(
+        *spmv,
+        PhaseStat {
+            calls: 2,
+            incl_us: 60,
+            excl_us: 60
+        }
+    );
+}
+
+#[test]
+fn recursive_spans_count_inclusive_time_once() {
+    // solve [0, 100] containing an inner solve [20, 60] of the same name.
+    let tr = trace_of(
+        0,
+        vec![
+            (0, enter(phase::SOLVE)),
+            (20, enter(phase::SOLVE)),
+            (60, exit(phase::SOLVE)),
+            (100, exit(phase::SOLVE)),
+        ],
+    );
+    let s = tr.summary();
+    let solve = s.phase(phase::SOLVE).unwrap();
+    assert_eq!(solve.calls, 2);
+    // Inclusive counts only the outermost instance; exclusive sums both
+    // self-times (40 inner + 60 outer-minus-child).
+    assert_eq!(solve.incl_us, 100);
+    assert_eq!(solve.excl_us, 100);
+}
+
+#[test]
+fn unclosed_spans_are_closed_by_the_enclosing_exit() {
+    let tr = trace_of(
+        0,
+        vec![
+            (0, enter(phase::SOLVE)),
+            (10, enter(phase::SPMV)), // exit lost
+            (50, exit(phase::SOLVE)),
+        ],
+    );
+    let s = tr.summary();
+    assert_eq!(s.phase(phase::SPMV).unwrap().incl_us, 40);
+    assert_eq!(s.phase(phase::SOLVE).unwrap().incl_us, 50);
+}
+
+#[test]
+fn counters_and_gauges_aggregate() {
+    let tr = trace_of(
+        2,
+        vec![
+            (
+                1,
+                EventKind::Counter {
+                    name: "gmres.iters".into(),
+                    delta: 5,
+                },
+            ),
+            (
+                2,
+                EventKind::Counter {
+                    name: "gmres.iters".into(),
+                    delta: 7,
+                },
+            ),
+            (
+                3,
+                EventKind::Gauge {
+                    name: "arms.levels".into(),
+                    value: 1.0,
+                },
+            ),
+            (
+                4,
+                EventKind::Gauge {
+                    name: "arms.levels".into(),
+                    value: 2.0,
+                },
+            ),
+            (
+                5,
+                EventKind::Iter {
+                    iter: 1,
+                    relres: 0.5,
+                },
+            ),
+            (
+                6,
+                EventKind::Iter {
+                    iter: 2,
+                    relres: 0.25,
+                },
+            ),
+        ],
+    );
+    let s = tr.summary();
+    assert_eq!(s.counters["gmres.iters"], 12);
+    assert_eq!(s.gauges["arms.levels"], 2.0); // last write wins
+    assert_eq!(s.iterations, 2);
+    assert_eq!(s.final_relres, 0.25);
+}
+
+#[test]
+fn comm_events_fold_into_totals_and_per_peer() {
+    let tr = trace_of(
+        1,
+        vec![
+            (
+                1,
+                EventKind::Comm {
+                    dir: CommDir::Send,
+                    peer: 0,
+                    tag: 0x100,
+                    bytes: 80,
+                },
+            ),
+            (
+                2,
+                EventKind::Comm {
+                    dir: CommDir::Send,
+                    peer: 2,
+                    tag: 0x100,
+                    bytes: 40,
+                },
+            ),
+            (
+                3,
+                EventKind::Comm {
+                    dir: CommDir::Recv,
+                    peer: 0,
+                    tag: 0x100,
+                    bytes: 80,
+                },
+            ),
+        ],
+    );
+    let s = tr.summary();
+    assert_eq!(s.comm.msgs_sent, 2);
+    assert_eq!(s.comm.bytes_sent, 120);
+    assert_eq!(s.comm.msgs_recv, 1);
+    assert_eq!(s.comm.bytes_recv, 80);
+    assert_eq!(s.comm.per_peer[&0].bytes_sent, 80);
+    assert_eq!(s.comm.per_peer[&0].bytes_recv, 80);
+    assert_eq!(s.comm.per_peer[&2].bytes_sent, 40);
+}
+
+#[test]
+fn jsonl_round_trip_preserves_every_event_kind() {
+    let tr = trace_of(
+        7,
+        vec![
+            (0, enter("solve")),
+            (
+                3,
+                EventKind::Counter {
+                    name: "c\"quoted\"".into(),
+                    delta: 9,
+                },
+            ),
+            (
+                4,
+                EventKind::Gauge {
+                    name: "g".into(),
+                    value: -1.25e-3,
+                },
+            ),
+            (
+                5,
+                EventKind::Gauge {
+                    name: "nan".into(),
+                    value: f64::NAN,
+                },
+            ),
+            (
+                6,
+                EventKind::Iter {
+                    iter: 3,
+                    relres: 2.5e-7,
+                },
+            ),
+            (
+                7,
+                EventKind::Comm {
+                    dir: CommDir::Recv,
+                    peer: 4,
+                    tag: 0x200,
+                    bytes: 16,
+                },
+            ),
+            (9, exit("solve")),
+        ],
+    );
+    let text = tr.to_jsonl();
+    assert!(text.lines().next().unwrap().contains("\"kind\":\"meta\""));
+    let back = RankTrace::from_jsonl(&text).expect("parse back");
+    assert_eq!(back.rank, 7);
+    assert_eq!(back.events.len(), tr.events.len());
+    // NaN gauge serializes as null and comes back NaN; compare the rest
+    // exactly.
+    for (a, b) in back.events.iter().zip(&tr.events) {
+        match (&a.kind, &b.kind) {
+            (
+                EventKind::Gauge {
+                    name: na,
+                    value: va,
+                },
+                EventKind::Gauge {
+                    name: nb,
+                    value: vb,
+                },
+            ) if vb.is_nan() => {
+                assert_eq!(na, nb);
+                assert!(va.is_nan());
+            }
+            _ => assert_eq!(a, b),
+        }
+    }
+}
+
+#[test]
+fn live_recorder_round_trips_through_jsonl() {
+    install(5);
+    {
+        let _outer = span(phase::SETUP);
+        let _inner = span(phase::FACTOR);
+        parapre_trace::counter("factor.fill_nnz", 123);
+    }
+    parapre_trace::iteration(1, 0.125);
+    let tr = take().expect("recorder installed");
+    assert!(take().is_none(), "take() must uninstall");
+    let back = RankTrace::from_jsonl(&tr.to_jsonl()).unwrap();
+    assert_eq!(back, tr);
+    let s = back.summary();
+    assert_eq!(s.phase(phase::SETUP).unwrap().calls, 1);
+    assert_eq!(s.counters["factor.fill_nnz"], 123);
+}
+
+#[test]
+fn merge_takes_max_times_and_sums_counts() {
+    let a = trace_of(
+        0,
+        vec![
+            (0, enter(phase::SOLVE)),
+            (80, exit(phase::SOLVE)),
+            (
+                81,
+                EventKind::Counter {
+                    name: "c".into(),
+                    delta: 1,
+                },
+            ),
+            (
+                82,
+                EventKind::Comm {
+                    dir: CommDir::Send,
+                    peer: 1,
+                    tag: 1,
+                    bytes: 10,
+                },
+            ),
+        ],
+    )
+    .summary();
+    let b = trace_of(
+        1,
+        vec![
+            (0, enter(phase::SOLVE)),
+            (100, exit(phase::SOLVE)),
+            (
+                101,
+                EventKind::Counter {
+                    name: "c".into(),
+                    delta: 2,
+                },
+            ),
+            (
+                102,
+                EventKind::Comm {
+                    dir: CommDir::Send,
+                    peer: 0,
+                    tag: 1,
+                    bytes: 30,
+                },
+            ),
+        ],
+    )
+    .summary();
+    let m = TraceSummary::merge(&[a, b]);
+    assert_eq!(m.rank, usize::MAX);
+    let solve = m.phase(phase::SOLVE).unwrap();
+    assert_eq!(solve.calls, 2);
+    assert_eq!(solve.incl_us, 100); // max, not sum
+    assert_eq!(m.counters["c"], 3); // summed
+    assert_eq!(m.comm.bytes_sent, 40); // summed
+    assert!(m.table().contains("solve"));
+}

@@ -71,8 +71,7 @@ mod tests {
                 x.iter()
                     .enumerate()
                     .map(|(j, &v)| {
-                        v * (std::f64::consts::PI * (j + 1) as f64 * k as f64
-                            / (n + 1) as f64)
+                        v * (std::f64::consts::PI * (j + 1) as f64 * k as f64 / (n + 1) as f64)
                             .sin()
                     })
                     .sum()

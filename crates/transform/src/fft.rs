@@ -5,7 +5,7 @@ use crate::C64;
 use std::f64::consts::PI;
 
 /// In-place forward FFT (`X_k = Σ x_j e^{-2πi jk/n}`) for any length.
-pub fn fft(x: &mut Vec<C64>) {
+pub fn fft(x: &mut [C64]) {
     let n = x.len();
     if n <= 1 {
         return;
@@ -18,7 +18,7 @@ pub fn fft(x: &mut Vec<C64>) {
 }
 
 /// In-place inverse FFT (`x_j = (1/n) Σ X_k e^{+2πi jk/n}`).
-pub fn ifft(x: &mut Vec<C64>) {
+pub fn ifft(x: &mut [C64]) {
     let n = x.len();
     if n <= 1 {
         return;
@@ -74,7 +74,7 @@ fn fft_pow2(x: &mut [C64], inverse: bool) {
 
 /// Bluestein chirp-z: expresses an arbitrary-length DFT as a convolution,
 /// evaluated with power-of-two FFTs of length ≥ 2n − 1.
-fn bluestein(x: &mut Vec<C64>, inverse: bool) {
+fn bluestein(x: &mut [C64], inverse: bool) {
     let n = x.len();
     let sign = if inverse { 1.0 } else { -1.0 };
     let m = (2 * n - 1).next_power_of_two();

@@ -14,6 +14,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Index loops mirror the papers' pseudocode in the numeric kernels.
+#![allow(clippy::needless_range_loop)]
 
 pub mod dst;
 pub mod fft;
@@ -48,7 +50,10 @@ impl C64 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
     /// Squared magnitude.
     #[inline]
@@ -61,7 +66,10 @@ impl std::ops::Add for C64 {
     type Output = C64;
     #[inline]
     fn add(self, o: C64) -> C64 {
-        C64 { re: self.re + o.re, im: self.im + o.im }
+        C64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -69,7 +77,10 @@ impl std::ops::Sub for C64 {
     type Output = C64;
     #[inline]
     fn sub(self, o: C64) -> C64 {
-        C64 { re: self.re - o.re, im: self.im - o.im }
+        C64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -88,6 +99,9 @@ impl std::ops::Mul<f64> for C64 {
     type Output = C64;
     #[inline]
     fn mul(self, s: f64) -> C64 {
-        C64 { re: self.re * s, im: self.im * s }
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }

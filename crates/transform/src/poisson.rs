@@ -103,7 +103,11 @@ mod tests {
 
     #[test]
     fn inverts_the_stencil_exactly() {
-        for (nx, ny, hx, hy) in [(5usize, 5usize, 1.0, 1.0), (8, 3, 0.2, 0.5), (13, 17, 1.0, 1.0)] {
+        for (nx, ny, hx, hy) in [
+            (5usize, 5usize, 1.0, 1.0),
+            (8, 3, 0.2, 0.5),
+            (13, 17, 1.0, 1.0),
+        ] {
             let fp = FastPoisson2d::new(nx, ny, hx, hy);
             let u_true: Vec<f64> = (0..nx * ny).map(|i| (i as f64 * 0.17).sin()).collect();
             let f = fp.apply(&u_true, hx, hy);

@@ -33,7 +33,12 @@ impl FastPoisson3d {
                 }
             }
         }
-        FastPoisson3d { nx, ny, nz, inv_eig }
+        FastPoisson3d {
+            nx,
+            ny,
+            nz,
+            inv_eig,
+        }
     }
 
     /// Grid extents.
@@ -80,8 +85,7 @@ impl FastPoisson3d {
     pub fn solve_in_place(&self, f: &mut [f64]) {
         assert_eq!(f.len(), self.nx * self.ny * self.nz);
         self.transform_all(f);
-        let s = 8.0
-            / ((self.nx as f64 + 1.0) * (self.ny as f64 + 1.0) * (self.nz as f64 + 1.0));
+        let s = 8.0 / ((self.nx as f64 + 1.0) * (self.ny as f64 + 1.0) * (self.nz as f64 + 1.0));
         for (v, &ie) in f.iter_mut().zip(&self.inv_eig) {
             *v *= ie * s;
         }
@@ -140,8 +144,7 @@ mod tests {
     fn inverts_the_7point_stencil() {
         for (nx, ny, nz, h) in [(4usize, 5usize, 6usize, 1.0), (7, 7, 7, 0.25)] {
             let fp = FastPoisson3d::new(nx, ny, nz, h, h, h);
-            let u_true: Vec<f64> =
-                (0..nx * ny * nz).map(|i| (i as f64 * 0.13).sin()).collect();
+            let u_true: Vec<f64> = (0..nx * ny * nz).map(|i| (i as f64 * 0.13).sin()).collect();
             let f = fp.apply(&u_true, h, h, h);
             let u = fp.solve(&f);
             for (a, b) in u.iter().zip(&u_true) {

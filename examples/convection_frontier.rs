@@ -7,8 +7,8 @@
 //! cargo run --release --example convection_frontier
 //! ```
 
-use parapre::core::{build_case, CaseId, CaseSize, PrecondKind};
 use parapre::core::runner::{run_case, RunConfig};
+use parapre::core::{build_case, CaseId, CaseSize, PrecondKind};
 use parapre::dist::{gather_vector, scatter_vector, DistGmres, DistGmresConfig, DistMatrix};
 use parapre::mpisim::Universe;
 use parapre::partition::partition_graph;
@@ -26,7 +26,11 @@ fn main() {
         println!(
             "{:>10} {:>6} {:>10.3}",
             kind.label(),
-            if res.converged { res.iterations.to_string() } else { "n.c.".into() },
+            if res.converged {
+                res.iterations.to_string()
+            } else {
+                "n.c.".into()
+            },
             res.wall_seconds
         );
     }
@@ -64,6 +68,9 @@ fn main() {
     let at = |i: usize, j: usize| u[j * nx + i];
     assert!(at(1, nx - 2) > 0.7, "upper-left should be ~1");
     assert!(at(nx - 2, 1).abs() < 0.3, "lower-right should be ~0");
-    println!("\nfront verified: upper-left u = {:.3}, lower-right u = {:.3}",
-        at(1, nx - 2), at(nx - 2, 1));
+    println!(
+        "\nfront verified: upper-left u = {:.3}, lower-right u = {:.3}",
+        at(1, nx - 2),
+        at(nx - 2, 1)
+    );
 }

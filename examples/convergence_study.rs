@@ -9,10 +9,10 @@
 //! cargo run --release -p parapre --example convergence_study
 //! ```
 
+use parapre::core::{build_case_sized, CaseId};
 use parapre::dist::{gather_vector, scatter_vector, DistGmres, DistGmresConfig, DistMatrix};
 use parapre::fem::norms::error_norms_2d;
 use parapre::fem::poisson;
-use parapre::core::{build_case_sized, CaseId};
 use parapre::mpisim::Universe;
 use parapre::partition::partition_graph;
 
@@ -28,26 +28,27 @@ fn solve_tc1(n: usize) -> (f64, f64) {
         let m = parapre::core::Schur1Precond::build(&dm, Default::default()).unwrap();
         let b_loc = scatter_vector(&dm.layout, b);
         let mut x = scatter_vector(&dm.layout, x0);
-        let rep = DistGmres::new(DistGmresConfig { rel_tol: 1e-10, ..Default::default() })
-            .solve(comm, &dm, &m, &b_loc, &mut x);
+        let rep = DistGmres::new(DistGmresConfig {
+            rel_tol: 1e-10,
+            ..Default::default()
+        })
+        .solve(comm, &dm, &m, &b_loc, &mut x);
         assert!(rep.converged);
         gather_vector(comm, &dm.layout, &x, b.len())
     });
     let u = gathered[0].as_ref().unwrap().clone();
     // Rebuild the mesh to evaluate the norms (same generator, same n).
     let mesh = parapre::grid::structured::unit_square(n, n);
-    let e = error_norms_2d(
-        &mesh,
-        &u,
-        |x, y| poisson::exact_tc1(x, y),
-        |x, y| [y.exp(), x * y.exp()],
-    );
+    let e = error_norms_2d(&mesh, &u, poisson::exact_tc1, |x, y| [y.exp(), x * y.exp()]);
     (e.l2, e.h1_semi)
 }
 
 fn main() {
     println!("P1 convergence study, Test Case 1 (u = x e^y), distributed Schur 1 solves\n");
-    println!("{:>6} {:>12} {:>8} {:>12} {:>8}", "n", "L2 error", "rate", "H1 error", "rate");
+    println!(
+        "{:>6} {:>12} {:>8} {:>12} {:>8}",
+        "n", "L2 error", "rate", "H1 error", "rate"
+    );
     let mut prev: Option<(f64, f64)> = None;
     for n in [9usize, 17, 33, 65] {
         let (l2, h1) = solve_tc1(n);
@@ -55,7 +56,10 @@ fn main() {
             Some((pl2, ph1)) => ((pl2 / l2).log2(), (ph1 / h1).log2()),
             None => (f64::NAN, f64::NAN),
         };
-        println!("{:>6} {:>12.3e} {:>8.2} {:>12.3e} {:>8.2}", n, l2, r2, h1, r1);
+        println!(
+            "{:>6} {:>12.3e} {:>8.2} {:>12.3e} {:>8.2}",
+            n, l2, r2, h1, r1
+        );
         prev = Some((l2, h1));
     }
     println!("\nexpected asymptotic rates: L2 → 2.0, H1 → 1.0");

@@ -8,8 +8,8 @@
 //! cargo run --release --example elasticity_ring
 //! ```
 
-use parapre::core::{build_case, CaseId, CaseSize, PrecondKind};
 use parapre::core::runner::{run_case, RunConfig};
+use parapre::core::{build_case, CaseId, CaseSize, PrecondKind};
 use parapre::dist::{gather_vector, scatter_vector, DistGmres, DistGmresConfig, DistMatrix};
 use parapre::mpisim::Universe;
 use parapre::partition::partition_graph;
@@ -17,7 +17,11 @@ use parapre::partition::partition_graph;
 fn main() {
     let case = build_case(CaseId::Tc6, CaseSize::Tiny);
     println!("== {} ==", case.id.name());
-    println!("grid: {} ({} unknowns)\n", case.grid_desc, case.n_unknowns());
+    println!(
+        "grid: {} ({} unknowns)\n",
+        case.grid_desc,
+        case.n_unknowns()
+    );
 
     // Give the block preconditioners a *tight* budget, as in the paper's
     // narrative: they have "trouble producing satisfactory convergence".
@@ -32,7 +36,11 @@ fn main() {
             "{:>10} {:>8} {:>12}",
             kind.label(),
             res.iterations,
-            if res.converged { "converged" } else { "NOT conv." }
+            if res.converged {
+                "converged"
+            } else {
+                "NOT conv."
+            }
         );
     }
     let (s1, _) = iters["Schur 1"];
@@ -52,8 +60,11 @@ fn main() {
         let m = parapre::core::Schur1Precond::build(&dm, Default::default()).unwrap();
         let b_loc = scatter_vector(&dm.layout, b);
         let mut x = scatter_vector(&dm.layout, x0);
-        let rep = DistGmres::new(DistGmresConfig { max_iters: 600, ..Default::default() })
-            .solve(comm, &dm, &m, &b_loc, &mut x);
+        let rep = DistGmres::new(DistGmresConfig {
+            max_iters: 600,
+            ..Default::default()
+        })
+        .solve(comm, &dm, &m, &b_loc, &mut x);
         assert!(rep.converged, "Schur 1 must converge on TC6");
         gather_vector(comm, &dm.layout, &x, b.len())
     });

@@ -14,7 +14,11 @@ use parapre::mpisim::MachineModel;
 fn main() {
     let case = build_case(CaseId::Tc2, CaseSize::Tiny);
     println!("== {} ==", case.id.name());
-    println!("grid: {} ({} unknowns)\n", case.grid_desc, case.n_unknowns());
+    println!(
+        "grid: {} ({} unknowns)\n",
+        case.grid_desc,
+        case.n_unknowns()
+    );
 
     for machine in [MachineModel::linux_cluster(), MachineModel::origin_3800()] {
         println!(
@@ -24,19 +28,29 @@ fn main() {
             1.0 / machine.seconds_per_byte / 1e6,
             machine.load_factor
         );
-        println!("{:>4} {:>10} {:>6} {:>12} {:>12}", "P", "precond", "#itr", "wall(s)", "model(s)");
+        println!(
+            "{:>4} {:>10} {:>6} {:>12} {:>12}",
+            "P", "precond", "#itr", "wall(s)", "model(s)"
+        );
         let mut per_kind: std::collections::HashMap<&str, Vec<usize>> = Default::default();
         for p in [2usize, 4, 8] {
             for kind in PrecondKind::ALL {
                 let mut cfg = RunConfig::paper(kind, p);
                 cfg.machine = machine;
                 let res = run_case(&case, &cfg);
-                per_kind.entry(kind.label()).or_default().push(res.iterations);
+                per_kind
+                    .entry(kind.label())
+                    .or_default()
+                    .push(res.iterations);
                 println!(
                     "{:>4} {:>10} {:>6} {:>12.3} {:>12.3}",
                     p,
                     kind.label(),
-                    if res.converged { res.iterations.to_string() } else { "n.c.".into() },
+                    if res.converged {
+                        res.iterations.to_string()
+                    } else {
+                        "n.c.".into()
+                    },
                     res.wall_seconds,
                     res.modeled_seconds
                 );

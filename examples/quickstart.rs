@@ -16,7 +16,11 @@ fn main() {
     // or Full for paper-scale runs.
     let case = build_case(CaseId::Tc1, CaseSize::Tiny);
     println!("== {} ==", case.id.name());
-    println!("grid: {} ({} unknowns)\n", case.grid_desc, case.n_unknowns());
+    println!(
+        "grid: {} ({} unknowns)\n",
+        case.grid_desc,
+        case.n_unknowns()
+    );
 
     // --- Figure 1: internal / interdomain-interface / external-interface
     //     census of each subdomain under a 4-way general partition.
@@ -32,7 +36,11 @@ fn main() {
     let owner_ref = &owner;
     let census = Universe::run(p, move |comm| {
         let dm = DistMatrix::from_global(a, owner_ref, comm.rank(), p);
-        (dm.layout.n_internal, dm.layout.n_interface, dm.layout.n_ghost)
+        (
+            dm.layout.n_internal,
+            dm.layout.n_interface,
+            dm.layout.n_ghost,
+        )
     });
     for (r, (ni, nf, ng)) in census.iter().enumerate() {
         println!("{r:>5} {ni:>10} {nf:>22} {ng:>20}");
@@ -40,13 +48,20 @@ fn main() {
 
     // --- The four preconditioners of the study.
     println!("\nFGMRES(20), ||r||/||r0|| <= 1e-6, P = {p}:");
-    println!("{:>10} {:>6} {:>10} {:>12}", "precond", "#itr", "wall(s)", "modeled(s)");
+    println!(
+        "{:>10} {:>6} {:>10} {:>12}",
+        "precond", "#itr", "wall(s)", "modeled(s)"
+    );
     for kind in PrecondKind::ALL {
         let res = run_case(&case, &RunConfig::paper(kind, p));
         println!(
             "{:>10} {:>6} {:>10.3} {:>12.3}",
             kind.label(),
-            if res.converged { res.iterations.to_string() } else { "n.c.".into() },
+            if res.converged {
+                res.iterations.to_string()
+            } else {
+                "n.c.".into()
+            },
             res.wall_seconds,
             res.modeled_seconds,
         );

@@ -8,18 +8,19 @@
 //! cargo run --release --example schwarz_vs_algebraic
 //! ```
 
-use parapre::core::{
-    build_case, AdditiveSchwarz, CaseId, CaseSize, PrecondKind, SchwarzConfig,
-};
 use parapre::core::runner::{run_case, RunConfig};
+use parapre::core::{build_case, AdditiveSchwarz, CaseId, CaseSize, PrecondKind, SchwarzConfig};
 use parapre::krylov::{Gmres, GmresConfig};
 
 fn schwarz_iters(case: &parapre::core::AssembledCase, cfg: &SchwarzConfig) -> Option<usize> {
     let dims = case.structured_dims.unwrap();
     let m = AdditiveSchwarz::build(dims[0], dims[1], cfg);
     let mut x = case.x0.clone();
-    let rep = Gmres::new(GmresConfig { max_iters: 800, ..Default::default() })
-        .solve(&case.sys.a, &m, &case.sys.b, &mut x);
+    let rep = Gmres::new(GmresConfig {
+        max_iters: 800,
+        ..Default::default()
+    })
+    .solve(&case.sys.a, &m, &case.sys.b, &mut x);
     rep.converged.then_some(rep.iterations)
 }
 
@@ -28,7 +29,10 @@ fn main() {
     println!("== additive Schwarz vs algebraic preconditioners ==");
     println!("{} on {}\n", case.id.name(), case.grid_desc);
 
-    println!("{:>4} {:>16} {:>16}", "P", "Schwarz no-CGC", "Schwarz + CGC");
+    println!(
+        "{:>4} {:>16} {:>16}",
+        "P", "Schwarz no-CGC", "Schwarz + CGC"
+    );
     let mut growth = Vec::new();
     for p in [2usize, 4, 8, 16] {
         let no = schwarz_iters(&case, &SchwarzConfig::without_cgc(p));
@@ -52,7 +56,11 @@ fn main() {
         println!(
             "{:>10}: {}",
             kind.label(),
-            if res.converged { format!("{} iterations", res.iterations) } else { "n.c.".into() }
+            if res.converged {
+                format!("{} iterations", res.iterations)
+            } else {
+                "n.c.".into()
+            }
         );
     }
     println!("\npaper: with CGCs additive Schwarz converges faster than all four;");

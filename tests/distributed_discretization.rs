@@ -18,7 +18,7 @@ fn subdomain_assembly_equals_row_distribution() {
 
     for rank in 0..p {
         // Path A: distribute rows of the global matrix.
-        let dm = DistMatrix::from_global(&a_glob, &part.owner, rank as usize, p);
+        let dm = DistMatrix::from_global(&a_glob, &part.owner, rank, p);
 
         // Path B: extract the subdomain mesh and assemble locally.
         let sub = submesh::extract_2d(&mesh, &part.owner, rank as u32);
@@ -53,7 +53,10 @@ fn subdomain_assembly_equals_row_distribution() {
             sub_entries.sort_by_key(|&(c, _)| c);
             for ((gc, gv), (hc, hv)) in dist_entries.iter().zip(&sub_entries) {
                 assert_eq!(gc, hc, "row {grow}: column sets differ");
-                assert!((gv - hv).abs() < 1e-13, "row {grow}, col {gc}: {gv} vs {hv}");
+                assert!(
+                    (gv - hv).abs() < 1e-13,
+                    "row {grow}, col {gc}: {gv} vs {hv}"
+                );
             }
         }
     }

@@ -41,8 +41,11 @@ fn distributed_solution_matches_manufactured_solution() {
         let m = parapre::core::Schur1Precond::build(&dm, Default::default()).unwrap();
         let b_loc = scatter_vector(&dm.layout, b);
         let mut x = scatter_vector(&dm.layout, x0);
-        let rep = DistGmres::new(DistGmresConfig { rel_tol: 1e-9, ..Default::default() })
-            .solve(comm, &dm, &m, &b_loc, &mut x);
+        let rep = DistGmres::new(DistGmresConfig {
+            rel_tol: 1e-9,
+            ..Default::default()
+        })
+        .solve(comm, &dm, &m, &b_loc, &mut x);
         assert!(rep.converged);
         gather_vector(comm, &dm.layout, &x, b.len())
     });
@@ -81,7 +84,10 @@ fn partition_seed_changes_iteration_counts_somewhere() {
             }
         }
     }
-    assert!(any_diff, "machine partition seeds never changed the iteration count");
+    assert!(
+        any_diff,
+        "machine partition seeds never changed the iteration count"
+    );
 }
 
 #[test]
@@ -98,8 +104,7 @@ fn dirichlet_values_survive_distribution() {
         let m = parapre::core::BlockPrecond::ilut(&dm, &Default::default()).unwrap();
         let b_loc = scatter_vector(&dm.layout, b);
         let mut x = scatter_vector(&dm.layout, x0);
-        let rep =
-            DistGmres::new(DistGmresConfig::default()).solve(comm, &dm, &m, &b_loc, &mut x);
+        let rep = DistGmres::new(DistGmresConfig::default()).solve(comm, &dm, &m, &b_loc, &mut x);
         assert!(rep.converged);
         gather_vector(comm, &dm.layout, &x, b.len())
     });

@@ -3,8 +3,7 @@
 
 use parapre::core::runner::PartitionScheme;
 use parapre::core::{
-    build_case, run_case, AdditiveSchwarz, CaseId, CaseSize, PrecondKind, RunConfig,
-    SchwarzConfig,
+    build_case, run_case, AdditiveSchwarz, CaseId, CaseSize, PrecondKind, RunConfig, SchwarzConfig,
 };
 use parapre::krylov::{Gmres, GmresConfig};
 
@@ -33,8 +32,10 @@ fn claim2_schur2_most_stable_tc2() {
     // elimination to be meaningful: 11³ nodes, not the 7³ Tiny preset.)
     let case = parapre::core::build_case_sized(CaseId::Tc2, 11);
     let spread = |kind| {
-        let counts: Vec<usize> =
-            [2usize, 4, 8].iter().map(|&p| iters(&case, kind, p).0).collect();
+        let counts: Vec<usize> = [2usize, 4, 8]
+            .iter()
+            .map(|&p| iters(&case, kind, p).0)
+            .collect();
         counts.iter().max().unwrap() - counts.iter().min().unwrap()
     };
     let s2 = spread(PrecondKind::Schur2);
@@ -51,7 +52,10 @@ fn claim3_blocks_degrade_on_elasticity() {
     let (s1, s1c) = iters(&case, PrecondKind::Schur1, 4);
     let (b1, b1c) = iters(&case, PrecondKind::Block1, 4);
     assert!(s1c, "Schur1 must converge on TC6");
-    assert!(!b1c || b1 > s1, "Block1 ({b1}, conv={b1c}) should trail Schur1 ({s1})");
+    assert!(
+        !b1c || b1 > s1,
+        "Block1 ({b1}, conv={b1c}) should trail Schur1 ({s1})"
+    );
 }
 
 #[test]
@@ -77,7 +81,11 @@ fn claim5_subdomain_shape_barely_matters() {
         let boxes = run_case(&case, &cfg);
         assert!(gen.converged && boxes.converged);
         let (a, b) = (gen.iterations as i64, boxes.iterations as i64);
-        assert!((a - b).abs() <= a.max(b) / 2 + 3, "{}: general {a} vs boxes {b}", kind.label());
+        assert!(
+            (a - b).abs() <= a.max(b) / 2 + 3,
+            "{}: general {a} vs boxes {b}",
+            kind.label()
+        );
     }
 }
 
@@ -90,16 +98,25 @@ fn claim6_schwarz_needs_cgc() {
     let solve = |cfg: &SchwarzConfig| {
         let m = AdditiveSchwarz::build(dims[0], dims[1], cfg);
         let mut x = case.x0.clone();
-        let rep = Gmres::new(GmresConfig { max_iters: 800, ..Default::default() })
-            .solve(&case.sys.a, &m, &case.sys.b, &mut x);
+        let rep = Gmres::new(GmresConfig {
+            max_iters: 800,
+            ..Default::default()
+        })
+        .solve(&case.sys.a, &m, &case.sys.b, &mut x);
         assert!(rep.converged);
         rep.iterations
     };
     let no_small = solve(&SchwarzConfig::without_cgc(2));
     let no_large = solve(&SchwarzConfig::without_cgc(16));
     let yes_large = solve(&SchwarzConfig::with_cgc(16));
-    assert!(no_large > no_small, "no-CGC iterations must grow: {no_small} -> {no_large}");
-    assert!(yes_large < no_large, "CGC must help: {yes_large} vs {no_large}");
+    assert!(
+        no_large > no_small,
+        "no-CGC iterations must grow: {no_small} -> {no_large}"
+    );
+    assert!(
+        yes_large < no_large,
+        "CGC must help: {yes_large} vs {no_large}"
+    );
     // At this reduced scale CGC-Schwarz already beats the block
     // preconditioners; the paper's stronger "faster than all four" holds
     // at bench scale (see EXPERIMENTS.md, E8).

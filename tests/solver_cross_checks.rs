@@ -20,14 +20,21 @@ fn bicgstab_gmres_ssor_agree_on_tc5_system() {
     let a = &case.sys.a;
     let b = &case.sys.b;
     let mut x_g = vec![0.0; n];
-    let rg = Gmres::new(GmresConfig { rel_tol: 1e-9, max_iters: 2000, ..Default::default() })
-        .solve(a, &IdentityPrecond::new(n), b, &mut x_g);
+    let rg = Gmres::new(GmresConfig {
+        rel_tol: 1e-9,
+        max_iters: 2000,
+        ..Default::default()
+    })
+    .solve(a, &IdentityPrecond::new(n), b, &mut x_g);
     assert!(rg.converged);
 
     let f = Ilutp::factor(a, &IlutpConfig::default()).unwrap();
     let mut x_b = vec![0.0; n];
-    let rb = BiCgStab::new(BiCgStabConfig { rel_tol: 1e-9, ..Default::default() })
-        .solve(a, &f, b, &mut x_b);
+    let rb = BiCgStab::new(BiCgStabConfig {
+        rel_tol: 1e-9,
+        ..Default::default()
+    })
+    .solve(a, &f, b, &mut x_b);
     assert!(rb.converged, "bicgstab+ilutp relres {}", rb.final_relres);
 
     for (u, v) in x_g.iter().zip(&x_b) {
@@ -37,8 +44,12 @@ fn bicgstab_gmres_ssor_agree_on_tc5_system() {
     let tc1 = build_case(CaseId::Tc1, CaseSize::Tiny);
     let m = Ssor::new(&tc1.sys.a, 1.2).unwrap();
     let mut x_s = tc1.x0.clone();
-    let rs = Gmres::new(GmresConfig { rel_tol: 1e-9, max_iters: 2000, ..Default::default() })
-        .solve(&tc1.sys.a, &m, &tc1.sys.b, &mut x_s);
+    let rs = Gmres::new(GmresConfig {
+        rel_tol: 1e-9,
+        max_iters: 2000,
+        ..Default::default()
+    })
+    .solve(&tc1.sys.a, &m, &tc1.sys.b, &mut x_s);
     assert!(rs.converged);
 }
 
@@ -55,11 +66,17 @@ fn distributed_cg_and_fgmres_same_solution_on_spd_case() {
         let m = parapre::core::BlockPrecond::ilu0(&dm).unwrap();
         let b_loc = scatter_vector(&dm.layout, b);
         let mut x1 = scatter_vector(&dm.layout, x0);
-        let r1 = DistGmres::new(DistGmresConfig { rel_tol: 1e-9, ..Default::default() })
-            .solve(comm, &dm, &m, &b_loc, &mut x1);
+        let r1 = DistGmres::new(DistGmresConfig {
+            rel_tol: 1e-9,
+            ..Default::default()
+        })
+        .solve(comm, &dm, &m, &b_loc, &mut x1);
         let mut x2 = scatter_vector(&dm.layout, x0);
-        let r2 = DistCg::new(DistCgConfig { rel_tol: 1e-9, ..Default::default() })
-            .solve(comm, &dm, &m, &b_loc, &mut x2);
+        let r2 = DistCg::new(DistCgConfig {
+            rel_tol: 1e-9,
+            ..Default::default()
+        })
+        .solve(comm, &dm, &m, &b_loc, &mut x2);
         assert!(r1.converged && r2.converged);
         x1.iter()
             .zip(&x2)
@@ -75,13 +92,13 @@ fn distributed_cg_and_fgmres_same_solution_on_spd_case() {
 fn heterogeneous_diffusion_solved_by_all_preconditioners() {
     // −∇·(k∇u) with a 100:1 layered coefficient, distributed solves.
     let mesh = unit_square(17, 17);
-    let (a, b) = varcoeff::assemble_2d(
-        &mesh,
-        |x, _| if x < 0.5 { 1.0 } else { 100.0 },
-        |_, _| 1.0,
-    );
+    let (a, b) = varcoeff::assemble_2d(&mesh, |x, _| if x < 0.5 { 1.0 } else { 100.0 }, |_, _| 1.0);
     let mut sys = LinearSystem { a, b };
-    let fixed = bc::dirichlet_where(&mesh.coords, |p| p[0] < 1e-12 || p[0] > 1.0 - 1e-12, |_| 0.0);
+    let fixed = bc::dirichlet_where(
+        &mesh.coords,
+        |p| p[0] < 1e-12 || p[0] > 1.0 - 1e-12,
+        |_| 0.0,
+    );
     bc::apply_dirichlet(&mut sys, &fixed);
     let part = partition_graph(&mesh.adjacency(), 4, 7);
     let (a_ref, b_ref, owner_ref) = (&sys.a, &sys.b, &part.owner);
@@ -92,16 +109,25 @@ fn heterogeneous_diffusion_solved_by_all_preconditioners() {
             let mut x = vec![0.0; dm.layout.n_owned()];
             let rep = if use_schur {
                 let m = parapre::core::Schur1Precond::build(&dm, Default::default()).unwrap();
-                DistGmres::new(DistGmresConfig { max_iters: 500, ..Default::default() })
-                    .solve(comm, &dm, &m, &b_loc, &mut x)
+                DistGmres::new(DistGmresConfig {
+                    max_iters: 500,
+                    ..Default::default()
+                })
+                .solve(comm, &dm, &m, &b_loc, &mut x)
             } else {
                 let m = parapre::core::BlockPrecond::ilut(&dm, &Default::default()).unwrap();
-                DistGmres::new(DistGmresConfig { max_iters: 500, ..Default::default() })
-                    .solve(comm, &dm, &m, &b_loc, &mut x)
+                DistGmres::new(DistGmresConfig {
+                    max_iters: 500,
+                    ..Default::default()
+                })
+                .solve(comm, &dm, &m, &b_loc, &mut x)
             };
             rep.converged
         });
-        assert!(out.iter().all(|&c| c), "schur={use_schur} failed on layered medium");
+        assert!(
+            out.iter().all(|&c| c),
+            "schur={use_schur} failed on layered medium"
+        );
     }
 }
 
