@@ -1,46 +1,27 @@
 //! General-purpose driver: solve a Matrix Market system with any of the
-//! paper's parallel preconditioners.
+//! paper's parallel preconditioners, through a cached solver session.
 //!
 //! ```text
 //! cargo run --release -p parapre-bench --bin solve_mtx -- matrix.mtx \
 //!     [--precond schur1|schur2|block1|block2|overlap] [--ranks 4] \
-//!     [--rhs ones|rowsum] [--tol 1e-6] [--maxit 500] [--seed 1]
+//!     [--rhs ones|rowsum|FILE] [--repeat 1] [--tol 1e-6] [--maxit 500] \
+//!     [--seed 1]
 //! ```
 //!
 //! The right-hand side is synthesized (`ones`: b = A·1, so the exact
-//! solution is the vector of ones; `rowsum`: b = 1). The matrix graph is
+//! solution is the vector of ones; `rowsum`: b = 1) or read from a vector
+//! file (plain text or Matrix Market `array`). The matrix graph is
 //! partitioned with the general graph partitioner, the system distributed,
-//! and FGMRES(20) run to the requested tolerance. This is the
-//! "adopt-the-library" path: no meshes or PDEs involved.
+//! and FGMRES(20) run to the requested tolerance. Solves go through a
+//! [`parapre_engine::SolverSession`] held in a session cache, so
+//! `--repeat N` factors once and hits the cache N−1 times; each repeat
+//! reports the *true* residual ‖b−Ax‖/‖b‖ alongside the solver's recursive
+//! estimate. This is the "adopt-the-library" path: no meshes or PDEs
+//! involved.
 
-use parapre_core::{BlockPrecond, OverlapBlockPrecond, Schur1Precond, Schur2Precond};
-use parapre_dist::{DistGmres, DistGmresConfig, DistMatrix, DistPrecond};
-use parapre_grid::Adjacency;
-use parapre_krylov::IlutConfig;
-use parapre_mpisim::Universe;
-use parapre_partition::partition_graph;
-use parapre_sparse::io::load_mtx;
-use parapre_sparse::Csr;
-
-fn graph_of(a: &Csr) -> Adjacency {
-    // Symmetrized pattern graph of the matrix.
-    let mut nbrs: Vec<Vec<usize>> = vec![Vec::new(); a.n_rows()];
-    for (i, j, _) in a.iter() {
-        if i != j {
-            nbrs[i].push(j);
-            nbrs[j].push(i);
-        }
-    }
-    let mut xadj = vec![0usize];
-    let mut adjncy = Vec::new();
-    for list in &mut nbrs {
-        list.sort_unstable();
-        list.dedup();
-        adjncy.extend_from_slice(list);
-        xadj.push(adjncy.len());
-    }
-    Adjacency { xadj, adjncy }
-}
+use parapre_core::PrecondKind;
+use parapre_engine::{SessionCache, SessionConfig, SessionKey, SolverSession};
+use parapre_sparse::io::{load_mtx, load_vec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +29,7 @@ fn main() {
     let mut precond = "schur1".to_string();
     let mut ranks = 4usize;
     let mut rhs_kind = "ones".to_string();
+    let mut repeat = 1usize;
     let mut tol = 1e-6f64;
     let mut maxit = 500usize;
     let mut seed = 1u64;
@@ -65,6 +47,10 @@ fn main() {
             "--rhs" => {
                 i += 1;
                 rhs_kind = args[i].clone();
+            }
+            "--repeat" => {
+                i += 1;
+                repeat = args[i].parse::<usize>().expect("repeat count").max(1);
             }
             "--tol" => {
                 i += 1;
@@ -91,61 +77,51 @@ fn main() {
     let b: Vec<f64> = match rhs_kind.as_str() {
         "ones" => a.mul_vec(&vec![1.0; n]),
         "rowsum" => vec![1.0; n],
-        other => panic!("unknown --rhs {other}"),
-    };
-    // Symmetrize the pattern for the distribution layer if needed: the
-    // layout derivation assumes structural symmetry.
-    let at = a.transpose();
-    let a_sym_pattern = {
-        let mut zero_at = at.clone();
-        for v in zero_at.vals_mut() {
-            *v = 0.0;
+        file => {
+            let b = load_vec(file).expect("readable rhs vector file");
+            assert_eq!(b.len(), n, "rhs length must match the matrix");
+            b
         }
-        a.add(1.0, &zero_at).expect("same shape")
     };
-    let part = partition_graph(&graph_of(&a_sym_pattern), ranks, seed);
-    eprintln!(
-        "[solve_mtx] partition: edge cut {}, imbalance {:.3}",
-        part.edge_cut(&graph_of(&a_sym_pattern)),
-        part.imbalance()
-    );
 
-    let (a_ref, b_ref, owner_ref, precond_ref) = (&a_sym_pattern, &b, &part.owner, &precond);
-    let results = Universe::run(ranks, move |comm| {
-        let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), ranks);
-        let m: Box<dyn DistPrecond> = match precond_ref.as_str() {
-            "block1" => Box::new(BlockPrecond::ilu0(&dm).expect("ILU(0)")),
-            "block2" => Box::new(BlockPrecond::ilut(&dm, &IlutConfig::default()).expect("ILUT")),
-            "schur1" => Box::new(Schur1Precond::build(&dm, Default::default()).expect("Schur1")),
-            "schur2" => {
-                Box::new(Schur2Precond::build(&dm, comm, Default::default()).expect("Schur2"))
-            }
-            "overlap" => Box::new(
-                OverlapBlockPrecond::build(&dm, a_ref, &IlutConfig::default()).expect("overlap"),
-            ),
-            other => panic!("unknown --precond {other}"),
-        };
-        let b_loc = parapre_dist::scatter_vector(&dm.layout, b_ref);
-        let mut x = vec![0.0; dm.layout.n_owned()];
-        let rep = DistGmres::new(DistGmresConfig {
-            rel_tol: tol,
-            max_iters: maxit,
-            ..Default::default()
-        })
-        .solve(comm, &dm, &m, &b_loc, &mut x);
-        (
+    let kind =
+        PrecondKind::parse(&precond).unwrap_or_else(|| panic!("unknown --precond {precond}"));
+    let mut cfg = SessionConfig::paper(kind, ranks);
+    cfg.partition_seed = seed;
+    cfg.gmres.rel_tol = tol;
+    cfg.gmres.max_iters = maxit;
+
+    // The session symmetrizes the sparsity pattern (zero-valued transpose
+    // entries) before distributing: the layout requires structural symmetry.
+    let cache = SessionCache::new(1);
+    let key = SessionKey::new(a.fingerprint(), &cfg);
+    let mut all_converged = true;
+    for rep_no in 1..=repeat {
+        let (session, hit) = cache
+            .get_or_build(key.clone(), || SolverSession::from_matrix(&a, &cfg))
+            .unwrap_or_else(|e| panic!("session build failed: {e}"));
+        let rep = session
+            .solve(&b)
+            .unwrap_or_else(|e| panic!("solve failed: {e}"));
+        all_converged &= rep.converged;
+        println!(
+            "precond={precond} P={ranks} repeat={rep_no}/{repeat} cache_hit={hit} \
+             converged={} iterations={} relres={:.3e} true_relres={:.3e} \
+             setup={:.3}s solve={:.3}s",
             rep.converged,
             rep.iterations,
             rep.final_relres,
-            comm.stats(),
-        )
-    });
-    let (conv, iters, relres, _) = &results[0];
-    let msgs: u64 = results.iter().map(|r| r.3.msgs_sent).sum();
-    println!(
-        "precond={precond} P={ranks} converged={conv} iterations={iters} relres={relres:.3e} msgs={msgs}"
+            rep.true_relres,
+            if hit { 0.0 } else { session.setup_seconds() },
+            rep.solve_seconds,
+        );
+    }
+    let stats = cache.stats();
+    eprintln!(
+        "[solve_mtx] cache: {} hits {} misses (factorizations)",
+        stats.hits, stats.misses
     );
-    if !conv {
+    if !all_converged {
         std::process::exit(2);
     }
 }

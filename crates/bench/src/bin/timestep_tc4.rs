@@ -1,0 +1,101 @@
+//! TC4 time-stepping harness: march the implicit heat equation against a
+//! single cached factorization and report per-step solver behavior.
+//!
+//! ```text
+//! cargo run --release -p parapre-bench --bin timestep_tc4 -- \
+//!     [--extent 15] [--steps 10] [--dt 0.02] [--ranks 4] [--precond schur1]
+//! ```
+//!
+//! The system matrix `M + Δt·K` is constant across steps, so the session
+//! factors it exactly once; every step only reassembles `b = M uˡ⁻¹` and
+//! solves, seeded with the previous state. Solves are traced, and the
+//! harness *verifies* the zero-refactor claim: any `setup.factor` span
+//! observed during the marched steps is a failure (exit 2).
+
+use parapre_core::PrecondKind;
+use parapre_engine::{march_heat, SessionConfig, TimestepConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut extent = 15usize;
+    let mut steps = 10usize;
+    let mut dt = 0.02f64;
+    let mut ranks = 4usize;
+    let mut precond = "schur1".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--extent" => {
+                i += 1;
+                extent = args[i].parse().expect("extent");
+            }
+            "--steps" => {
+                i += 1;
+                steps = args[i].parse().expect("steps");
+            }
+            "--dt" => {
+                i += 1;
+                dt = args[i].parse().expect("dt");
+            }
+            "--ranks" => {
+                i += 1;
+                ranks = args[i].parse().expect("rank count");
+            }
+            "--precond" => {
+                i += 1;
+                precond = args[i].clone();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    let kind =
+        PrecondKind::parse(&precond).unwrap_or_else(|| panic!("unknown --precond {precond}"));
+    let cfg = TimestepConfig {
+        extent,
+        steps,
+        dt,
+        session: SessionConfig::paper(kind, ranks),
+        trace: true,
+    };
+    eprintln!(
+        "[timestep_tc4] heat on {extent}^3 grid, {steps} steps of dt={dt}, {} P={ranks}",
+        kind.key()
+    );
+    let report = march_heat(&cfg).expect("march");
+
+    println!(
+        "n={} setup={:.3}s (one factorization)",
+        report.n_unknowns, report.setup_seconds
+    );
+    println!("step  iters  relres      true_relres  solve_s   amplitude");
+    let mut solve_total = 0.0;
+    let mut all_converged = true;
+    for s in &report.steps {
+        solve_total += s.solve_seconds;
+        all_converged &= s.true_relres <= 1e-5;
+        println!(
+            "{:>4}  {:>5}  {:.3e}  {:.3e}    {:.4}    {:.5}",
+            s.step, s.iterations, s.final_relres, s.true_relres, s.solve_seconds, s.amplitude
+        );
+    }
+    let per_step = solve_total / report.steps.len().max(1) as f64;
+    println!(
+        "setup={:.3}s per_step={per_step:.4}s amortization={:.1}x factor_spans_during_steps={}",
+        report.setup_seconds,
+        report.setup_seconds / per_step.max(1e-12),
+        report.factor_spans_during_steps
+    );
+    if report.factor_spans_during_steps != 0 {
+        eprintln!("[timestep_tc4] FAIL: marched steps performed factorization work");
+        std::process::exit(2);
+    }
+    if !all_converged {
+        eprintln!("[timestep_tc4] FAIL: a step's true residual exceeded 1e-5");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "[timestep_tc4] PASS: one factorization served {} steps",
+        report.steps.len()
+    );
+}

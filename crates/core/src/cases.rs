@@ -45,6 +45,25 @@ impl CaseId {
             CaseId::Tc6 => "Test Case 6 (linear elasticity)",
         }
     }
+
+    /// Stable machine-readable key (`tc1`…`tc6`) for CLIs and job streams.
+    pub fn key(self) -> &'static str {
+        match self {
+            CaseId::Tc1 => "tc1",
+            CaseId::Tc2 => "tc2",
+            CaseId::Tc3 => "tc3",
+            CaseId::Tc4 => "tc4",
+            CaseId::Tc5 => "tc5",
+            CaseId::Tc6 => "tc6",
+        }
+    }
+
+    /// Inverse of [`CaseId::key`] (case-insensitive).
+    pub fn parse(s: &str) -> Option<CaseId> {
+        CaseId::ALL
+            .into_iter()
+            .find(|c| c.key().eq_ignore_ascii_case(s))
+    }
 }
 
 /// Grid-resolution presets.
@@ -56,6 +75,18 @@ pub enum CaseSize {
     Default,
     /// The paper's sizes (≈ a million unknowns; minutes of runtime).
     Full,
+}
+
+impl CaseSize {
+    /// Parses `tiny` / `default` / `full` (case-insensitive).
+    pub fn parse(s: &str) -> Option<CaseSize> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(CaseSize::Tiny),
+            "default" => Some(CaseSize::Default),
+            "full" => Some(CaseSize::Full),
+            _ => None,
+        }
+    }
 }
 
 /// An assembled, BC-applied test case.

@@ -33,7 +33,10 @@ pub mod schwarz;
 pub use block::BlockPrecond;
 pub use cases::{build_case, build_case_sized, AssembledCase, CaseId, CaseSize};
 pub use overlap::OverlapBlockPrecond;
-pub use runner::{run_case, run_case_traced, PrecondKind, RunConfig, RunResult};
+pub use runner::{
+    build_dist_precond, partition_case, partition_case_with, run_case, run_case_traced,
+    PartitionScheme, PrecondKind, PrecondParams, RunConfig, RunResult,
+};
 pub use schur::{Schur1Config, Schur1Precond};
 pub use schur2::{Schur2Config, Schur2Precond};
 pub use schwarz::{AdditiveSchwarz, SchwarzConfig};

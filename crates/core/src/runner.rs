@@ -58,6 +58,29 @@ impl PrecondKind {
             PrecondKind::BlockOverlap => "Block+ovl",
         }
     }
+
+    /// Stable machine-readable key (CLI values, cache keys, JSONL jobs).
+    pub fn key(self) -> &'static str {
+        match self {
+            PrecondKind::Block1 => "block1",
+            PrecondKind::Block2 => "block2",
+            PrecondKind::Schur1 => "schur1",
+            PrecondKind::Schur2 => "schur2",
+            PrecondKind::BlockOverlap => "overlap",
+        }
+    }
+
+    /// Inverse of [`PrecondKind::key`] (case-insensitive).
+    pub fn parse(s: &str) -> Option<PrecondKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "block1" => Some(PrecondKind::Block1),
+            "block2" => Some(PrecondKind::Block2),
+            "schur1" => Some(PrecondKind::Schur1),
+            "schur2" => Some(PrecondKind::Schur2),
+            "overlap" | "blockoverlap" => Some(PrecondKind::BlockOverlap),
+            _ => None,
+        }
+    }
 }
 
 /// How to split the global grid among ranks.
@@ -71,6 +94,54 @@ pub enum PartitionScheme {
     Boxes,
     /// Recursive coordinate bisection (extra geometric baseline).
     Rcb,
+}
+
+impl PartitionScheme {
+    /// Stable machine-readable key (CLI values, cache keys, JSONL jobs).
+    pub fn key(self) -> &'static str {
+        match self {
+            PartitionScheme::General => "general",
+            PartitionScheme::Boxes => "boxes",
+            PartitionScheme::Rcb => "rcb",
+        }
+    }
+
+    /// Inverse of [`PartitionScheme::key`] (case-insensitive).
+    pub fn parse(s: &str) -> Option<PartitionScheme> {
+        match s.to_ascii_lowercase().as_str() {
+            "general" => Some(PartitionScheme::General),
+            "boxes" => Some(PartitionScheme::Boxes),
+            "rcb" => Some(PartitionScheme::Rcb),
+            _ => None,
+        }
+    }
+}
+
+/// Preconditioner tuning parameters shared by the runner, the benches, and
+/// the engine's solver sessions — everything [`build_dist_precond`] needs
+/// beyond the [`PrecondKind`] discriminant.
+#[derive(Debug, Clone, Copy)]
+pub struct PrecondParams {
+    /// ILUT parameters for `Block 2` / the overlap variant.
+    pub ilut: IlutConfig,
+    /// `Schur 1` parameters.
+    pub schur1: Schur1Config,
+    /// `Schur 2` parameters.
+    pub schur2: Schur2Config,
+}
+
+impl Default for PrecondParams {
+    /// Paper defaults (ILUT(10⁻³, 30), §4.4 Schur settings).
+    fn default() -> Self {
+        PrecondParams {
+            ilut: IlutConfig {
+                drop_tol: 1e-3,
+                fill: 30,
+            },
+            schur1: Schur1Config::default(),
+            schur2: Schur2Config::default(),
+        }
+    }
 }
 
 /// Full description of one table cell.
@@ -123,6 +194,15 @@ impl RunConfig {
         self.machine = MachineModel::origin_3800();
         self
     }
+
+    /// The preconditioner tuning knobs bundled for [`build_dist_precond`].
+    pub fn precond_params(&self) -> PrecondParams {
+        PrecondParams {
+            ilut: self.ilut,
+            schur1: self.schur1,
+            schur2: self.schur2,
+        }
+    }
 }
 
 /// Result of one run (one table cell).
@@ -160,25 +240,64 @@ pub struct RunResult {
 
 /// Partitions the case's node graph under the requested scheme.
 pub fn partition_case(case: &AssembledCase, cfg: &RunConfig) -> Partition {
-    match cfg.scheme {
-        PartitionScheme::General => partition_graph(
-            &case.node_adjacency,
-            cfg.n_ranks,
-            cfg.machine.partition_seed,
-        ),
-        PartitionScheme::Rcb => partition_rcb(&case.node_coords, cfg.n_ranks),
+    partition_case_with(case, cfg.scheme, cfg.n_ranks, cfg.machine.partition_seed)
+}
+
+/// [`partition_case`] without a full [`RunConfig`] — the entry point for
+/// callers (solver sessions) that carry scheme/rank-count/seed directly.
+pub fn partition_case_with(
+    case: &AssembledCase,
+    scheme: PartitionScheme,
+    n_ranks: usize,
+    seed: u64,
+) -> Partition {
+    match scheme {
+        PartitionScheme::General => partition_graph(&case.node_adjacency, n_ranks, seed),
+        PartitionScheme::Rcb => partition_rcb(&case.node_coords, n_ranks),
         PartitionScheme::Boxes => {
             let dims = case
                 .structured_dims
                 .expect("box partitioning requires a structured grid");
             if dims[2] == 1 {
-                let layout = balanced_box_layout(cfg.n_ranks, 2);
+                let layout = balanced_box_layout(n_ranks, 2);
                 partition_boxes_2d(dims[0], dims[1], layout[0], layout[1])
             } else {
-                let layout = balanced_box_layout(cfg.n_ranks, 3);
+                let layout = balanced_box_layout(n_ranks, 3);
                 partition_boxes_3d(dims[0], dims[1], dims[2], layout[0], layout[1], layout[2])
             }
         }
+    }
+}
+
+/// Builds the requested preconditioner for one rank's rows under the
+/// `setup.factor`-bearing phases — the single construction path shared by
+/// the runner and the engine's cached sessions.
+///
+/// Collective for [`PrecondKind::Schur2`] (its build communicates), so all
+/// ranks must call this together. `a_global` is only consulted by the
+/// overlap variant, which widens each subdomain by one layer.
+pub fn build_dist_precond(
+    kind: PrecondKind,
+    dm: &DistMatrix,
+    comm: &mut parapre_mpisim::Comm,
+    a_global: &parapre_sparse::Csr,
+    params: &PrecondParams,
+) -> Box<dyn DistPrecond> {
+    match kind {
+        PrecondKind::Block1 => Box::new(BlockPrecond::ilu0(dm).expect("ILU(0) factorization")),
+        PrecondKind::Block2 => {
+            Box::new(BlockPrecond::ilut(dm, &params.ilut).expect("ILUT factorization"))
+        }
+        PrecondKind::Schur1 => {
+            Box::new(Schur1Precond::build(dm, params.schur1).expect("Schur1 setup"))
+        }
+        PrecondKind::Schur2 => {
+            Box::new(Schur2Precond::build(dm, comm, params.schur2).expect("Schur2 setup"))
+        }
+        PrecondKind::BlockOverlap => Box::new(
+            crate::overlap::OverlapBlockPrecond::build(dm, a_global, &params.ilut)
+                .expect("overlap ILUT factorization"),
+        ),
     }
 }
 
@@ -227,24 +346,7 @@ pub fn run_case_traced(
         let t0 = Instant::now();
         let m: Box<dyn DistPrecond> = {
             let _setup = parapre_trace::span(parapre_trace::phase::SETUP);
-            match cfg_ref.precond {
-                PrecondKind::Block1 => {
-                    Box::new(BlockPrecond::ilu0(&dm).expect("ILU(0) factorization"))
-                }
-                PrecondKind::Block2 => {
-                    Box::new(BlockPrecond::ilut(&dm, &cfg_ref.ilut).expect("ILUT factorization"))
-                }
-                PrecondKind::Schur1 => {
-                    Box::new(Schur1Precond::build(&dm, cfg_ref.schur1).expect("Schur1 setup"))
-                }
-                PrecondKind::Schur2 => {
-                    Box::new(Schur2Precond::build(&dm, comm, cfg_ref.schur2).expect("Schur2 setup"))
-                }
-                PrecondKind::BlockOverlap => Box::new(
-                    crate::overlap::OverlapBlockPrecond::build(&dm, a, &cfg_ref.ilut)
-                        .expect("overlap ILUT factorization"),
-                ),
-            }
+            build_dist_precond(cfg_ref.precond, &dm, comm, a, &cfg_ref.precond_params())
         };
         let setup = t0.elapsed().as_secs_f64();
         let b_loc = scatter_vector(&dm.layout, b);

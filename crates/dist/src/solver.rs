@@ -20,7 +20,13 @@ pub trait DistOp {
 }
 
 /// A distributed preconditioner `z = M⁻¹ r` on owned-unknown vectors.
-pub trait DistPrecond {
+///
+/// `Send + Sync` is a supertrait because setup and apply are separated:
+/// once factored, a preconditioner is immutable state that solver sessions
+/// cache and share across the rank threads of many subsequent solves
+/// (`apply` takes `&self`; all per-solve mutability lives in `comm` and the
+/// output buffer).
+pub trait DistPrecond: Send + Sync {
     /// `z = M⁻¹ r` (may communicate; may be flexible/inner-iterative).
     fn apply(&self, comm: &mut Comm, r: &[f64], z: &mut [f64]);
 }

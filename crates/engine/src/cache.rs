@@ -1,0 +1,179 @@
+//! The session cache: LRU-evicting, single-flight, keyed by matrix content
+//! and solver configuration.
+//!
+//! A cache hit means a job skips partitioning, row distribution, and the
+//! whole preconditioner factorization — the dominant cost of small repeated
+//! solves. Keys combine the matrix [`fingerprint`](parapre_sparse::Csr::fingerprint)
+//! with [`SessionConfig::config_string`], so two jobs share a session iff
+//! they would have built bit-identical ones. Hit/miss/eviction counts are
+//! kept in process-wide atomics *and* emitted as `parapre-trace` counters
+//! (`engine.cache.hit` / `.miss` / `.evict`) on traced threads.
+
+use crate::session::{SessionConfig, SolverSession};
+use crate::EngineError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Cache identity of a session.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// Content fingerprint of the (already layout-ready) matrix.
+    pub fingerprint: u64,
+    /// Canonical solver-configuration string
+    /// ([`SessionConfig::config_string`]).
+    pub config: String,
+}
+
+impl SessionKey {
+    /// Builds the key for `cfg` applied to a matrix with `fingerprint`.
+    pub fn new(fingerprint: u64, cfg: &SessionConfig) -> SessionKey {
+        SessionKey {
+            fingerprint,
+            config: cfg.config_string(),
+        }
+    }
+}
+
+/// Counter snapshot for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Sessions evicted by the LRU policy.
+    pub evictions: u64,
+    /// Sessions currently resident.
+    pub len: usize,
+    /// Maximum resident sessions.
+    pub capacity: usize,
+}
+
+struct Entry {
+    session: Arc<SolverSession>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<SessionKey, Entry>,
+    /// Keys currently being built by some thread (single-flight guard:
+    /// concurrent identical jobs wait instead of factoring twice).
+    building: Vec<SessionKey>,
+    tick: u64,
+}
+
+/// A bounded, thread-safe LRU cache of [`SolverSession`]s.
+pub struct SessionCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    built: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SessionCache {
+    /// Creates a cache holding at most `capacity` sessions (min 1).
+    pub fn new(capacity: usize) -> SessionCache {
+        SessionCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                building: Vec::new(),
+                tick: 0,
+            }),
+            built: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached session for `key`, building it with `build` on a
+    /// miss. The boolean is `true` for a hit. Concurrent callers with the
+    /// same key block until the first finishes (single-flight); callers
+    /// with different keys build concurrently (the lock is not held while
+    /// building).
+    pub fn get_or_build<F>(
+        &self,
+        key: SessionKey,
+        build: F,
+    ) -> Result<(Arc<SolverSession>, bool), EngineError>
+    where
+        F: FnOnce() -> Result<SolverSession, EngineError>,
+    {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            loop {
+                if inner.map.contains_key(&key) {
+                    inner.tick += 1;
+                    let tick = inner.tick;
+                    let entry = inner.map.get_mut(&key).expect("just found");
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    parapre_trace::counter("engine.cache.hit", 1);
+                    return Ok((Arc::clone(&entry.session), true));
+                }
+                if inner.building.contains(&key) {
+                    inner = self.built.wait(inner).expect("cache lock");
+                    continue;
+                }
+                inner.building.push(key.clone());
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                parapre_trace::counter("engine.cache.miss", 1);
+                break;
+            }
+        }
+        let built = build();
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.building.retain(|k| k != &key);
+        let result = match built {
+            Ok(session) => {
+                let session = Arc::new(session);
+                inner.tick += 1;
+                let tick = inner.tick;
+                inner.map.insert(
+                    key,
+                    Entry {
+                        session: Arc::clone(&session),
+                        last_used: tick,
+                    },
+                );
+                while inner.map.len() > self.capacity {
+                    let lru = inner
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone())
+                        .expect("non-empty over capacity");
+                    inner.map.remove(&lru);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    parapre_trace::counter("engine.cache.evict", 1);
+                }
+                Ok((session, false))
+            }
+            Err(e) => Err(e),
+        };
+        drop(inner);
+        self.built.notify_all();
+        result
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every resident session (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().expect("cache lock").map.clear();
+    }
+}

@@ -1,0 +1,321 @@
+//! The JSONL job protocol of `parapre-serve` and the solve-job resolution
+//! shared with the scheduler.
+//!
+//! One job per line, flat JSON. Builtin-case job:
+//!
+//! ```json
+//! {"id":"j1","case":"tc1","size":"tiny","precond":"schur1","ranks":4,"repeat":2}
+//! ```
+//!
+//! Matrix Market job (`rhs` is `ones`, `rowsum`, or a vector-file path):
+//!
+//! ```json
+//! {"id":"j2","mtx":"path/to/a.mtx","rhs":"ones","precond":"block2","ranks":2}
+//! ```
+//!
+//! Recognized keys: `id`, `case` *or* `mtx`, `n` (explicit grid extent,
+//! overrides `size`), `size` (`tiny`/`default`/`full`), `precond`, `ranks`,
+//! `scheme`, `seed`, `repeat`, `rhs`, `tol`, `maxit`, `restart`. Results
+//! come back one flat-ish JSON line per job (the `iterations` array is the
+//! only nesting).
+
+use crate::session::{partition_matrix, SessionConfig};
+use crate::EngineError;
+use parapre_core::{build_case, build_case_sized, CaseId, CaseSize, PartitionScheme, PrecondKind};
+use parapre_core::{partition_case_with, AssembledCase};
+use parapre_sparse::Csr;
+use parapre_trace::flatjson::{self, JsonValue};
+use std::path::PathBuf;
+
+/// Where a job's matrix comes from.
+#[derive(Debug, Clone)]
+pub enum ProblemSpec {
+    /// One of the paper's assembled test cases.
+    Case {
+        /// Which case.
+        id: CaseId,
+        /// Grid-size preset (used when `extent` is `None`).
+        size: CaseSize,
+        /// Explicit grid extent overriding the preset.
+        extent: Option<usize>,
+    },
+    /// A Matrix Market file.
+    Mtx {
+        /// Path to the `.mtx` file.
+        path: PathBuf,
+    },
+}
+
+/// Where a job's right-hand side comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RhsSpec {
+    /// The case's natural (assembled) right-hand side; falls back to
+    /// [`RhsSpec::Ones`] for Matrix Market problems.
+    Natural,
+    /// All ones.
+    Ones,
+    /// Row sums of the matrix (makes `x = 1` the exact solution).
+    RowSum,
+    /// A vector file (plain text or Matrix Market `array`).
+    File(PathBuf),
+}
+
+/// One solve request.
+#[derive(Debug, Clone)]
+pub struct SolveJob {
+    /// Caller-chosen identifier echoed in the result.
+    pub id: String,
+    /// Matrix source.
+    pub problem: ProblemSpec,
+    /// Right-hand-side source.
+    pub rhs: RhsSpec,
+    /// How many times to solve (identical RHS; exercises the cached
+    /// factors on every repeat after the first).
+    pub repeat: usize,
+    /// Session configuration (preconditioner, ranks, tolerances …).
+    pub session: SessionConfig,
+}
+
+/// The outcome of one job, serializable as a JSONL result line.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's identifier.
+    pub id: String,
+    /// Whether the job ran to completion (solves may still not converge —
+    /// see [`JobResult::converged`]).
+    pub ok: bool,
+    /// Failure message when `ok` is false.
+    pub error: Option<String>,
+    /// Whether every solve met the residual target.
+    pub converged: bool,
+    /// Outer iteration count of each repeat.
+    pub iterations: Vec<usize>,
+    /// Final recursive relative residual of the last solve.
+    pub final_relres: f64,
+    /// Final true relative residual ‖b−Ax‖/‖b‖ of the last solve.
+    pub true_relres: f64,
+    /// Whether the session came from cache.
+    pub cache_hit: bool,
+    /// Session setup wall time attributed to this job (0 on cache hits).
+    pub setup_seconds: f64,
+    /// Total solve wall time across repeats.
+    pub solve_seconds: f64,
+    /// Global problem size.
+    pub n_unknowns: usize,
+}
+
+impl JobResult {
+    /// A result for a job that failed before (or while) solving.
+    pub fn failed(id: impl Into<String>, error: impl Into<String>) -> JobResult {
+        JobResult {
+            id: id.into(),
+            ok: false,
+            error: Some(error.into()),
+            converged: false,
+            iterations: Vec::new(),
+            final_relres: f64::NAN,
+            true_relres: f64::NAN,
+            cache_hit: false,
+            setup_seconds: 0.0,
+            solve_seconds: 0.0,
+            n_unknowns: 0,
+        }
+    }
+
+    /// Serializes as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let iters: Vec<String> = self.iterations.iter().map(|i| i.to_string()).collect();
+        let mut out = format!(
+            "{{\"id\":\"{}\",\"ok\":{},\"converged\":{},\"iterations\":[{}],\
+             \"final_relres\":{},\"true_relres\":{},\"cache_hit\":{},\
+             \"setup_seconds\":{},\"solve_seconds\":{},\"n\":{}",
+            flatjson::escape(&self.id),
+            self.ok,
+            self.converged,
+            iters.join(","),
+            flatjson::json_f64(self.final_relres),
+            flatjson::json_f64(self.true_relres),
+            self.cache_hit,
+            flatjson::json_f64(self.setup_seconds),
+            flatjson::json_f64(self.solve_seconds),
+            self.n_unknowns,
+        );
+        if let Some(e) = &self.error {
+            out.push_str(&format!(",\"error\":\"{}\"", flatjson::escape(e)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Parses one JSONL job line. `seq` numbers auto-generated ids
+/// (`job-<seq>`) for lines without an `id`.
+pub fn parse_job_line(line: &str, seq: usize) -> Result<SolveJob, EngineError> {
+    let fields =
+        flatjson::parse_flat_object(line).map_err(|e| EngineError::BadJob(e.to_string()))?;
+    let get_str = |k: &str| fields.get(k).and_then(JsonValue::as_str);
+    let get_u = |k: &str| fields.get(k).and_then(JsonValue::as_u64);
+    let get_f = |k: &str| fields.get(k).and_then(JsonValue::as_f64);
+
+    let id = get_str("id")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("job-{seq}"));
+
+    let problem = match (get_str("case"), get_str("mtx")) {
+        (Some(c), None) => {
+            let case_id = CaseId::parse(c)
+                .ok_or_else(|| EngineError::BadJob(format!("unknown case {c:?}")))?;
+            let size = match get_str("size") {
+                Some(s) => CaseSize::parse(s)
+                    .ok_or_else(|| EngineError::BadJob(format!("unknown size {s:?}")))?,
+                None => CaseSize::Tiny,
+            };
+            ProblemSpec::Case {
+                id: case_id,
+                size,
+                extent: get_u("n").map(|n| n as usize),
+            }
+        }
+        (None, Some(path)) => ProblemSpec::Mtx {
+            path: PathBuf::from(path),
+        },
+        (Some(_), Some(_)) => {
+            return Err(EngineError::BadJob("give `case` or `mtx`, not both".into()))
+        }
+        (None, None) => return Err(EngineError::BadJob("missing `case` or `mtx`".into())),
+    };
+
+    let precond_str = get_str("precond").unwrap_or("schur1");
+    let precond = PrecondKind::parse(precond_str)
+        .ok_or_else(|| EngineError::BadJob(format!("unknown precond {precond_str:?}")))?;
+    let n_ranks = get_u("ranks").unwrap_or(4) as usize;
+    if n_ranks == 0 {
+        return Err(EngineError::BadJob("ranks must be >= 1".into()));
+    }
+    let mut session = SessionConfig::paper(precond, n_ranks);
+    if let Some(s) = get_str("scheme") {
+        session.scheme = PartitionScheme::parse(s)
+            .ok_or_else(|| EngineError::BadJob(format!("unknown scheme {s:?}")))?;
+    }
+    if let Some(seed) = get_u("seed") {
+        session.partition_seed = seed;
+    }
+    if let Some(tol) = get_f("tol") {
+        session.gmres.rel_tol = tol;
+    }
+    if let Some(maxit) = get_u("maxit") {
+        session.gmres.max_iters = maxit as usize;
+    }
+    if let Some(restart) = get_u("restart") {
+        session.gmres.restart = restart as usize;
+    }
+
+    let rhs = match get_str("rhs") {
+        None | Some("natural") => RhsSpec::Natural,
+        Some("ones") => RhsSpec::Ones,
+        Some("rowsum") => RhsSpec::RowSum,
+        Some(path) => RhsSpec::File(PathBuf::from(path)),
+    };
+
+    Ok(SolveJob {
+        id,
+        problem,
+        rhs,
+        repeat: get_u("repeat").unwrap_or(1).max(1) as usize,
+        session,
+    })
+}
+
+/// Cache identity of a job's *resolved problem* (assembled matrix,
+/// partition, rhs). Two jobs share a resolution iff every input to
+/// [`resolve_problem`] matches. File-backed problems (`mtx` / rhs files)
+/// are keyed by path, not content: a service caches what it read first.
+pub fn problem_key(job: &SolveJob) -> String {
+    format!(
+        "{:?}|{:?}|{}|{}|P{}",
+        job.problem,
+        job.rhs,
+        job.session.scheme.key(),
+        job.session.partition_seed,
+        job.session.n_ranks
+    )
+}
+
+/// A job's matrix, owner map, right-hand side, and optional initial guess,
+/// ready for [`SolverSession::build`](crate::SolverSession::build).
+pub struct ResolvedProblem {
+    /// The (layout-ready) global matrix.
+    pub a: Csr,
+    /// Per-unknown owning rank.
+    pub owner: Vec<u32>,
+    /// Right-hand side.
+    pub b: Vec<f64>,
+    /// Initial guess (the paper's per-case guess for builtin cases).
+    pub x0: Option<Vec<f64>>,
+}
+
+/// Materializes a job's problem: assembles the case or loads the file,
+/// partitions, and produces the right-hand side.
+pub fn resolve_problem(job: &SolveJob) -> Result<ResolvedProblem, EngineError> {
+    match &job.problem {
+        ProblemSpec::Case { id, size, extent } => {
+            let case: AssembledCase = match extent {
+                Some(n) => build_case_sized(*id, *n),
+                None => build_case(*id, *size),
+            };
+            let node_part = partition_case_with(
+                &case,
+                job.session.scheme,
+                job.session.n_ranks,
+                job.session.partition_seed,
+            );
+            let owner = case.dof_owner(&node_part.owner);
+            let b = rhs_for(&job.rhs, &case.sys.a, Some(&case.sys.b))?;
+            Ok(ResolvedProblem {
+                a: case.sys.a,
+                owner,
+                b,
+                x0: Some(case.x0),
+            })
+        }
+        ProblemSpec::Mtx { path } => {
+            let a = parapre_sparse::io::load_mtx(path)
+                .map_err(|e| EngineError::BadJob(format!("{}: {e:?}", path.display())))?;
+            if a.n_rows() != a.n_cols() {
+                return Err(EngineError::BadJob("matrix must be square".into()));
+            }
+            let (a_sym, owner) =
+                partition_matrix(&a, job.session.n_ranks, job.session.partition_seed);
+            let b = rhs_for(&job.rhs, &a_sym, None)?;
+            Ok(ResolvedProblem {
+                a: a_sym,
+                owner,
+                b,
+                x0: None,
+            })
+        }
+    }
+}
+
+fn rhs_for(spec: &RhsSpec, a: &Csr, natural: Option<&[f64]>) -> Result<Vec<f64>, EngineError> {
+    let n = a.n_rows();
+    Ok(match spec {
+        RhsSpec::Natural => match natural {
+            Some(b) => b.to_vec(),
+            None => vec![1.0; n],
+        },
+        RhsSpec::Ones => vec![1.0; n],
+        RhsSpec::RowSum => a.mul_vec(&vec![1.0; n]),
+        RhsSpec::File(path) => {
+            let b = parapre_sparse::io::load_vec(path)
+                .map_err(|e| EngineError::BadJob(format!("{}: {e:?}", path.display())))?;
+            if b.len() != n {
+                return Err(EngineError::BadJob(format!(
+                    "rhs length {} != matrix size {n}",
+                    b.len()
+                )));
+            }
+            b
+        }
+    })
+}

@@ -1,0 +1,65 @@
+//! # parapre-engine
+//!
+//! The serving layer on top of the reproduction: cached solver sessions, a
+//! keyed LRU session cache, and a bounded concurrent solve service.
+//!
+//! The experiment runner (`parapre-core`) rebuilds partition, distribution,
+//! and preconditioner factors for every solve and runs one job at a time —
+//! faithful to the paper's tables, wasteful for the paper's *workloads*
+//! (repeated solves: time stepping, parameter sweeps, request streams).
+//! This crate separates setup from solve:
+//!
+//! * [`SolverSession`] — partition + distribute + factor once, then serve
+//!   any number of `solve(rhs)` calls against the frozen per-rank state;
+//! * [`SessionCache`] — sessions keyed by (matrix fingerprint, solver
+//!   config) with LRU eviction, single-flight builds, and hit/miss
+//!   counters surfaced through `parapre-trace`;
+//! * [`SolveService`] — a worker pool running independent jobs over a
+//!   bounded set of mpisim universes (threads ≤ `P × pool_size`), with a
+//!   bounded queue and explicit [`SubmitError::QueueFull`] backpressure;
+//! * [`march_heat`] — the TC4 time-stepping driver: `N` implicit heat
+//!   steps against one factorization, per-step iteration counts reported;
+//! * `parapre-serve` — a CLI accepting a JSONL job stream (builtin cases
+//!   or Matrix Market files) and emitting JSONL results plus throughput
+//!   statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod jobs;
+pub mod service;
+pub mod session;
+pub mod timestep;
+
+pub use cache::{CacheStats, SessionCache, SessionKey};
+pub use jobs::{
+    parse_job_line, problem_key, resolve_problem, JobResult, ProblemSpec, ResolvedProblem, RhsSpec,
+    SolveJob,
+};
+pub use service::{Job, JobTicket, ServiceConfig, SolveService, SubmitError};
+pub use session::{SessionConfig, SessionSolveReport, SolverSession};
+pub use timestep::{march_heat, StepReport, TimestepConfig, TimestepReport};
+
+/// Errors of the serving layer.
+#[derive(Debug, Clone)]
+pub enum EngineError {
+    /// Session construction failed (rank failure messages, `;`-joined).
+    Setup(String),
+    /// A distributed solve failed (deadlock diagnostics or rank panics).
+    Solve(String),
+    /// A job specification or its inputs were invalid.
+    BadJob(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Setup(m) => write!(f, "session setup failed: {m}"),
+            EngineError::Solve(m) => write!(f, "distributed solve failed: {m}"),
+            EngineError::BadJob(m) => write!(f, "bad job: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,385 @@
+//! The concurrent solve service: a bounded worker pool over mpisim
+//! universes with a bounded queue and explicit backpressure.
+//!
+//! Each of the `pool_size` workers runs at most one job at a time, and a
+//! job launches at most `P` rank threads, so total solver threads stay
+//! capped at `P × pool_size` no matter how many jobs are submitted. When
+//! the queue is full, [`SolveService::submit`] *rejects* with
+//! [`SubmitError::QueueFull`] instead of buffering unboundedly — callers
+//! decide whether to wait, shed load, or retry.
+//!
+//! Failures stay contained: a job that deadlocks inside a universe comes
+//! back as a failed [`JobResult`] carrying the
+//! [`CommError`](parapre_mpisim::CommError) diagnostic (rank, peer, tag),
+//! and the worker moves on to the next job — the process is never
+//! poisoned.
+
+use crate::cache::{CacheStats, SessionCache, SessionKey};
+use crate::jobs::{problem_key, resolve_problem, JobResult, ResolvedProblem, SolveJob};
+use crate::session::SolverSession;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Sizing of the service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of worker threads (concurrent jobs).
+    pub pool_size: usize,
+    /// Maximum *queued* (not yet running) jobs before submissions are
+    /// rejected with backpressure.
+    pub queue_capacity: usize,
+    /// Session-cache capacity (resident factored sessions).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            pool_size: 4,
+            queue_capacity: 16,
+            cache_capacity: 4,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — backpressure; retry after
+    /// draining a ticket.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "job queue full (capacity {capacity}); apply backpressure"
+                )
+            }
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A unit of work for the service.
+pub enum Job {
+    /// A solve request (resolved, cached, and solved by the worker).
+    Solve(Box<SolveJob>),
+    /// An arbitrary closure (tests and embedders; runs on a worker slot
+    /// under the same concurrency accounting as solves).
+    Custom {
+        /// Identifier echoed in the result.
+        id: String,
+        /// The work; `Err` marks the job failed.
+        run: Box<dyn FnOnce() -> Result<(), String> + Send>,
+    },
+}
+
+impl Job {
+    fn id(&self) -> &str {
+        match self {
+            Job::Solve(j) => &j.id,
+            Job::Custom { id, .. } => id,
+        }
+    }
+}
+
+/// Claim ticket for a submitted job; redeem with [`JobTicket::wait`].
+pub struct JobTicket {
+    /// The job's identifier.
+    pub id: String,
+    rx: Receiver<JobResult>,
+}
+
+impl JobTicket {
+    /// Blocks until the job finishes and returns its result.
+    pub fn wait(self) -> JobResult {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| JobResult::failed(self.id, "worker disappeared"))
+    }
+
+    /// Non-blocking poll; `None` while the job is still queued or running.
+    pub fn try_wait(&self) -> Option<JobResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct State {
+    queue: VecDeque<(Job, Sender<JobResult>)>,
+    shutdown: bool,
+}
+
+/// A small LRU of resolved problems (assembled matrix + partition + rhs),
+/// so repeated jobs skip assembly and partitioning as well as factorization.
+/// File-backed problems are keyed by path: a changed file needs a restart.
+struct ProblemCache {
+    map: Mutex<HashMap<String, (Arc<ResolvedProblem>, u64)>>,
+    capacity: usize,
+    tick: AtomicUsize,
+}
+
+impl ProblemCache {
+    fn new(capacity: usize) -> ProblemCache {
+        ProblemCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicUsize::new(0),
+        }
+    }
+
+    fn get_or_resolve(&self, job: &SolveJob) -> Result<Arc<ResolvedProblem>, crate::EngineError> {
+        let key = problem_key(job);
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) as u64 + 1;
+        {
+            let mut map = self.map.lock().expect("problem cache lock");
+            if let Some((problem, last_used)) = map.get_mut(&key) {
+                *last_used = tick;
+                return Ok(Arc::clone(problem));
+            }
+        }
+        // Resolve outside the lock; concurrent identical jobs may resolve
+        // redundantly (bounded by the pool size) — cheaper than serializing.
+        let problem = Arc::new(resolve_problem(job)?);
+        let mut map = self.map.lock().expect("problem cache lock");
+        map.entry(key)
+            .or_insert_with(|| (Arc::clone(&problem), tick));
+        while map.len() > self.capacity {
+            let lru = map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over capacity");
+            map.remove(&lru);
+        }
+        Ok(problem)
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    available: Condvar,
+    active: AtomicUsize,
+    peak_active: AtomicUsize,
+    cache: SessionCache,
+    problems: ProblemCache,
+    cfg: ServiceConfig,
+}
+
+/// The running service (workers live for the service's lifetime; dropping
+/// it drains the queue and joins them).
+pub struct SolveService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SolveService {
+    /// Starts `cfg.pool_size` workers.
+    pub fn start(cfg: ServiceConfig) -> SolveService {
+        assert!(cfg.pool_size >= 1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            active: AtomicUsize::new(0),
+            peak_active: AtomicUsize::new(0),
+            cache: SessionCache::new(cfg.cache_capacity),
+            problems: ProblemCache::new(cfg.cache_capacity),
+            cfg,
+        });
+        let workers = (0..cfg.pool_size)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        SolveService { shared, workers }
+    }
+
+    /// Submits a job, returning its ticket — or rejecting with
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity.
+    pub fn submit(&self, job: Job) -> Result<JobTicket, SubmitError> {
+        let id = job.id().to_string();
+        let (tx, rx) = channel();
+        {
+            let mut st = self.shared.state.lock().expect("service lock");
+            if st.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.queue.len() >= self.shared.cfg.queue_capacity {
+                return Err(SubmitError::QueueFull {
+                    capacity: self.shared.cfg.queue_capacity,
+                });
+            }
+            st.queue.push_back((job, tx));
+        }
+        self.shared.available.notify_one();
+        Ok(JobTicket { id, rx })
+    }
+
+    /// Convenience: submit a solve job.
+    pub fn submit_solve(&self, job: SolveJob) -> Result<JobTicket, SubmitError> {
+        self.submit(Job::Solve(Box::new(job)))
+    }
+
+    /// Session-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Highest number of jobs ever running simultaneously — bounded by
+    /// `pool_size` by construction; exposed so tests can assert it.
+    pub fn peak_concurrency(&self) -> usize {
+        self.shared.peak_active.load(Ordering::Relaxed)
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> ServiceConfig {
+        self.shared.cfg
+    }
+
+    /// Stops accepting work, drains the queue, and joins the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("service lock");
+            st.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let item = {
+            let mut st = shared.state.lock().expect("service lock");
+            loop {
+                if let Some(item) = st.queue.pop_front() {
+                    break Some(item);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.available.wait(st).expect("service lock");
+            }
+        };
+        let Some((job, tx)) = item else {
+            return;
+        };
+        let id = job.id().to_string();
+        let now_active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.peak_active.fetch_max(now_active, Ordering::SeqCst);
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, job)))
+            .unwrap_or_else(|payload| JobResult::failed(id, panic_message(payload)));
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+        // A dropped ticket just means nobody is waiting for this result.
+        let _ = tx.send(result);
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "job panicked".to_string(),
+        },
+    }
+}
+
+fn run_job(shared: &Shared, job: Job) -> JobResult {
+    match job {
+        Job::Custom { id, run } => match run() {
+            Ok(()) => JobResult {
+                ok: true,
+                error: None,
+                ..JobResult::failed(id, "")
+            },
+            Err(e) => JobResult::failed(id, e),
+        },
+        Job::Solve(job) => run_solve_job(shared, &job),
+    }
+}
+
+fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
+    let t0 = Instant::now();
+    let resolved = match shared.problems.get_or_resolve(job) {
+        Ok(r) => r,
+        Err(e) => return JobResult::failed(&job.id, e.to_string()),
+    };
+    let key = SessionKey::new(resolved.a.fingerprint(), &job.session);
+    let (session, cache_hit) = match shared.cache.get_or_build(key, || {
+        SolverSession::build(&resolved.a, &resolved.owner, &job.session)
+    }) {
+        Ok(pair) => pair,
+        Err(e) => return JobResult::failed(&job.id, e.to_string()),
+    };
+    let setup_seconds = if cache_hit {
+        0.0
+    } else {
+        t0.elapsed().as_secs_f64()
+    };
+    let mut iterations = Vec::with_capacity(job.repeat);
+    let mut converged = true;
+    let mut final_relres = f64::NAN;
+    let mut true_relres = f64::NAN;
+    let mut solve_seconds = 0.0;
+    for _ in 0..job.repeat {
+        let solve = match &resolved.x0 {
+            Some(x0) => session.solve_with_guess(&resolved.b, x0),
+            None => session.solve(&resolved.b),
+        };
+        match solve {
+            Ok(rep) => {
+                iterations.push(rep.iterations);
+                converged &= rep.converged;
+                final_relres = rep.final_relres;
+                true_relres = rep.true_relres;
+                solve_seconds += rep.solve_seconds;
+            }
+            Err(e) => return JobResult::failed(&job.id, e.to_string()),
+        }
+    }
+    JobResult {
+        id: job.id.clone(),
+        ok: true,
+        error: None,
+        converged,
+        iterations,
+        final_relres,
+        true_relres,
+        cache_hit,
+        setup_seconds,
+        solve_seconds,
+        n_unknowns: session.n_unknowns(),
+    }
+}

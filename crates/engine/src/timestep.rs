@@ -1,0 +1,143 @@
+//! Time-stepping driver: march TC4's heat equation `N` implicit steps
+//! against **one** cached factorization.
+//!
+//! The system matrix `M + Δt·K` of the implicit Euler step never changes,
+//! so the session factors it once and every step only rebuilds the
+//! right-hand side `M uˡ⁻¹` (with the Dirichlet sweep) and solves — the
+//! setup/solve separation the paper's single-step TC4 experiment implies
+//! but never exercises. Per-step iteration counts are reported; solves are
+//! seeded with the previous state (paper §4.3 seeds with `u⁰`).
+
+use crate::session::{SessionConfig, SolverSession};
+use crate::EngineError;
+use parapre_fem::heat::HeatMarch;
+use parapre_grid::structured::unit_cube;
+use parapre_grid::Adjacency;
+use parapre_partition::partition_graph;
+
+/// Parameters of a marching run.
+#[derive(Debug, Clone)]
+pub struct TimestepConfig {
+    /// Grid extent per direction (the mesh is `n × n × n`).
+    pub extent: usize,
+    /// Number of implicit steps.
+    pub steps: usize,
+    /// Time step Δt.
+    pub dt: f64,
+    /// Solver session configuration.
+    pub session: SessionConfig,
+    /// Trace every solve and count `setup.factor` spans (the zero-refactor
+    /// assertion); adds recorder overhead per step.
+    pub trace: bool,
+}
+
+/// One marched step's outcome.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// 1-based step number.
+    pub step: usize,
+    /// Outer FGMRES iterations.
+    pub iterations: usize,
+    /// Final recursive relative residual.
+    pub final_relres: f64,
+    /// True relative residual of the step's solve.
+    pub true_relres: f64,
+    /// Solve wall time.
+    pub solve_seconds: f64,
+    /// `max |u|` after the step (diffusion must decay it).
+    pub amplitude: f64,
+}
+
+/// The whole march.
+#[derive(Debug, Clone)]
+pub struct TimestepReport {
+    /// Global unknowns.
+    pub n_unknowns: usize,
+    /// One-off setup wall time (partition + distribute + factor).
+    pub setup_seconds: f64,
+    /// Per-step outcomes, in order.
+    pub steps: Vec<StepReport>,
+    /// Total `setup.factor` spans observed during the marched solves —
+    /// **must be 0**: all factorization work happened in setup. Only
+    /// counted when [`TimestepConfig::trace`] is set.
+    pub factor_spans_during_steps: u64,
+}
+
+/// Marches the heat equation. Fails (rather than panicking) if any step's
+/// distributed solve dies.
+pub fn march_heat(cfg: &TimestepConfig) -> Result<TimestepReport, EngineError> {
+    let mesh = unit_cube(cfg.extent, cfg.extent, cfg.extent);
+    let march = HeatMarch::new(&mesh, cfg.dt);
+    let adjacency = Adjacency::from_elements(mesh.n_nodes(), mesh.tets.iter().map(|t| t.to_vec()));
+    let part = partition_graph(&adjacency, cfg.session.n_ranks, cfg.session.partition_seed);
+    let session = SolverSession::build(&march.a, &part.owner, &cfg.session)?;
+
+    let mut u = HeatMarch::initial_state(&mesh);
+    let mut steps = Vec::with_capacity(cfg.steps);
+    let mut factor_spans = 0u64;
+    for step in 1..=cfg.steps {
+        let b = march.rhs(&u);
+        let (rep, traces) = if cfg.trace {
+            session.solve_traced(&b, Some(&u))?
+        } else {
+            let rep = session.solve_with_guess(&b, &u)?;
+            (rep, Vec::new())
+        };
+        for tr in &traces {
+            if let Some(phase) = tr.summary().phase(parapre_trace::phase::FACTOR) {
+                factor_spans += phase.calls;
+            }
+        }
+        u = rep.x.clone();
+        let amplitude = u.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        steps.push(StepReport {
+            step,
+            iterations: rep.iterations,
+            final_relres: rep.final_relres,
+            true_relres: rep.true_relres,
+            solve_seconds: rep.solve_seconds,
+            amplitude,
+        });
+    }
+    Ok(TimestepReport {
+        n_unknowns: session.n_unknowns(),
+        setup_seconds: session.setup_seconds(),
+        steps,
+        factor_spans_during_steps: factor_spans,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapre_core::PrecondKind;
+
+    #[test]
+    fn marching_reuses_one_factorization_and_decays() {
+        let cfg = TimestepConfig {
+            extent: 5,
+            steps: 4,
+            dt: 0.05,
+            session: SessionConfig::paper(PrecondKind::Schur1, 2),
+            trace: true,
+        };
+        let report = march_heat(&cfg).expect("march");
+        assert_eq!(report.steps.len(), 4);
+        assert_eq!(
+            report.factor_spans_during_steps, 0,
+            "steps after setup must not refactor"
+        );
+        for w in report.steps.windows(2) {
+            assert!(
+                w[1].amplitude < w[0].amplitude,
+                "diffusion must decay the mode: {} -> {}",
+                w[0].amplitude,
+                w[1].amplitude
+            );
+        }
+        for s in &report.steps {
+            assert!(s.iterations > 0);
+            assert!(s.true_relres <= 1e-5, "step {}: {}", s.step, s.true_relres);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Scheduler behavior: bounded concurrency, deterministic backpressure,
+//! panic containment, and cache reuse across jobs.
+
+use parapre_engine::{parse_job_line, Job, ServiceConfig, SolveService, SubmitError};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Barrier};
+
+fn blocking_job(
+    id: &str,
+) -> (
+    Job,
+    std::sync::mpsc::Receiver<()>,
+    std::sync::mpsc::Sender<()>,
+) {
+    let (started_tx, started_rx) = channel();
+    let (release_tx, release_rx) = channel::<()>();
+    let job = Job::Custom {
+        id: id.to_string(),
+        run: Box::new(move || {
+            started_tx.send(()).expect("test alive");
+            // Hold the worker slot until the test releases it.
+            let _ = release_rx.recv();
+            Ok(())
+        }),
+    };
+    (job, started_rx, release_tx)
+}
+
+#[test]
+fn full_queue_rejects_with_backpressure() {
+    let service = SolveService::start(ServiceConfig {
+        pool_size: 1,
+        queue_capacity: 1,
+        cache_capacity: 1,
+    });
+
+    // Occupy the single worker, deterministically.
+    let (job1, started, release) = blocking_job("blocker");
+    let t1 = service.submit(job1).expect("first job accepted");
+    started.recv().expect("blocker is running");
+
+    // Worker busy, queue empty: second job queues.
+    let (job2, _started2, release2) = blocking_job("queued");
+    let t2 = service.submit(job2).expect("second job queues");
+
+    // Queue full: third job must be rejected, not buffered.
+    let (job3, _s3, _r3) = blocking_job("rejected");
+    match service.submit(job3) {
+        Err(SubmitError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+        other => panic!("expected QueueFull, got {:?}", other.map(|t| t.id).err()),
+    }
+
+    release.send(()).expect("release blocker");
+    release2.send(()).expect("release queued job");
+    assert!(t1.wait().ok);
+    assert!(t2.wait().ok);
+
+    // With the pool drained, submissions are accepted again.
+    let (job4, started4, release4) = blocking_job("after");
+    let t4 = service.submit(job4).expect("accepted after drain");
+    started4.recv().expect("runs");
+    release4.send(()).expect("release");
+    assert!(t4.wait().ok);
+}
+
+#[test]
+fn pool_runs_jobs_concurrently_and_bounded() {
+    let pool = 4;
+    let service = SolveService::start(ServiceConfig {
+        pool_size: pool,
+        queue_capacity: 16,
+        cache_capacity: 1,
+    });
+    // All `pool` jobs rendezvous at one barrier: passing it proves they ran
+    // simultaneously, so peak concurrency is exactly the pool size.
+    let barrier = Arc::new(Barrier::new(pool));
+    let tickets: Vec<_> = (0..pool)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            service
+                .submit(Job::Custom {
+                    id: format!("sync-{i}"),
+                    run: Box::new(move || {
+                        barrier.wait();
+                        Ok(())
+                    }),
+                })
+                .expect("submit")
+        })
+        .collect();
+    for t in tickets {
+        assert!(t.wait().ok);
+    }
+    assert_eq!(service.peak_concurrency(), pool);
+
+    // Twice as many jobs as workers never exceed the pool bound.
+    let tickets: Vec<_> = (0..2 * pool)
+        .map(|i| {
+            service
+                .submit(Job::Custom {
+                    id: format!("burst-{i}"),
+                    run: Box::new(|| Ok(())),
+                })
+                .expect("submit")
+        })
+        .collect();
+    for t in tickets {
+        assert!(t.wait().ok);
+    }
+    assert!(service.peak_concurrency() <= pool);
+}
+
+#[test]
+fn panicking_job_fails_without_poisoning_the_worker() {
+    let service = SolveService::start(ServiceConfig {
+        pool_size: 1,
+        queue_capacity: 4,
+        cache_capacity: 1,
+    });
+    let bad = service
+        .submit(Job::Custom {
+            id: "bad".into(),
+            run: Box::new(|| panic!("intentional test panic")),
+        })
+        .expect("submit");
+    let result = bad.wait();
+    assert!(!result.ok);
+    assert!(
+        result
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("intentional"),
+        "panic message surfaces in the result: {:?}",
+        result.error
+    );
+
+    // The same (sole) worker keeps serving.
+    let good = service
+        .submit(Job::Custom {
+            id: "good".into(),
+            run: Box::new(|| Ok(())),
+        })
+        .expect("submit");
+    assert!(good.wait().ok);
+}
+
+#[test]
+fn failing_solve_job_reports_instead_of_crashing() {
+    let service = SolveService::start(ServiceConfig::default());
+    let job = parse_job_line(r#"{"id":"ghost","mtx":"/nonexistent/a.mtx","ranks":2}"#, 0)
+        .expect("parses");
+    let result = service.submit_solve(job).expect("submit").wait();
+    assert!(!result.ok);
+    assert!(result.error.is_some());
+}
+
+#[test]
+fn concurrent_solve_jobs_converge_and_share_the_cache() {
+    let service = SolveService::start(ServiceConfig {
+        pool_size: 4,
+        queue_capacity: 16,
+        cache_capacity: 4,
+    });
+    // Four identical jobs in flight at once: single-flight building means
+    // exactly one factorization; everyone else hits.
+    let line = r#"{"id":"j","case":"tc1","size":"tiny","precond":"schur1","ranks":2}"#;
+    let tickets: Vec<_> = (0..4)
+        .map(|i| {
+            let mut job = parse_job_line(line, i).expect("parses");
+            job.id = format!("j{i}");
+            service.submit_solve(job).expect("submit")
+        })
+        .collect();
+    for t in tickets {
+        let r = t.wait();
+        assert!(r.ok, "{:?}", r.error);
+        assert!(r.converged, "job {} did not converge", r.id);
+        assert!(r.true_relres <= 1e-5);
+    }
+    let stats = service.cache_stats();
+    assert_eq!(stats.misses, 1, "single-flight: one build for four jobs");
+    assert_eq!(stats.hits, 3);
+    assert!(service.peak_concurrency() <= 4);
+
+    // A repeat-solve job on the warm cache: hit, zero setup attributed.
+    let mut job = parse_job_line(line, 9).expect("parses");
+    job.repeat = 3;
+    let r = service.submit_solve(job).expect("submit").wait();
+    assert!(r.ok && r.converged && r.cache_hit);
+    assert_eq!(r.iterations.len(), 3);
+    assert_eq!(r.setup_seconds, 0.0);
+    assert_eq!(
+        r.iterations[0], r.iterations[2],
+        "repeats against cached factors are deterministic"
+    );
+}
+
+#[test]
+fn shutdown_drains_queued_jobs() {
+    let service = SolveService::start(ServiceConfig {
+        pool_size: 1,
+        queue_capacity: 8,
+        cache_capacity: 1,
+    });
+    let tickets: Vec<_> = (0..5)
+        .map(|i| {
+            service
+                .submit(Job::Custom {
+                    id: format!("drain-{i}"),
+                    run: Box::new(|| Ok(())),
+                })
+                .expect("submit")
+        })
+        .collect();
+    service.shutdown();
+    for t in tickets {
+        assert!(t.wait().ok, "queued jobs complete before shutdown");
+    }
+}

@@ -32,11 +32,90 @@
 #![warn(missing_docs)]
 
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::Duration;
 
 /// How long a blocking receive waits before declaring a deadlock.
 const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A receive that timed out — the runtime's deadlock tripwire.
+///
+/// Carries everything a scheduler needs to report the failure without
+/// re-running: the waiting rank, the peer and tag it blocked on, how long
+/// it waited, and a drained summary of every envelope that *had* arrived
+/// but matched nothing (the usual deadlock fingerprint: a tag or ordering
+/// mismatch leaves its evidence parked in the pending queues).
+///
+/// [`Comm::recv`] panics with this error as the panic payload;
+/// [`Universe::try_run`] catches it and hands it back as part of a
+/// [`RankFailure`], so embedding layers (the `parapre-engine` scheduler)
+/// can mark one job failed without poisoning the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommError {
+    /// The rank whose receive timed out.
+    pub rank: usize,
+    /// The peer it was waiting on.
+    pub peer: usize,
+    /// The tag it was waiting for.
+    pub tag: u64,
+    /// How long it waited before giving up.
+    pub waited: Duration,
+    /// Human-readable summary of the pending (received-but-unmatched)
+    /// envelope queues at the moment of the timeout.
+    pub pending: String,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} timed out after {:?} receiving tag {:#x} from rank {} \
+             (likely deadlock); queue state:{}",
+            self.rank, self.waited, self.tag, self.peer, self.pending
+        )
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Why one rank of a [`Universe::try_run`] launch failed.
+#[derive(Debug, Clone)]
+pub struct RankFailure {
+    /// The failing rank.
+    pub rank: usize,
+    /// Formatted panic/deadlock message.
+    pub message: String,
+    /// The structured receive-timeout error when the failure was a
+    /// communication deadlock (`None` for ordinary panics).
+    pub comm_error: Option<CommError>,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} failed: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+fn failure_from_panic(rank: usize, payload: Box<dyn std::any::Any + Send>) -> RankFailure {
+    let (message, comm_error) = match payload.downcast::<CommError>() {
+        Ok(e) => (e.to_string(), Some(*e)),
+        Err(payload) => match payload.downcast::<String>() {
+            Ok(s) => (*s, None),
+            Err(payload) => match payload.downcast::<&'static str>() {
+                Ok(s) => ((*s).to_string(), None),
+                Err(_) => ("rank panicked with a non-string payload".to_string(), None),
+            },
+        },
+    };
+    RankFailure {
+        rank,
+        message,
+        comm_error,
+    }
+}
 
 /// A typed message payload.
 #[derive(Debug, Clone)]
@@ -183,7 +262,53 @@ impl Universe {
     /// The closure may borrow from the caller (scoped threads), so meshes
     /// and matrices can be shared read-only across ranks — mirroring how an
     /// MPI code would read the same input files.
+    ///
+    /// # Panics
+    /// Panics if any rank panics or deadlocks; use [`Universe::try_run`] to
+    /// contain failures instead.
     pub fn run<F, T>(n_ranks: usize, f: F) -> Vec<T>
+    where
+        F: Fn(&mut Comm) -> T + Sync,
+        T: Send,
+    {
+        Self::run_with_timeout(n_ranks, RECV_TIMEOUT, f)
+    }
+
+    /// [`Universe::run`] with an explicit deadlock-tripwire timeout for
+    /// every blocking receive (tests of failure paths want milliseconds,
+    /// not the default 60 s).
+    pub fn run_with_timeout<F, T>(n_ranks: usize, recv_timeout: Duration, f: F) -> Vec<T>
+    where
+        F: Fn(&mut Comm) -> T + Sync,
+        T: Send,
+    {
+        Self::try_run_with_timeout(n_ranks, recv_timeout, f)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|failure| panic!("{failure}")))
+            .collect()
+    }
+
+    /// Runs `f` on `n_ranks` threads, catching per-rank panics and
+    /// deadlocks instead of propagating them.
+    ///
+    /// Every rank produces either its result or a [`RankFailure`]
+    /// describing why it died (with the structured [`CommError`] attached
+    /// for receive timeouts). The launch itself never panics, so an
+    /// embedding scheduler can mark one job failed and keep serving others.
+    pub fn try_run<F, T>(n_ranks: usize, f: F) -> Vec<Result<T, RankFailure>>
+    where
+        F: Fn(&mut Comm) -> T + Sync,
+        T: Send,
+    {
+        Self::try_run_with_timeout(n_ranks, RECV_TIMEOUT, f)
+    }
+
+    /// [`Universe::try_run`] with an explicit receive timeout.
+    pub fn try_run_with_timeout<F, T>(
+        n_ranks: usize,
+        recv_timeout: Duration,
+        f: F,
+    ) -> Vec<Result<T, RankFailure>>
     where
         F: Fn(&mut Comm) -> T + Sync,
         T: Send,
@@ -216,19 +341,32 @@ impl Universe {
                 pending: RefCell::new((0..n_ranks).map(|_| Vec::new()).collect()),
                 stats: CommStats::default(),
                 peer_stats: vec![CommStats::default(); n_ranks],
+                recv_timeout,
             })
             .collect();
         drop(txs);
 
+        // The Comms outlive every thread (owned by this frame), so a send
+        // to a rank that already failed parks harmlessly in its channel
+        // instead of erroring — failures stay contained to their own rank.
         let f = &f;
-        let mut out: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
+        let mut out: Vec<Option<Result<T, RankFailure>>> = (0..n_ranks).map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .iter_mut()
-                .map(|comm| scope.spawn(move || f(comm)))
+                .map(|comm| {
+                    scope.spawn(move || {
+                        let rank = comm.rank();
+                        catch_unwind(AssertUnwindSafe(|| f(comm)))
+                            .map_err(|payload| failure_from_panic(rank, payload))
+                    })
+                })
                 .collect();
-            for (slot, h) in out.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("rank panicked"));
+            for (rank, (slot, h)) in out.iter_mut().zip(handles).enumerate() {
+                *slot = Some(
+                    h.join()
+                        .unwrap_or_else(|payload| Err(failure_from_panic(rank, payload))),
+                );
             }
         });
         out.into_iter()
@@ -248,6 +386,9 @@ pub struct Comm {
     stats: CommStats,
     /// Per-neighbor send/recv accounting (indexed by peer rank).
     peer_stats: Vec<CommStats>,
+    /// Deadlock tripwire for blocking receives (per-universe, not global,
+    /// so concurrently running universes can use different settings).
+    recv_timeout: Duration,
 }
 
 impl Comm {
@@ -330,40 +471,80 @@ impl Comm {
     /// any other tags that arrive first.
     ///
     /// # Panics
-    /// Panics after 60 s without a matching message (deadlock tripwire),
-    /// dumping this rank's pending queues to aid diagnosis.
+    /// Panics with a [`CommError`] payload after [`Comm::recv_timeout`]
+    /// elapses without a matching message (deadlock tripwire), so
+    /// [`Universe::try_run`] can recover the structured diagnostic.
     pub fn recv(&mut self, from: usize, tag: u64) -> Payload {
+        match self.recv_checked(from, tag) {
+            Ok(payload) => payload,
+            Err(err) => std::panic::panic_any(err),
+        }
+    }
+
+    /// The deadlock-tripwire timeout applied to this rank's receives.
+    pub fn recv_timeout(&self) -> Duration {
+        self.recv_timeout
+    }
+
+    /// Like [`Comm::recv`], but reports a timeout as a structured
+    /// [`CommError`] (naming rank, peer, tag, and the pending-envelope
+    /// summary) instead of panicking.
+    pub fn recv_checked(&mut self, from: usize, tag: u64) -> Result<Payload, CommError> {
         assert!(from < self.size);
         // Check the parked messages first.
-        let parked = {
-            let mut pending = self.pending.borrow_mut();
-            pending[from]
-                .iter()
-                .position(|e| e.tag == tag)
-                .map(|pos| pending[from].remove(pos))
-        };
-        if let Some(env) = parked {
+        if let Some(env) = self.take_parked(from, tag) {
             self.note_recv(from, tag, env.payload.n_bytes());
-            return env.payload;
+            return Ok(env.payload);
         }
         loop {
-            let env = match self.from[from].recv_timeout(RECV_TIMEOUT) {
+            let env = match self.from[from].recv_timeout(self.recv_timeout) {
                 Ok(env) => env,
                 Err(_) => {
-                    let dump = self.pending_dump();
-                    panic!(
-                        "rank {} timed out after {:?} receiving tag {tag:#x} from rank {from} \
-                         (likely deadlock); queue state:{dump}",
-                        self.rank, RECV_TIMEOUT
-                    );
+                    // Pull everything that did arrive (on any channel) into
+                    // the pending queues so the diagnostic sees it…
+                    self.drain_channels();
+                    // …and double-check the wanted message was not simply
+                    // racing the timeout.
+                    if let Some(env) = self.take_parked(from, tag) {
+                        self.note_recv(from, tag, env.payload.n_bytes());
+                        return Ok(env.payload);
+                    }
+                    return Err(CommError {
+                        rank: self.rank,
+                        peer: from,
+                        tag,
+                        waited: self.recv_timeout,
+                        pending: self.pending_dump(),
+                    });
                 }
             };
             debug_assert_eq!(env.from, from);
             if env.tag == tag {
                 self.note_recv(from, tag, env.payload.n_bytes());
-                return env.payload;
+                return Ok(env.payload);
             }
             self.pending.borrow_mut()[from].push(env);
+        }
+    }
+
+    /// Removes and returns the first parked envelope from `from` matching
+    /// `tag`, if any.
+    fn take_parked(&self, from: usize, tag: u64) -> Option<Envelope> {
+        let mut pending = self.pending.borrow_mut();
+        pending[from]
+            .iter()
+            .position(|e| e.tag == tag)
+            .map(|pos| pending[from].remove(pos))
+    }
+
+    /// Moves every envelope sitting in the incoming channels into the
+    /// pending queues (non-blocking) so diagnostics reflect all arrivals.
+    fn drain_channels(&mut self) {
+        let mut pending = self.pending.borrow_mut();
+        for (src, rx) in self.from.iter().enumerate() {
+            while let Ok(env) = rx.try_recv() {
+                pending[src].push(env);
+            }
         }
     }
 
@@ -657,5 +838,87 @@ mod tests {
         let shared: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let out = Universe::run(3, |c| shared[c.rank()]);
         assert_eq!(out, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn deadlock_reports_rank_peer_and_tag() {
+        let out = Universe::try_run_with_timeout(2, Duration::from_millis(50), |c| {
+            if c.rank() == 0 {
+                // Nobody ever sends tag 0x42: deterministic deadlock.
+                let _ = c.recv_f64s(1, 0x42);
+            }
+        });
+        assert!(out[1].is_ok(), "rank 1 returns normally");
+        let failure = out[0].as_ref().expect_err("rank 0 deadlocks");
+        assert_eq!(failure.rank, 0);
+        let err = failure.comm_error.as_ref().expect("structured comm error");
+        assert_eq!((err.rank, err.peer, err.tag), (0, 1, 0x42));
+        assert!(failure.message.contains("tag 0x42"), "{}", failure.message);
+        assert!(
+            failure.message.contains("from rank 1"),
+            "{}",
+            failure.message
+        );
+    }
+
+    #[test]
+    fn deadlock_dump_includes_unmatched_arrivals() {
+        let out = Universe::try_run_with_timeout(2, Duration::from_millis(50), |c| {
+            if c.rank() == 1 {
+                c.send_f64s(0, 0x7, vec![1.0, 2.0]);
+            } else {
+                // Waits for a tag that never comes while tag 0x7 sits queued.
+                let _ = c.recv_f64s(1, 0x8);
+            }
+        });
+        let err = out[0]
+            .as_ref()
+            .expect_err("rank 0 deadlocks")
+            .comm_error
+            .clone()
+            .expect("structured comm error");
+        assert!(err.pending.contains("tag 0x7"), "{}", err.pending);
+        assert!(err.pending.contains("rank 1"), "{}", err.pending);
+    }
+
+    #[test]
+    fn racing_arrival_beats_the_tripwire() {
+        // A message that lands "late" (after the receiver started waiting on
+        // a short timeout) must still be delivered, not misreported.
+        let out = Universe::run_with_timeout(2, Duration::from_millis(400), |c| {
+            if c.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(100));
+                c.send_f64s(1, 5, vec![3.5]);
+                0.0
+            } else {
+                c.recv_f64s(0, 5)[0]
+            }
+        });
+        assert_eq!(out[1], 3.5);
+    }
+
+    #[test]
+    fn try_run_contains_ordinary_panics() {
+        let out = Universe::try_run(3, |c| {
+            if c.rank() == 1 {
+                panic!("boom on rank {}", c.rank());
+            }
+            c.rank() * 10
+        });
+        assert_eq!(*out[0].as_ref().unwrap(), 0);
+        assert_eq!(*out[2].as_ref().unwrap(), 20);
+        let failure = out[1].as_ref().expect_err("rank 1 panicked");
+        assert!(failure.message.contains("boom on rank 1"));
+        assert!(failure.comm_error.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "tag 0x9")]
+    fn run_still_panics_on_deadlock() {
+        let _ = Universe::run_with_timeout(2, Duration::from_millis(50), |c| {
+            if c.rank() == 0 {
+                let _ = c.recv_f64s(1, 0x9);
+            }
+        });
     }
 }

@@ -557,6 +557,33 @@ impl Csr {
         self.iter()
             .all(|(i, j, v)| (self.get(j, i) - v).abs() <= tol)
     }
+
+    /// 64-bit FNV-1a content fingerprint over shape, sparsity pattern, and
+    /// exact value bits — matrices hash equal iff they are bit-identical.
+    /// This is the matrix-identity component of solver-session cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325_u64;
+        h = fnv1a_u64(h, self.n_rows as u64);
+        h = fnv1a_u64(h, self.n_cols as u64);
+        for &p in &self.row_ptr {
+            h = fnv1a_u64(h, p as u64);
+        }
+        for &j in &self.col_idx {
+            h = fnv1a_u64(h, j as u64);
+        }
+        for &v in &self.vals {
+            h = fnv1a_u64(h, v.to_bits());
+        }
+        h
+    }
+}
+
+/// Folds one little-endian `u64` into an FNV-1a state.
+fn fnv1a_u64(mut h: u64, x: u64) -> u64 {
+    for b in x.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -572,6 +599,25 @@ mod tests {
             vec![-1.0, 2.0, -1.0],
             vec![0.0, -1.0, 2.0],
         ])
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = sample();
+        assert_eq!(a.fingerprint(), sample().fingerprint());
+        // A value change flips the hash.
+        let mut b = sample();
+        b.vals_mut()[0] = 2.0 + 1e-13;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // A pattern change with identical values flips the hash.
+        let c = Csr::from_dense_rows(&[
+            vec![2.0, 0.0, -1.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Shape participates even with no stored entries.
+        assert_ne!(Csr::zero(2, 3).fingerprint(), Csr::zero(3, 2).fingerprint());
     }
 
     #[test]

@@ -102,6 +102,67 @@ pub fn save_mtx(a: &Csr, path: impl AsRef<Path>) -> std::io::Result<()> {
     write_matrix_market(a, f)
 }
 
+/// Parses a dense vector: either a Matrix Market `array real` stream (one
+/// column) or a plain text stream with one number per line (`%`/`#`
+/// comments and blank lines skipped) — the two formats right-hand sides
+/// ship in alongside `.mtx` matrices.
+pub fn read_vector<R: BufRead>(reader: R) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    let mut mm_rows: Option<usize> = None;
+    let mut first_content = true;
+    for (k, line) in reader.lines().enumerate() {
+        let line = line.map_err(|_| Error::InvalidStructure("unreadable line"))?;
+        let t = line.trim();
+        if k == 0 && t.to_ascii_lowercase().starts_with("%%matrixmarket") {
+            let h = t.to_ascii_lowercase();
+            if !h.contains("array") || !h.contains("real") {
+                return Err(Error::InvalidStructure(
+                    "only `matrix array real` vectors supported",
+                ));
+            }
+            mm_rows = Some(0); // dims line still to come
+            continue;
+        }
+        if t.is_empty() || t.starts_with('%') || t.starts_with('#') {
+            continue;
+        }
+        if mm_rows == Some(0) && first_content {
+            // MatrixMarket dims line: "m n" with n == 1.
+            let mut it = t.split_ascii_whitespace();
+            let m: usize = parse(it.next())?;
+            let n: usize = parse(it.next())?;
+            if n != 1 {
+                return Err(Error::InvalidStructure("vector file must have one column"));
+            }
+            mm_rows = Some(m);
+            first_content = false;
+            continue;
+        }
+        first_content = false;
+        for tok in t.split_ascii_whitespace() {
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| Error::InvalidStructure("bad vector value"))?;
+            out.push(v);
+        }
+    }
+    if let Some(m) = mm_rows {
+        if out.len() != m {
+            return Err(Error::InvalidStructure("vector length != declared size"));
+        }
+    }
+    if out.is_empty() {
+        return Err(Error::InvalidStructure("empty vector stream"));
+    }
+    Ok(out)
+}
+
+/// Convenience: reads a vector file (see [`read_vector`]).
+pub fn load_vec(path: impl AsRef<Path>) -> Result<Vec<f64>> {
+    let f = std::fs::File::open(path).map_err(|_| Error::InvalidStructure("cannot open file"))?;
+    read_vector(std::io::BufReader::new(f))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +211,24 @@ mod tests {
             "%%MatrixMarket matrix coordinate real general\n1 1 1\n0 1 5.0\n".as_bytes()
         )
         .is_err());
+    }
+
+    #[test]
+    fn reads_plain_vector() {
+        let v = read_vector("# rhs\n1.5\n-2.0\n\n3.25\n".as_bytes()).unwrap();
+        assert_eq!(v, vec![1.5, -2.0, 3.25]);
+    }
+
+    #[test]
+    fn reads_matrix_market_array_vector() {
+        let text = "%%MatrixMarket matrix array real general\n% rhs\n3 1\n1.0\n2.0\n3.0\n";
+        assert_eq!(read_vector(text.as_bytes()).unwrap(), vec![1.0, 2.0, 3.0]);
+        // Declared length must match.
+        let short = "%%MatrixMarket matrix array real general\n3 1\n1.0\n";
+        assert!(read_vector(short.as_bytes()).is_err());
+        // Multi-column arrays are not vectors.
+        let wide = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+        assert!(read_vector(wide.as_bytes()).is_err());
     }
 
     #[test]

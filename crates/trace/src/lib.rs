@@ -713,143 +713,185 @@ impl TraceSummary {
     }
 }
 
-// --------------------------------------------------------------------------
-// Minimal flat-JSON helpers (no external crates available offline)
-// --------------------------------------------------------------------------
+use flatjson::{escape, json_f64, parse_flat_object, JsonValue};
 
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// Minimal flat (non-nested) JSON helpers — no external crates are
+/// available offline, so the trace JSONL reader and the engine's job-stream
+/// protocol share this one hand-rolled parser/printer.
+pub mod flatjson {
+    use std::collections::BTreeMap;
 
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        // `{:e}` produces e.g. `1.5e-3`, a valid JSON number.
-        format!("{v:e}")
-    } else {
-        "null".to_string()
-    }
-}
-
-#[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
-    Str(String),
-    Num(f64),
-    Null,
-}
-
-impl JsonValue {
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-    fn as_u64(&self) -> Option<u64> {
-        match self {
-            JsonValue::Num(n) if *n >= 0.0 => Some(*n as u64),
-            _ => None,
-        }
-    }
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonValue::Num(n) => Some(*n),
-            JsonValue::Null => Some(f64::NAN),
-            _ => None,
-        }
-    }
-}
-
-/// Parses one flat (non-nested) JSON object into key → value.
-fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
-    let inner = line
-        .strip_prefix('{')
-        .and_then(|s| s.strip_suffix('}'))
-        .ok_or("not an object")?;
-    let mut map = BTreeMap::new();
-    let chars: Vec<char> = inner.chars().collect();
-    let mut i = 0usize;
-    let n = chars.len();
-    let skip_ws = |i: &mut usize| {
-        while *i < n && chars[*i].is_whitespace() {
-            *i += 1;
-        }
-    };
-    let parse_string = |i: &mut usize| -> Result<String, String> {
-        if chars.get(*i) != Some(&'"') {
-            return Err(format!("expected string at {i:?}"));
-        }
-        *i += 1;
-        let mut s = String::new();
-        while *i < n {
-            match chars[*i] {
-                '\\' => {
-                    *i += 1;
-                    match chars.get(*i) {
-                        Some('"') => s.push('"'),
-                        Some('\\') => s.push('\\'),
-                        Some('n') => s.push('\n'),
-                        other => return Err(format!("bad escape {other:?}")),
-                    }
-                    *i += 1;
-                }
-                '"' => {
-                    *i += 1;
-                    return Ok(s);
-                }
-                c => {
-                    s.push(c);
-                    *i += 1;
-                }
+    /// Escapes a string for embedding in a JSON string literal.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
             }
         }
-        Err("unterminated string".into())
-    };
-    loop {
-        skip_ws(&mut i);
-        if i >= n {
-            break;
-        }
-        let key = parse_string(&mut i)?;
-        skip_ws(&mut i);
-        if chars.get(i) != Some(&':') {
-            return Err(format!("expected ':' after key {key}"));
-        }
-        i += 1;
-        skip_ws(&mut i);
-        let value = if chars.get(i) == Some(&'"') {
-            JsonValue::Str(parse_string(&mut i)?)
+        out
+    }
+
+    /// Prints a float as a JSON number (`null` for non-finite values).
+    pub fn json_f64(v: f64) -> String {
+        if v.is_finite() {
+            // `{:e}` produces e.g. `1.5e-3`, a valid JSON number.
+            format!("{v:e}")
         } else {
-            let start = i;
-            while i < n && chars[i] != ',' {
-                i += 1;
+            "null".to_string()
+        }
+    }
+
+    /// A scalar value of a flat JSON object.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum JsonValue {
+        /// A string.
+        Str(String),
+        /// Any JSON number (parsed as `f64`).
+        Num(f64),
+        /// `true` / `false`.
+        Bool(bool),
+        /// `null`.
+        Null,
+    }
+
+    impl JsonValue {
+        /// The string contents, if a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                JsonValue::Str(s) => Some(s),
+                _ => None,
             }
-            let tok: String = chars[start..i].iter().collect();
-            let tok = tok.trim();
-            if tok == "null" {
-                JsonValue::Null
-            } else {
-                JsonValue::Num(
-                    tok.parse::<f64>()
-                        .map_err(|e| format!("bad number {tok:?}: {e}"))?,
-                )
+        }
+        /// The number truncated to `u64`, if a non-negative number.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                JsonValue::Num(n) if *n >= 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+        /// The number (`NaN` for `null`), if a number or `null`.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                JsonValue::Num(n) => Some(*n),
+                JsonValue::Null => Some(f64::NAN),
+                _ => None,
+            }
+        }
+        /// The boolean, if a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                JsonValue::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one flat (non-nested) JSON object into key → value.
+    pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+        let inner = line
+            .trim()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or("not an object")?;
+        let mut map = BTreeMap::new();
+        let chars: Vec<char> = inner.chars().collect();
+        let mut i = 0usize;
+        let n = chars.len();
+        let skip_ws = |i: &mut usize| {
+            while *i < n && chars[*i].is_whitespace() {
+                *i += 1;
             }
         };
-        map.insert(key, value);
-        skip_ws(&mut i);
-        if chars.get(i) == Some(&',') {
+        let parse_string = |i: &mut usize| -> Result<String, String> {
+            if chars.get(*i) != Some(&'"') {
+                return Err(format!("expected string at {i:?}"));
+            }
+            *i += 1;
+            let mut s = String::new();
+            while *i < n {
+                match chars[*i] {
+                    '\\' => {
+                        *i += 1;
+                        match chars.get(*i) {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *i += 1;
+                    }
+                    '"' => {
+                        *i += 1;
+                        return Ok(s);
+                    }
+                    c => {
+                        s.push(c);
+                        *i += 1;
+                    }
+                }
+            }
+            Err("unterminated string".into())
+        };
+        loop {
+            skip_ws(&mut i);
+            if i >= n {
+                break;
+            }
+            let key = parse_string(&mut i)?;
+            skip_ws(&mut i);
+            if chars.get(i) != Some(&':') {
+                return Err(format!("expected ':' after key {key}"));
+            }
             i += 1;
+            skip_ws(&mut i);
+            let value = if chars.get(i) == Some(&'"') {
+                JsonValue::Str(parse_string(&mut i)?)
+            } else {
+                let start = i;
+                while i < n && chars[i] != ',' {
+                    i += 1;
+                }
+                let tok: String = chars[start..i].iter().collect();
+                let tok = tok.trim();
+                match tok {
+                    "null" => JsonValue::Null,
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    _ => JsonValue::Num(
+                        tok.parse::<f64>()
+                            .map_err(|e| format!("bad number {tok:?}: {e}"))?,
+                    ),
+                }
+            };
+            map.insert(key, value);
+            skip_ws(&mut i);
+            if chars.get(i) == Some(&',') {
+                i += 1;
+            }
+        }
+        Ok(map)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn parses_all_scalar_kinds() {
+            let m = parse_flat_object(r#"{"s":"a\"b","n":-1.5e3,"t":true,"f":false,"z":null}"#)
+                .unwrap();
+            assert_eq!(m["s"].as_str(), Some("a\"b"));
+            assert_eq!(m["n"].as_f64(), Some(-1500.0));
+            assert_eq!(m["t"].as_bool(), Some(true));
+            assert_eq!(m["f"].as_bool(), Some(false));
+            assert!(m["z"].as_f64().unwrap().is_nan());
+            assert!(parse_flat_object("not json").is_err());
         }
     }
-    Ok(map)
 }
 
 #[cfg(test)]
