@@ -1,0 +1,267 @@
+//! Hot-kernel microbenchmarks for the comm/compute-overlap work: distributed
+//! SpMV (synchronous vs overlapped+pooled halo exchange) and FGMRES(20)
+//! iterations (modified Gram–Schmidt vs fused-allreduce classical
+//! Gram–Schmidt), both at `P` simulated ranks.
+//!
+//! ```text
+//! cargo run --release -p parapre-bench --bin kernels -- \
+//!     [--quick] [--ranks 8] [--out BENCH_kernels.json]
+//! ```
+//!
+//! Writes a JSON report with wall-clock seconds (max over ranks of each
+//! timed region), per-iteration message counts, modeled communication
+//! seconds under both machine profiles, the overlap trace counters
+//! (`halo.ready_after_interior` / `halo.wait_after_interior`), and the
+//! combined speedup `(sync SpMV + MGS GMRES) / (overlap SpMV + CGS GMRES)`.
+
+use parapre_dist::{
+    scatter_vector, DistGmres, DistGmresConfig, DistMatrix, IdentityDistPrecond, OrthMethod,
+};
+use parapre_fem::poisson;
+use parapre_grid::structured::unit_square;
+use parapre_mpisim::{CommStats, MachineModel, Universe};
+use parapre_partition::partition_graph;
+use parapre_sparse::Csr;
+use std::time::Instant;
+
+struct Timed {
+    /// Max over ranks of the timed region's wall-clock seconds.
+    secs: f64,
+    /// Sum over ranks of the region's communication counters.
+    comm: CommStats,
+}
+
+fn max_secs_sum_stats(out: Vec<(f64, CommStats)>) -> Timed {
+    let secs = out.iter().map(|&(s, _)| s).fold(0.0, f64::max);
+    let comm = out
+        .iter()
+        .fold(CommStats::default(), |acc, (_, c)| CommStats {
+            msgs_sent: acc.msgs_sent + c.msgs_sent,
+            bytes_sent: acc.bytes_sent + c.bytes_sent,
+            msgs_recv: acc.msgs_recv + c.msgs_recv,
+            bytes_recv: acc.bytes_recv + c.bytes_recv,
+        });
+    Timed { secs, comm }
+}
+
+fn poisson_system(nx: usize, p: usize) -> (Csr, Vec<u32>) {
+    let mesh = unit_square(nx, nx);
+    let (a, _) = poisson::assemble_2d(&mesh, |_, _| 1.0);
+    let part = partition_graph(&mesh.adjacency(), p, 11);
+    (a, part.owner)
+}
+
+/// Times `reps` distributed matvecs per rank; `overlap` picks the path.
+fn bench_spmv(a: &Csr, owner: &[u32], p: usize, reps: usize, overlap: bool) -> Timed {
+    let out = Universe::run(p, |comm| {
+        let dm = DistMatrix::from_global(a, owner, comm.rank(), p);
+        let mut x = vec![0.0; dm.layout.n_local()];
+        for (l, v) in x[..dm.layout.n_owned()].iter_mut().enumerate() {
+            *v = (dm.layout.local_to_global[l] as f64 * 0.37).sin();
+        }
+        let mut y = vec![0.0; dm.layout.n_owned()];
+        // Warm up channels and the buffer pool outside the timed region.
+        for _ in 0..3 {
+            if overlap {
+                dm.matvec(comm, &mut x, &mut y);
+            } else {
+                dm.matvec_sync(comm, &mut x, &mut y);
+            }
+        }
+        let before = comm.stats();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            if overlap {
+                dm.matvec(comm, &mut x, &mut y);
+            } else {
+                dm.matvec_sync(comm, &mut x, &mut y);
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        (secs, comm.stats() - before)
+    });
+    max_secs_sum_stats(out)
+}
+
+/// Times a fixed-iteration FGMRES(20) run under the given orthogonalization.
+/// Returns the timing plus the iteration count actually performed.
+fn bench_gmres(a: &Csr, owner: &[u32], p: usize, iters: usize, orth: OrthMethod) -> (Timed, usize) {
+    let n = a.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.13).cos()).collect();
+    let out = Universe::run(p, |comm| {
+        let dm = DistMatrix::from_global(a, owner, comm.rank(), p);
+        let b_loc = scatter_vector(&dm.layout, &b);
+        let solver = DistGmres::new(DistGmresConfig {
+            restart: 20,
+            max_iters: iters,
+            // Unreachable tolerance: both methods run the full budget so
+            // the wall-clock comparison is iteration-for-iteration fair.
+            rel_tol: 1e-30,
+            abs_tol: 1e-300,
+            orth,
+            ..Default::default()
+        });
+        let mut x = vec![0.0; dm.layout.n_owned()];
+        let before = comm.stats();
+        let t0 = Instant::now();
+        let rep = solver.solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
+        let secs = t0.elapsed().as_secs_f64();
+        (secs, comm.stats() - before, rep.iterations)
+    });
+    let iters_done = out[0].2;
+    let timed = max_secs_sum_stats(out.into_iter().map(|(s, c, _)| (s, c)).collect());
+    (timed, iters_done)
+}
+
+/// One traced overlapped-SpMV pass collecting the halo overlap counters.
+fn overlap_counters(a: &Csr, owner: &[u32], p: usize) -> (u64, u64) {
+    let out = Universe::run(p, |comm| {
+        parapre_trace::install(comm.rank());
+        let dm = DistMatrix::from_global(a, owner, comm.rank(), p);
+        let mut x = vec![0.1; dm.layout.n_local()];
+        let mut y = vec![0.0; dm.layout.n_owned()];
+        for _ in 0..10 {
+            dm.matvec(comm, &mut x, &mut y);
+        }
+        let tr = parapre_trace::take().expect("trace installed");
+        let mut ready = 0u64;
+        let mut wait = 0u64;
+        for e in &tr.events {
+            if let parapre_trace::EventKind::Counter { name, delta } = &e.kind {
+                if name == parapre_trace::counters::HALO_READY {
+                    ready += delta;
+                } else if name == parapre_trace::counters::HALO_WAIT {
+                    wait += delta;
+                }
+            }
+        }
+        (ready, wait)
+    });
+    out.iter()
+        .fold((0, 0), |(r, w), &(ri, wi)| (r + ri, w + wi))
+}
+
+fn modeled(stats: &CommStats) -> String {
+    let cluster = stats.modeled_comm_seconds(&MachineModel::linux_cluster());
+    let origin = stats.modeled_comm_seconds(&MachineModel::origin_3800());
+    format!("{{\"linux_cluster\": {cluster:.6}, \"origin_3800\": {origin:.6}}}")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut ranks = 8usize;
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--ranks" => {
+                i += 1;
+                ranks = args[i].parse().expect("rank count");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    let (spmv_nx, spmv_reps, gmres_nx, gmres_iters) = if quick {
+        (48usize, 150usize, 32usize, 40usize)
+    } else {
+        (96, 600, 48, 200)
+    };
+
+    eprintln!("kernels: P={ranks}, spmv {spmv_nx}x{spmv_nx} x{spmv_reps}, gmres {gmres_nx}x{gmres_nx} x{gmres_iters} iters{}", if quick { " (quick)" } else { "" });
+
+    let (a_spmv, owner_spmv) = poisson_system(spmv_nx, ranks);
+    let sync = bench_spmv(&a_spmv, &owner_spmv, ranks, spmv_reps, false);
+    let over = bench_spmv(&a_spmv, &owner_spmv, ranks, spmv_reps, true);
+    let (ready, wait) = overlap_counters(&a_spmv, &owner_spmv, ranks);
+    let spmv_speedup = sync.secs / over.secs;
+    eprintln!(
+        "spmv: sync {:.4}s, overlap {:.4}s ({spmv_speedup:.2}x), halo ready/wait after interior: {ready}/{wait}",
+        sync.secs, over.secs
+    );
+
+    let (a_g, owner_g) = poisson_system(gmres_nx, ranks);
+    let (mgs, mgs_iters) = bench_gmres(&a_g, &owner_g, ranks, gmres_iters, OrthMethod::Modified);
+    let (cgs, cgs_iters) = bench_gmres(
+        &a_g,
+        &owner_g,
+        ranks,
+        gmres_iters,
+        OrthMethod::ClassicalBatched,
+    );
+    let gmres_speedup = mgs.secs / cgs.secs;
+    let mgs_mpi = mgs.comm.msgs_sent as f64 / mgs_iters.max(1) as f64;
+    let cgs_mpi = cgs.comm.msgs_sent as f64 / cgs_iters.max(1) as f64;
+    eprintln!(
+        "gmres(20): mgs {:.4}s ({mgs_iters} it, {mgs_mpi:.1} msgs/it), cgs {:.4}s ({cgs_iters} it, {cgs_mpi:.1} msgs/it) => {gmres_speedup:.2}x",
+        mgs.secs, cgs.secs
+    );
+
+    let combined = (sync.secs + mgs.secs) / (over.secs + cgs.secs);
+    eprintln!("combined speedup: {combined:.2}x");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"config\": {{\"ranks\": {ranks}, \"quick\": {quick}, ",
+            "\"spmv_grid\": {spmv_nx}, \"spmv_reps\": {spmv_reps}, ",
+            "\"gmres_grid\": {gmres_nx}, \"gmres_iters\": {gmres_iters}}},\n",
+            "  \"spmv\": {{\"sync_secs\": {ss:.6}, \"overlap_secs\": {os:.6}, ",
+            "\"speedup\": {sp:.4}, \"msgs_sync\": {sm}, \"msgs_overlap\": {om}, ",
+            "\"halo_ready_after_interior\": {ready}, \"halo_wait_after_interior\": {wait}, ",
+            "\"modeled_comm_secs_sync\": {mcs}, \"modeled_comm_secs_overlap\": {mco}}},\n",
+            "  \"gmres\": {{\"mgs_secs\": {ms:.6}, \"cgs_secs\": {cs:.6}, ",
+            "\"speedup\": {gs:.4}, \"iters\": {it}, ",
+            "\"mgs_msgs_per_iter\": {mmpi:.2}, \"cgs_msgs_per_iter\": {cmpi:.2}, ",
+            "\"modeled_comm_secs_mgs\": {mcm}, \"modeled_comm_secs_cgs\": {mcc}}},\n",
+            "  \"combined_speedup\": {comb:.4}\n",
+            "}}\n"
+        ),
+        ranks = ranks,
+        quick = quick,
+        spmv_nx = spmv_nx,
+        spmv_reps = spmv_reps,
+        gmres_nx = gmres_nx,
+        gmres_iters = gmres_iters,
+        ss = sync.secs,
+        os = over.secs,
+        sp = spmv_speedup,
+        sm = sync.comm.msgs_sent,
+        om = over.comm.msgs_sent,
+        ready = ready,
+        wait = wait,
+        mcs = modeled(&sync.comm),
+        mco = modeled(&over.comm),
+        ms = mgs.secs,
+        cs = cgs.secs,
+        gs = gmres_speedup,
+        it = mgs_iters,
+        mmpi = mgs_mpi,
+        cmpi = cgs_mpi,
+        mcm = modeled(&mgs.comm),
+        mcc = modeled(&cgs.comm),
+        comb = combined,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+
+    // Regression bars: the fused orthogonalization must send strictly fewer
+    // messages per iteration, and the optimized kernels must not be slower
+    // overall.
+    assert_eq!(mgs_iters, cgs_iters, "fixed-budget runs must match");
+    if cgs_mpi >= mgs_mpi {
+        eprintln!("FAIL: CGS did not reduce per-iteration message count");
+        std::process::exit(2);
+    }
+    if combined < 1.0 {
+        eprintln!("FAIL: combined speedup {combined:.2}x below 1.0x");
+        std::process::exit(2);
+    }
+}

@@ -168,6 +168,16 @@ pub struct RunConfig {
 impl RunConfig {
     /// Paper-default configuration for a preconditioner/rank-count pair on
     /// the Linux cluster.
+    ///
+    /// The outer solver inherits [`DistGmresConfig`]'s default
+    /// orthogonalization ([`parapre_dist::OrthMethod::ClassicalBatched`]):
+    /// one fused vector allreduce per iteration instead of `k+2` scalar
+    /// ones. Iteration counts can therefore differ by a step or two from a
+    /// modified-Gram–Schmidt run (set `gmres.orth` to
+    /// [`parapre_dist::OrthMethod::Modified`] to reproduce those exactly);
+    /// everything else in the solve — SpMV, halo exchange, preconditioner
+    /// application — is bitwise independent of the optimization work, so
+    /// table rows remain comparable.
     pub fn paper(precond: PrecondKind, n_ranks: usize) -> Self {
         RunConfig {
             precond,

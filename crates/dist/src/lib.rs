@@ -30,10 +30,21 @@ pub mod solver;
 pub use cg::{DistCg, DistCgConfig, DistCgReport};
 pub use solver::{
     DistGmres, DistGmresConfig, DistOp, DistPrecond, DistSolveReport, IdentityDistPrecond,
+    OrthMethod,
 };
 
 use parapre_mpisim::Comm;
-use parapre_sparse::Csr;
+use parapre_sparse::{Csr, RowSplit};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread gather scratch for outgoing halo/interface messages, so
+    /// the steady-state send path allocates nothing (the message buffers
+    /// themselves come from the [`Comm`] pool). Thread-local rather than a
+    /// struct field so [`DistMatrix`] stays `Sync` — the engine shares one
+    /// matrix across all rank threads.
+    static SEND_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Fixed tag bases for the exchange protocols (FIFO channels make reuse
 /// safe; distinct bases keep protocols self-documenting).
@@ -83,9 +94,73 @@ impl LocalLayout {
         self.n_owned() + self.n_ghost
     }
 
+    /// Posts the ghost-value sends to every neighbour (pooled buffers, no
+    /// per-message allocation). Pair with [`LocalLayout::finish_ghosts`]
+    /// to complete the exchange; together they equal
+    /// [`LocalLayout::update_ghosts`] but allow interleaving computation.
+    pub fn post_ghost_sends(&self, comm: &mut Comm, x: &[f64], tag: u64) {
+        SEND_SCRATCH.with(|s| {
+            let mut buf = s.borrow_mut();
+            for (k, &q) in self.neighbors.iter().enumerate() {
+                buf.clear();
+                buf.extend(self.send_idx[k].iter().map(|&i| x[i]));
+                comm.send_f64s_from(q, tag, &buf);
+            }
+        });
+    }
+
+    /// Completes a ghost exchange started by [`LocalLayout::post_ghost_sends`]:
+    /// first polls every neighbour non-blockingly (counting how many
+    /// messages were already in flight under `halo.ready_after_interior` /
+    /// `halo.wait_after_interior`), then blocks on the stragglers. Delivered
+    /// buffers are recycled into the comm pool.
+    pub fn finish_ghosts(&self, comm: &mut Comm, x: &mut [f64], tag: u64) {
+        let mut got: Vec<Option<Vec<f64>>> = vec![None; self.neighbors.len()];
+        let mut ready = 0u64;
+        for (k, &q) in self.neighbors.iter().enumerate() {
+            if let Some(data) = comm.try_recv_f64s(q, tag) {
+                got[k] = Some(data);
+                ready += 1;
+            }
+        }
+        parapre_trace::counter(parapre_trace::counters::HALO_READY, ready);
+        parapre_trace::counter(
+            parapre_trace::counters::HALO_WAIT,
+            self.neighbors.len() as u64 - ready,
+        );
+        for (k, &q) in self.neighbors.iter().enumerate() {
+            let data = match got[k].take() {
+                Some(d) => d,
+                None => comm.recv_f64s(q, tag),
+            };
+            debug_assert_eq!(data.len(), self.recv_idx[k].len());
+            for (&gi, &v) in self.recv_idx[k].iter().zip(&data) {
+                x[gi] = v;
+            }
+            comm.recycle_f64s(data);
+        }
+    }
+
     /// Updates the ghost tail of `x` (length [`LocalLayout::n_local`]) with
     /// the owners' current values.
     pub fn update_ghosts(&self, comm: &mut Comm, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n_local());
+        let _span = parapre_trace::span(parapre_trace::phase::HALO);
+        self.post_ghost_sends(comm, x, tags::GHOST);
+        for (k, &q) in self.neighbors.iter().enumerate() {
+            let data = comm.recv_f64s(q, tags::GHOST);
+            debug_assert_eq!(data.len(), self.recv_idx[k].len());
+            for (&gi, &v) in self.recv_idx[k].iter().zip(&data) {
+                x[gi] = v;
+            }
+            comm.recycle_f64s(data);
+        }
+    }
+
+    /// Reference ghost update kept for benchmarking and bitwise-equality
+    /// property tests: allocates a fresh send vector per neighbour and never
+    /// touches the buffer pool — the pre-optimization behaviour.
+    pub fn update_ghosts_baseline(&self, comm: &mut Comm, x: &mut [f64]) {
         debug_assert_eq!(x.len(), self.n_local());
         let _span = parapre_trace::span(parapre_trace::phase::HALO);
         for (k, &q) in self.neighbors.iter().enumerate() {
@@ -110,16 +185,21 @@ impl LocalLayout {
         debug_assert_eq!(ghosts.len(), self.n_ghost);
         let _span = parapre_trace::span(parapre_trace::phase::INTERFACE_EXCHANGE);
         let base = self.n_internal;
-        for (k, &q) in self.neighbors.iter().enumerate() {
-            let data: Vec<f64> = self.send_idx[k].iter().map(|&i| y[i - base]).collect();
-            comm.send_f64s(q, tags::SCHUR, data);
-        }
+        SEND_SCRATCH.with(|s| {
+            let mut buf = s.borrow_mut();
+            for (k, &q) in self.neighbors.iter().enumerate() {
+                buf.clear();
+                buf.extend(self.send_idx[k].iter().map(|&i| y[i - base]));
+                comm.send_f64s_from(q, tags::SCHUR, &buf);
+            }
+        });
         let owned = self.n_owned();
         for (k, &q) in self.neighbors.iter().enumerate() {
             let data = comm.recv_f64s(q, tags::SCHUR);
             for (&gi, &v) in self.recv_idx[k].iter().zip(&data) {
                 ghosts[gi - owned] = v;
             }
+            comm.recycle_f64s(data);
         }
     }
 
@@ -139,6 +219,55 @@ impl LocalLayout {
     }
 }
 
+/// Precomputed interior/boundary row split of a rank's local matrix,
+/// driving the comm/compute-overlapped SpMV.
+///
+/// *Interior* rows reference owned columns only, so their dot products can
+/// run while ghost values are still in flight; *boundary* rows touch at
+/// least one ghost column and run after the halo lands. Because the split
+/// keeps whole rows (each row's left-to-right accumulation order is
+/// untouched), the recombined result is **bitwise identical** to the fused
+/// [`Csr::spmv`] — verified by property tests across random meshes and
+/// partitions.
+#[derive(Debug, Clone)]
+pub struct DistSpmvPlan {
+    /// Whole-row partition of the local matrix at the owned/ghost column
+    /// threshold.
+    pub split: RowSplit,
+}
+
+impl DistSpmvPlan {
+    /// Builds the plan for `a_loc` (owned rows × local cols) under `layout`.
+    pub fn new(a_loc: &Csr, layout: &LocalLayout) -> Self {
+        DistSpmvPlan {
+            split: a_loc.split_rows(layout.n_owned()),
+        }
+    }
+
+    /// Rows computable before ghost values arrive.
+    pub fn n_interior(&self) -> usize {
+        self.split.interior_rows.len()
+    }
+
+    /// Rows needing at least one ghost value.
+    pub fn n_boundary(&self) -> usize {
+        self.split.boundary_rows.len()
+    }
+
+    /// Computes `y[rows[i]] = part.row(i) · x` with the exact accumulation
+    /// order of [`Csr::spmv`].
+    fn spmv_scattered(part: &Csr, rows: &[usize], x: &[f64], y: &mut [f64]) {
+        for (ip, &row) in rows.iter().enumerate() {
+            let (cols, vals) = part.row(ip);
+            let mut acc = 0.0;
+            for (&j, &v) in cols.iter().zip(vals) {
+                acc += v * x[j];
+            }
+            y[row] = acc;
+        }
+    }
+}
+
 /// A rank's share of the distributed matrix.
 #[derive(Debug, Clone)]
 pub struct DistMatrix {
@@ -147,6 +276,8 @@ pub struct DistMatrix {
     /// Local rows: `n_owned × n_local`, columns in local ordering
     /// (internal, interface, ghosts).
     pub a_loc: Csr,
+    /// Interior/boundary row split for the overlapped matvec.
+    pub plan: DistSpmvPlan,
 }
 
 impl DistMatrix {
@@ -255,27 +386,61 @@ impl DistMatrix {
             owned_rows.iter().map(|&g| a.row(g).0.len()).sum::<usize>()
         );
 
+        let layout = LocalLayout {
+            rank,
+            n_ranks,
+            n_internal,
+            n_interface,
+            n_ghost,
+            local_to_global,
+            neighbors,
+            send_idx: send_sets,
+            recv_idx,
+        };
+        let plan = DistSpmvPlan::new(&a_loc, &layout);
         DistMatrix {
-            layout: LocalLayout {
-                rank,
-                n_ranks,
-                n_internal,
-                n_interface,
-                n_ghost,
-                local_to_global,
-                neighbors,
-                send_idx: send_sets,
-                recv_idx,
-            },
+            layout,
             a_loc,
+            plan,
         }
     }
 
-    /// Distributed matvec `y = A x`: refreshes ghosts, then local SpMV.
+    /// Distributed matvec `y = A x` with **communication/computation
+    /// overlap**: posts the ghost sends, computes interior rows while the
+    /// values are in flight, then finishes the exchange and the boundary
+    /// rows. Bitwise identical to [`DistMatrix::matvec_sync`] because the
+    /// row split preserves each row's accumulation order.
+    ///
     /// `x` has length `n_local` (ghost tail is scratch), `y` length
     /// `n_owned`.
     pub fn matvec(&self, comm: &mut Comm, x: &mut [f64], y: &mut [f64]) {
-        self.layout.update_ghosts(comm, x);
+        debug_assert_eq!(x.len(), self.layout.n_local());
+        debug_assert_eq!(y.len(), self.layout.n_owned());
+        let _span = parapre_trace::span(parapre_trace::phase::SPMV);
+        self.layout.post_ghost_sends(comm, x, tags::GHOST);
+        DistSpmvPlan::spmv_scattered(
+            &self.plan.split.interior,
+            &self.plan.split.interior_rows,
+            x,
+            y,
+        );
+        {
+            let _halo = parapre_trace::span(parapre_trace::phase::HALO);
+            self.layout.finish_ghosts(comm, x, tags::GHOST);
+        }
+        DistSpmvPlan::spmv_scattered(
+            &self.plan.split.boundary,
+            &self.plan.split.boundary_rows,
+            x,
+            y,
+        );
+    }
+
+    /// Synchronous reference matvec (full halo exchange, then fused local
+    /// SpMV) — the pre-overlap behaviour, kept for benchmarking and for the
+    /// bitwise-equality property tests.
+    pub fn matvec_sync(&self, comm: &mut Comm, x: &mut [f64], y: &mut [f64]) {
+        self.layout.update_ghosts_baseline(comm, x);
         debug_assert_eq!(y.len(), self.layout.n_owned());
         let _span = parapre_trace::span(parapre_trace::phase::SPMV);
         self.a_loc.spmv(x, y);
@@ -448,6 +613,34 @@ mod tests {
         for (u, v) in gathered.iter().zip(&y_glob) {
             assert!((u - v).abs() < 1e-12, "{u} vs {v}");
         }
+    }
+
+    #[test]
+    fn overlapped_matvec_bitwise_matches_sync() {
+        let (a, owner) = setup();
+        let a_ref = &a;
+        let owner_ref = &owner;
+        let results = Universe::run(4, |comm| {
+            let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), 4);
+            // The plan covers every owned row exactly once.
+            assert_eq!(
+                dm.plan.n_interior() + dm.plan.n_boundary(),
+                dm.layout.n_owned()
+            );
+            // Interior rows are exactly the internal nodes in this layout.
+            assert_eq!(dm.plan.n_interior(), dm.layout.n_internal);
+            let mut x = vec![0.0; dm.layout.n_local()];
+            for (l, v) in x[..dm.layout.n_owned()].iter_mut().enumerate() {
+                *v = (dm.layout.local_to_global[l] as f64 * 0.61).cos();
+            }
+            let mut x2 = x.clone();
+            let mut y1 = vec![0.0; dm.layout.n_owned()];
+            let mut y2 = vec![0.0; dm.layout.n_owned()];
+            dm.matvec(comm, &mut x, &mut y1);
+            dm.matvec_sync(comm, &mut x2, &mut y2);
+            y1 == y2 && x == x2
+        });
+        assert!(results.iter().all(|&ok| ok));
     }
 
     #[test]

@@ -69,6 +69,26 @@ impl DistOp for DistMatrix {
     }
 }
 
+/// Arnoldi orthogonalization strategy — the latency/reproducibility knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrthMethod {
+    /// Classical Gram–Schmidt with all `k+1` projection coefficients and
+    /// the norm batched into **one** fused vector allreduce per iteration,
+    /// plus DGKS selective reorthogonalization (a second fused reduce only
+    /// when cancellation is detected). Default: on `P` ranks this replaces
+    /// `k+2` latency-bound scalar reductions per iteration with one (or
+    /// two). Iteration counts can differ by a step or two from
+    /// [`OrthMethod::Modified`] because the projection is computed against
+    /// the un-updated `w`.
+    #[default]
+    ClassicalBatched,
+    /// Modified Gram–Schmidt: one scalar allreduce per basis vector per
+    /// iteration (`k+2` total). Bitwise-reproduces the sequential
+    /// reference algorithm — use when exact iteration parity matters more
+    /// than latency.
+    Modified,
+}
+
 /// Stopping and restart parameters (paper: FGMRES(20), `‖r‖/‖r₀‖ ≤ 1e-6`).
 #[derive(Debug, Clone, Copy)]
 pub struct DistGmresConfig {
@@ -90,6 +110,8 @@ pub struct DistGmresConfig {
     /// Inner solves (see [`DistGmresConfig::inner`]) switch this off so
     /// the convergence stream carries only outer iterations.
     pub trace_iters: bool,
+    /// Arnoldi orthogonalization strategy.
+    pub orth: OrthMethod,
 }
 
 impl Default for DistGmresConfig {
@@ -102,6 +124,7 @@ impl Default for DistGmresConfig {
             record_history: false,
             flexible: true,
             trace_iters: true,
+            orth: OrthMethod::default(),
         }
     }
 }
@@ -117,6 +140,7 @@ impl DistGmresConfig {
             record_history: false,
             flexible: false,
             trace_iters: false,
+            orth: OrthMethod::default(),
         }
     }
 }
@@ -235,14 +259,21 @@ impl DistGmres {
 
                 let orth = parapre_trace::span(parapre_trace::phase::ORTH);
                 let mut hcol = vec![0.0; k + 2];
-                for (i, vi) in v.iter().enumerate() {
-                    let hik = dot(comm, &w, vi);
-                    hcol[i] = hik;
-                    for (wj, &vj) in w.iter_mut().zip(vi) {
-                        *wj -= hik * vj;
+                let wnorm = match cfg.orth {
+                    OrthMethod::Modified => {
+                        for (i, vi) in v.iter().enumerate() {
+                            let hik = dot(comm, &w, vi);
+                            hcol[i] = hik;
+                            for (wj, &vj) in w.iter_mut().zip(vi) {
+                                *wj -= hik * vj;
+                            }
+                        }
+                        dot(comm, &w, &w).sqrt()
                     }
-                }
-                let wnorm = dot(comm, &w, &w).sqrt();
+                    OrthMethod::ClassicalBatched => {
+                        orthogonalize_batched(comm, &v, &mut w, &mut hcol)
+                    }
+                };
                 drop(orth);
                 hcol[k + 1] = wnorm;
                 for (i, &(c, s)) in givens.iter().enumerate() {
@@ -330,6 +361,64 @@ impl DistGmres {
     }
 }
 
+/// Classical Gram–Schmidt step with one fused allreduce: batches the
+/// projections `w·v_0 … w·v_k` and the squared norm `w·w` into a single
+/// length-`k+2` vector reduction, then applies DGKS selective
+/// reorthogonalization (one more fused reduce) when the Pythagorean
+/// estimate `‖w'‖² ≈ w·w − Σhᵢ²` reveals severe cancellation.
+///
+/// Writes the projection coefficients into `hcol[..k+1]`, updates `w` in
+/// place, and returns `‖w'‖` (estimate; relative error `O(ε)` once the
+/// cancellation guard has passed — any remaining error only perturbs the
+/// Krylov basis scaling, not the residual recurrence's correctness).
+fn orthogonalize_batched(comm: &mut Comm, v: &[Vec<f64>], w: &mut [f64], hcol: &mut [f64]) -> f64 {
+    let k1 = v.len();
+    debug_assert!(hcol.len() > k1);
+    let mut batch = vec![0.0; k1 + 1];
+    for (bi, vi) in batch.iter_mut().zip(v) {
+        *bi = w.iter().zip(vi).map(|(a, b)| a * b).sum();
+    }
+    batch[k1] = w.iter().map(|a| a * a).sum();
+    comm.allreduce_sum_vec(&mut batch, tags::REDUCE);
+    parapre_trace::counter(parapre_trace::counters::GMRES_FUSED_ALLREDUCE, 1);
+    let ww = batch[k1];
+    let mut proj_sq = 0.0;
+    for (i, vi) in v.iter().enumerate() {
+        let hik = batch[i];
+        hcol[i] = hik;
+        proj_sq += hik * hik;
+        for (wj, &vj) in w.iter_mut().zip(vi) {
+            *wj -= hik * vj;
+        }
+    }
+    let mut est = (ww - proj_sq).max(0.0);
+    // DGKS criterion (η² = 1/2): when more than half the mass of `w` was
+    // removed by the projection, the Pythagorean estimate is untrustworthy
+    // and the coefficients have cancelled — orthogonalize once more.
+    if est <= 0.5 * ww {
+        parapre_trace::counter(parapre_trace::counters::GMRES_REORTH, 1);
+        let mut batch2 = vec![0.0; k1 + 1];
+        for (bi, vi) in batch2.iter_mut().zip(v) {
+            *bi = w.iter().zip(vi).map(|(a, b)| a * b).sum();
+        }
+        batch2[k1] = w.iter().map(|a| a * a).sum();
+        comm.allreduce_sum_vec(&mut batch2, tags::REDUCE);
+        parapre_trace::counter(parapre_trace::counters::GMRES_FUSED_ALLREDUCE, 1);
+        let w1w1 = batch2[k1];
+        let mut corr_sq = 0.0;
+        for (i, vi) in v.iter().enumerate() {
+            let ci = batch2[i];
+            hcol[i] += ci;
+            corr_sq += ci * ci;
+            for (wj, &vj) in w.iter_mut().zip(vi) {
+                *wj -= ci * vj;
+            }
+        }
+        est = (w1w1 - corr_sq).max(0.0);
+    }
+    est.sqrt()
+}
+
 fn givens_rotation(a: f64, b: f64) -> (f64, f64) {
     if b == 0.0 {
         (1.0, 0.0)
@@ -404,7 +493,10 @@ mod tests {
     #[test]
     fn iteration_counts_equal_sequential_gmres() {
         // Unpreconditioned GMRES iteration counts are partition-independent
-        // (the Krylov space is the same): distributed must match sequential.
+        // (the Krylov space is the same): distributed MGS must match
+        // sequential MGS exactly — the reduction tree changes summation
+        // order but not which reductions happen, and this problem is far
+        // from the regime where that matters.
         let (a, b, owner) = tc1_small(8);
         let n = a.n_rows();
         let mut x_seq = vec![0.0; n];
@@ -421,6 +513,7 @@ mod tests {
             let mut x = vec![0.0; dm.layout.n_owned()];
             let rep = DistGmres::new(DistGmresConfig {
                 max_iters: 300,
+                orth: OrthMethod::Modified,
                 ..Default::default()
             })
             .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
@@ -430,6 +523,65 @@ mod tests {
             assert!(conv);
             assert_eq!(it, rep_seq.iterations);
         }
+    }
+
+    #[test]
+    fn batched_cgs_iterations_within_two_of_mgs() {
+        // The fused-allreduce classical Gram–Schmidt (default) may differ
+        // from modified Gram–Schmidt by a step or two, never more on these
+        // well-conditioned systems.
+        let (a, b, owner) = tc1_small(10);
+        let (a_ref, b_ref, owner_ref) = (&a, &b, &owner);
+        let run = |orth: OrthMethod| {
+            Universe::run(4, |comm| {
+                let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), 4);
+                let b_loc = scatter_vector(&dm.layout, b_ref);
+                let mut x = vec![0.0; dm.layout.n_owned()];
+                let rep = DistGmres::new(DistGmresConfig {
+                    max_iters: 300,
+                    orth,
+                    ..Default::default()
+                })
+                .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
+                assert!(rep.converged);
+                rep.iterations
+            })
+        };
+        let mgs = run(OrthMethod::Modified)[0];
+        let cgs = run(OrthMethod::ClassicalBatched)[0];
+        assert!(cgs.abs_diff(mgs) <= 2, "CGS {cgs} vs MGS {mgs} iterations");
+    }
+
+    #[test]
+    fn batched_cgs_issues_one_fused_allreduce_per_iteration() {
+        // Message-count regression: with CGS the orthogonalization of a
+        // whole cycle costs one vector allreduce per iteration (plus
+        // occasional reorthogonalization), not k+2 scalar ones.
+        let (a, b, owner) = tc1_small(8);
+        let (a_ref, b_ref, owner_ref) = (&a, &b, &owner);
+        let run = |orth: OrthMethod| {
+            Universe::run(4, |comm| {
+                let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), 4);
+                let b_loc = scatter_vector(&dm.layout, b_ref);
+                let mut x = vec![0.0; dm.layout.n_owned()];
+                let before = comm.stats().msgs_sent;
+                let rep = DistGmres::new(DistGmresConfig {
+                    max_iters: 60,
+                    orth,
+                    ..Default::default()
+                })
+                .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
+                (comm.stats().msgs_sent - before, rep.iterations)
+            })
+        };
+        let (mgs_msgs, mgs_iters) = run(OrthMethod::Modified)[0];
+        let (cgs_msgs, cgs_iters) = run(OrthMethod::ClassicalBatched)[0];
+        assert!(mgs_iters > 0 && cgs_iters > 0);
+        // Per iteration, CGS must send strictly fewer messages than MGS.
+        assert!(
+            (cgs_msgs as f64 / cgs_iters as f64) < (mgs_msgs as f64 / mgs_iters as f64),
+            "CGS {cgs_msgs}/{cgs_iters} vs MGS {mgs_msgs}/{mgs_iters} msgs/iter"
+        );
     }
 
     #[test]

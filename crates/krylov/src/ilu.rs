@@ -12,7 +12,7 @@
 //! [`LuFactors::trailing_block`]).
 
 use crate::precond::Preconditioner;
-use parapre_sparse::{Csr, Error, Result};
+use parapre_sparse::{ops, Csr, Error, Result, SweepLevels};
 
 /// A merged incomplete LU factorization.
 #[derive(Debug, Clone)]
@@ -22,24 +22,27 @@ pub struct LuFactors {
     lu: Csr,
     /// Position of the diagonal entry of each row inside `lu`'s value array.
     diag_ptr: Vec<usize>,
+    /// Reciprocals of the diagonal values: the backward sweep multiplies
+    /// instead of dividing (divides cost ~4× a multiply on current cores).
+    diag_inv: Vec<f64>,
+    /// Level schedule of the triangular sweeps (rows within a level are
+    /// mutually independent) — consumed by [`LuFactors::solve_in_place_leveled`]
+    /// and by callers wanting sweep-parallelism diagnostics.
+    levels: SweepLevels,
     /// Number of pivots that had to be replaced by a small fallback value.
     pivot_fixes: usize,
 }
 
 impl LuFactors {
     fn from_merged(lu: Csr, pivot_fixes: usize) -> Result<Self> {
-        let n = lu.n_rows();
-        let mut diag_ptr = Vec::with_capacity(n);
-        for i in 0..n {
-            let (cols, _) = lu.row(i);
-            match cols.binary_search(&i) {
-                Ok(k) => diag_ptr.push(lu.row_ptr()[i] + k),
-                Err(_) => return Err(Error::MissingDiagonal(i)),
-            }
-        }
+        let diag_ptr = ops::diag_pointers(&lu)?;
+        let diag_inv = ops::diag_reciprocals(&lu, &diag_ptr);
+        let levels = SweepLevels::from_merged(&lu, &diag_ptr);
         Ok(LuFactors {
             lu,
             diag_ptr,
+            diag_inv,
+            levels,
             pivot_fixes,
         })
     }
@@ -64,6 +67,13 @@ impl LuFactors {
         self.pivot_fixes
     }
 
+    /// Level schedule of the forward/backward sweeps: rows within a level
+    /// have no dependencies on each other, so the mean level width bounds
+    /// the sweep parallelism available in this factor.
+    pub fn levels(&self) -> &SweepLevels {
+        &self.levels
+    }
+
     /// Solves `L U x = b` in place (`x` holds `b` on entry).
     pub fn solve_in_place(&self, x: &mut [f64]) {
         let n = self.dim();
@@ -86,7 +96,39 @@ impl LuFactors {
             for k in (d + 1)..row_ptr[i + 1] {
                 acc -= vals[k] * x[cols[k]];
             }
-            x[i] = acc / vals[d];
+            x[i] = acc * self.diag_inv[i];
+        }
+    }
+
+    /// Level-scheduled variant of [`LuFactors::solve_in_place`]: processes
+    /// rows level by level instead of strictly sequentially. Rows within a
+    /// level are independent and every dependency lives in an earlier
+    /// level, so the result is **bitwise identical** to the sequential
+    /// sweep — this is the execution order a parallel sweep would use.
+    pub fn solve_in_place_leveled(&self, x: &mut [f64]) {
+        let n = self.dim();
+        debug_assert_eq!(x.len(), n);
+        let row_ptr = self.lu.row_ptr();
+        let cols = self.lu.col_idx();
+        let vals = self.lu.vals();
+        for l in 0..self.levels.n_lower_levels() {
+            for &i in self.levels.lower_level(l) {
+                let mut acc = x[i];
+                for k in row_ptr[i]..self.diag_ptr[i] {
+                    acc -= vals[k] * x[cols[k]];
+                }
+                x[i] = acc;
+            }
+        }
+        for l in 0..self.levels.n_upper_levels() {
+            for &i in self.levels.upper_level(l) {
+                let d = self.diag_ptr[i];
+                let mut acc = x[i];
+                for k in (d + 1)..row_ptr[i + 1] {
+                    acc -= vals[k] * x[cols[k]];
+                }
+                x[i] = acc * self.diag_inv[i];
+            }
         }
     }
 
@@ -118,7 +160,7 @@ impl LuFactors {
                 }
                 acc -= vals[k] * x[j];
             }
-            x[i] = acc / vals[d];
+            x[i] = acc * self.diag_inv[i];
         }
     }
 
@@ -513,6 +555,34 @@ mod tests {
             .sqrt();
         let r0: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(r < 0.75 * r0, "r={r}, r0={r0}");
+    }
+
+    #[test]
+    fn leveled_solve_bitwise_matches_sequential() {
+        // Level-scheduled execution respects every dependency, so it must
+        // reproduce the sequential sweep to the last bit — on both the
+        // no-fill ILU(0) and a fill-heavy ILUT factor.
+        let a = laplacian_2d(9);
+        let n = a.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 0.1).collect();
+        for f in [
+            Ilu0::factor(&a).unwrap(),
+            Ilut::factor(
+                &a,
+                &IlutConfig {
+                    drop_tol: 1e-4,
+                    fill: 12,
+                },
+            )
+            .unwrap(),
+        ] {
+            let mut x1 = b.clone();
+            f.solve_in_place(&mut x1);
+            let mut x2 = b.clone();
+            f.solve_in_place_leveled(&mut x2);
+            assert_eq!(x1, x2);
+            assert!(f.levels().mean_level_width() >= 1.0);
+        }
     }
 
     #[test]

@@ -342,6 +342,7 @@ impl Universe {
                 stats: CommStats::default(),
                 peer_stats: vec![CommStats::default(); n_ranks],
                 recv_timeout,
+                pool: RefCell::new(Vec::new()),
             })
             .collect();
         drop(txs);
@@ -357,6 +358,10 @@ impl Universe {
                 .map(|comm| {
                     scope.spawn(move || {
                         let rank = comm.rank();
+                        // Mark the rank thread so data-parallel kernels
+                        // (`Csr::spmv_par`) fall back to their serial path
+                        // instead of oversubscribing the machine P-fold.
+                        let _serial = parapre_sparse::parallel::enter_serial_region();
                         catch_unwind(AssertUnwindSafe(|| f(comm)))
                             .map_err(|payload| failure_from_panic(rank, payload))
                     })
@@ -389,7 +394,15 @@ pub struct Comm {
     /// Deadlock tripwire for blocking receives (per-universe, not global,
     /// so concurrently running universes can use different settings).
     recv_timeout: Duration,
+    /// Free float buffers for [`Comm::send_f64s_from`]; receivers feed
+    /// delivered buffers back via [`Comm::recycle_f64s`], so steady-state
+    /// halo exchanges allocate nothing per message.
+    pool: RefCell<Vec<Vec<f64>>>,
 }
+
+/// Upper bound on pooled free buffers per rank (beyond this, recycled
+/// buffers are simply dropped).
+const POOL_CAP: usize = 64;
 
 impl Comm {
     /// This rank's id in `0..size`.
@@ -548,9 +561,73 @@ impl Comm {
         }
     }
 
+    /// Non-blocking receive: returns the next message from `from` matching
+    /// `tag` if one has already arrived, `None` otherwise. Messages with
+    /// other tags pulled off the channel are parked for later receives,
+    /// exactly as in [`Comm::recv`].
+    ///
+    /// This is the overlap primitive: an overlapped SpMV polls its
+    /// neighbours with `try_recv` after finishing interior rows and only
+    /// blocks (with the usual deadlock tripwire) on the stragglers.
+    pub fn try_recv(&mut self, from: usize, tag: u64) -> Option<Payload> {
+        assert!(from < self.size);
+        if let Some(env) = self.take_parked(from, tag) {
+            self.note_recv(from, tag, env.payload.n_bytes());
+            return Some(env.payload);
+        }
+        loop {
+            let env = match self.from[from].try_recv() {
+                Ok(env) => env,
+                Err(_) => return None,
+            };
+            debug_assert_eq!(env.from, from);
+            if env.tag == tag {
+                self.note_recv(from, tag, env.payload.n_bytes());
+                return Some(env.payload);
+            }
+            self.pending.borrow_mut()[from].push(env);
+        }
+    }
+
+    /// Convenience: non-blocking receive of a float vector.
+    pub fn try_recv_f64s(&mut self, from: usize, tag: u64) -> Option<Vec<f64>> {
+        self.try_recv(from, tag).map(Payload::into_f64s)
+    }
+
     /// Convenience: send a float vector.
     pub fn send_f64s(&mut self, to: usize, tag: u64, data: Vec<f64>) {
         self.send(to, tag, Payload::F64s(data));
+    }
+
+    /// Sends a float slice by **copying into a pooled buffer** instead of
+    /// allocating a fresh `Vec` per message — the steady-state send path of
+    /// halo exchanges. Buffers come back to the pool when the application
+    /// returns received vectors via [`Comm::recycle_f64s`], so buffers
+    /// circulate between neighbours after a warm-up round.
+    pub fn send_f64s_from(&mut self, to: usize, tag: u64, data: &[f64]) {
+        let mut buf = match self.pool.borrow_mut().pop() {
+            Some(b) => {
+                parapre_trace::counter(parapre_trace::counters::POOL_REUSE, 1);
+                b
+            }
+            None => {
+                parapre_trace::counter(parapre_trace::counters::POOL_ALLOC, 1);
+                Vec::with_capacity(data.len())
+            }
+        };
+        buf.clear();
+        buf.extend_from_slice(data);
+        self.send(to, tag, Payload::F64s(buf));
+    }
+
+    /// Returns a float buffer (typically one just delivered by a receive)
+    /// to this rank's send pool for reuse by [`Comm::send_f64s_from`].
+    pub fn recycle_f64s(&mut self, mut buf: Vec<f64>) {
+        buf.clear();
+        let mut pool = self.pool.borrow_mut();
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
     }
 
     /// Convenience: receive a float vector.
@@ -715,6 +792,67 @@ mod tests {
             }
         });
         assert_eq!(out[0], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn pooled_sends_roundtrip_and_recycle() {
+        let out = Universe::run(2, |c| {
+            let peer = 1 - c.rank();
+            let mut sum = 0.0;
+            for round in 0..4 {
+                let data = [round as f64, c.rank() as f64];
+                c.send_f64s_from(peer, 9, &data);
+                let got = c.recv_f64s(peer, 9);
+                sum += got[0] + got[1];
+                // Hand the delivered buffer back so later rounds reuse it.
+                c.recycle_f64s(got);
+            }
+            (sum, c.stats().msgs_sent, c.stats().msgs_recv)
+        });
+        for (rank, (sum, sent, recv)) in out.into_iter().enumerate() {
+            // Each round delivers [round, peer_rank].
+            let peer = 1 - rank;
+            assert_eq!(sum, (0.0 + 1.0 + 2.0 + 3.0) + 4.0 * peer as f64);
+            assert_eq!(sent, 4);
+            assert_eq!(recv, 4);
+        }
+    }
+
+    #[test]
+    fn try_recv_none_then_some_and_parks_other_tags() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                // Nothing sent yet: rank 1 polls tag 7 and must see None
+                // before this send. Gate on an explicit handshake.
+                let go = c.recv_f64s(1, 1);
+                assert_eq!(go, vec![1.0]);
+                c.send_f64s(1, 8, vec![-1.0]); // unmatched tag, must be parked
+                c.send_f64s(1, 7, vec![42.0]);
+                0.0
+            } else {
+                assert!(c.try_recv_f64s(0, 7).is_none(), "no message sent yet");
+                c.send_f64s(0, 1, vec![1.0]);
+                // Poll until the tagged message lands.
+                let got = loop {
+                    if let Some(v) = c.try_recv_f64s(0, 7) {
+                        break v;
+                    }
+                    std::thread::yield_now();
+                };
+                // The out-of-order tag 8 message was parked, not lost.
+                let parked = c.recv_f64s(0, 8);
+                got[0] + parked[0]
+            }
+        });
+        assert_eq!(out[1], 41.0);
+    }
+
+    #[test]
+    fn rank_threads_run_in_serial_region() {
+        assert!(!parapre_sparse::parallel::in_serial_region());
+        let out = Universe::run(3, |_c| parapre_sparse::parallel::in_serial_region());
+        assert_eq!(out, vec![true, true, true]);
+        assert!(!parapre_sparse::parallel::in_serial_region());
     }
 
     #[test]

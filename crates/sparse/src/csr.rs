@@ -17,6 +17,20 @@ pub struct Csr {
     vals: Vec<f64>,
 }
 
+/// Result of [`Csr::split_rows`]: whole rows routed to an interior or a
+/// boundary part, with the original row index of every split row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowSplit {
+    /// Rows referencing only columns below the threshold.
+    pub interior: Csr,
+    /// Original row index of each interior row.
+    pub interior_rows: Vec<usize>,
+    /// Rows referencing at least one column at/above the threshold.
+    pub boundary: Csr,
+    /// Original row index of each boundary row.
+    pub boundary_rows: Vec<usize>,
+}
+
 impl Csr {
     /// Builds a CSR matrix from raw parts, validating the invariants.
     pub fn from_parts(
@@ -254,12 +268,16 @@ impl Csr {
     /// Bitwise identical to [`Csr::spmv`]: each output element is an
     /// independent dot product, so parallelization does not reorder the
     /// floating-point reduction within a row. Small matrices fall back to
-    /// the serial kernel to avoid thread spawn overhead.
+    /// the serial kernel to avoid thread spawn overhead, and so do calls
+    /// made from inside a cooperative parallel runtime (an mpisim rank
+    /// thread, see [`crate::parallel`]) — spawning
+    /// `available_parallelism()` workers from each of `P` rank threads
+    /// would oversubscribe the machine `P`-fold.
     pub fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols);
         assert_eq!(y.len(), self.n_rows);
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        if threads <= 1 || self.n_rows < 4096 {
+        if threads <= 1 || self.n_rows < 4096 || crate::parallel::in_serial_region() {
             return self.spmv(x, y);
         }
         let chunk = self.n_rows.div_ceil(threads);
@@ -280,6 +298,56 @@ impl Csr {
                 });
             }
         });
+    }
+
+    /// Splits the rows into an *interior* part (rows whose stored entries
+    /// all have column `< col_threshold`) and a *boundary* part (rows with
+    /// at least one entry at column `>= col_threshold`).
+    ///
+    /// This is the comm/compute-overlap split of a distributed SpMV: with
+    /// ghost columns numbered at the tail, interior rows can be computed
+    /// before any ghost value has arrived. Both parts keep this matrix's
+    /// full column count, and `y[rows[k]] = part_y[k]` scatters results
+    /// back; because each part keeps whole rows, the per-row reduction
+    /// order is untouched and the recombined product is bitwise identical
+    /// to [`Csr::spmv`].
+    pub fn split_rows(&self, col_threshold: usize) -> RowSplit {
+        let mut interior_rows = Vec::new();
+        let mut boundary_rows = Vec::new();
+        for i in 0..self.n_rows {
+            let (cols, _) = self.row(i);
+            // Columns are sorted: the last one decides.
+            if cols.last().is_some_and(|&c| c >= col_threshold) {
+                boundary_rows.push(i);
+            } else {
+                interior_rows.push(i);
+            }
+        }
+        let take = |rows: &[usize]| -> Csr {
+            let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+            let mut col_idx = Vec::new();
+            let mut vals = Vec::new();
+            row_ptr.push(0);
+            for &i in rows {
+                let (cols, vs) = self.row(i);
+                col_idx.extend_from_slice(cols);
+                vals.extend_from_slice(vs);
+                row_ptr.push(col_idx.len());
+            }
+            Csr {
+                n_rows: rows.len(),
+                n_cols: self.n_cols,
+                row_ptr,
+                col_idx,
+                vals,
+            }
+        };
+        RowSplit {
+            interior: take(&interior_rows),
+            interior_rows,
+            boundary: take(&boundary_rows),
+            boundary_rows,
+        }
     }
 
     /// Transposed product `y = A^T x`.
@@ -768,5 +836,76 @@ mod tests {
         let mut y = [10.0, 10.0, 10.0];
         a.spmv_acc(2.0, &x, &mut y);
         assert_eq!(y, [12.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn split_rows_partitions_and_recombines_bitwise() {
+        let a = Csr::from_dense_rows(&[
+            vec![2.0, 1.0, 0.0, 0.0], // interior (cols < 2)
+            vec![0.0, 3.0, 0.5, 0.0], // boundary (col 2)
+            vec![1.0, 0.0, 4.0, 1.0], // boundary (col 3)
+            vec![7.0, 0.0, 0.0, 0.0], // interior
+        ]);
+        let split = a.split_rows(2);
+        assert_eq!(split.interior_rows, vec![0, 3]);
+        assert_eq!(split.boundary_rows, vec![1, 2]);
+        assert_eq!(split.interior.n_rows(), 2);
+        assert_eq!(split.boundary.n_cols(), 4);
+        assert_eq!(
+            split.interior.nnz() + split.boundary.nnz(),
+            a.nnz(),
+            "every entry lands in exactly one part"
+        );
+        // Recombined SpMV is bitwise identical to the fused one.
+        let x = [0.3, -1.7, 2.9, 0.11];
+        let mut want = [0.0; 4];
+        a.spmv(&x, &mut want);
+        let mut yi = vec![0.0; 2];
+        let mut yb = vec![0.0; 2];
+        split.interior.spmv(&x, &mut yi);
+        split.boundary.spmv(&x, &mut yb);
+        let mut got = [0.0; 4];
+        for (k, &r) in split.interior_rows.iter().enumerate() {
+            got[r] = yi[k];
+        }
+        for (k, &r) in split.boundary_rows.iter().enumerate() {
+            got[r] = yb[k];
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn split_rows_all_interior_or_all_boundary() {
+        let a = sample();
+        let all_interior = a.split_rows(a.n_cols());
+        assert_eq!(all_interior.interior_rows.len(), a.n_rows());
+        assert!(all_interior.boundary_rows.is_empty());
+        let all_boundary = a.split_rows(0);
+        // Rows with entries go boundary; empty rows count as interior.
+        for i in all_boundary.boundary_rows {
+            assert!(!a.row(i).0.is_empty());
+        }
+    }
+
+    #[test]
+    fn spmv_par_serial_inside_serial_region() {
+        // Behavioural parity: gating on the ambient flag must not change
+        // results (it only suppresses worker threads).
+        let n = 5000; // above the parallel threshold
+        let rows: Vec<Vec<f64>> = (0..3).map(|i| vec![i as f64 + 1.0; 3]).collect();
+        let small = Csr::from_dense_rows(&rows);
+        let _guard = crate::parallel::enter_serial_region();
+        let x = vec![1.0; 3];
+        let mut y = vec![0.0; 3];
+        small.spmv_par(&x, &mut y);
+        assert_eq!(y, vec![3.0, 6.0, 9.0]);
+        // Large matrix path under the flag: still correct.
+        let eye_parts: (Vec<usize>, Vec<usize>, Vec<f64>) =
+            ((0..=n).collect(), (0..n).collect(), vec![2.0; n]);
+        let big = Csr::from_parts(n, n, eye_parts.0, eye_parts.1, eye_parts.2).unwrap();
+        let xb = vec![1.5; n];
+        let mut yb = vec![0.0; n];
+        big.spmv_par(&xb, &mut yb);
+        assert!(yb.iter().all(|&v| v == 3.0));
     }
 }

@@ -28,14 +28,17 @@ pub mod csc;
 pub mod csr;
 pub mod dense;
 pub mod io;
+pub mod levels;
 pub mod ops;
+pub mod parallel;
 pub mod perm;
 pub mod scaling;
 
 pub use coo::Coo;
 pub use csc::Csc;
-pub use csr::Csr;
+pub use csr::{Csr, RowSplit};
 pub use dense::Dense;
+pub use levels::SweepLevels;
 pub use perm::Permutation;
 
 /// Convenience result alias for fallible sparse operations.

@@ -1,6 +1,6 @@
 //! Vector kernels and triangular solves shared across the workspace.
 
-use crate::Csr;
+use crate::{Csr, Error, Result};
 
 /// Dot product of two equally sized slices.
 #[inline]
@@ -68,26 +68,70 @@ pub fn solve_unit_lower(l: &Csr, x: &mut [f64]) {
     }
 }
 
+/// Positions of each row's diagonal entry inside the value array of `u`
+/// (one binary search per row, done **once** — the planned triangular
+/// solves below never search again).
+pub fn diag_pointers(u: &Csr) -> Result<Vec<usize>> {
+    let n = u.n_rows();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let (cols, _) = u.row(i);
+        match cols.binary_search(&i) {
+            Ok(k) => out.push(u.row_ptr()[i] + k),
+            Err(_) => return Err(Error::MissingDiagonal(i)),
+        }
+    }
+    Ok(out)
+}
+
+/// Reciprocals of the diagonal values addressed by `diag_ptr`, so the
+/// back-substitution inner loop multiplies instead of divides.
+pub fn diag_reciprocals(u: &Csr, diag_ptr: &[usize]) -> Vec<f64> {
+    diag_ptr.iter().map(|&k| 1.0 / u.vals()[k]).collect()
+}
+
 /// Solves `U x = b` where `U` is upper triangular (diagonal stored) in CSR,
 /// in place. Entries with column index `< row` are ignored.
 ///
+/// Convenience wrapper: computes the diagonal pointers/reciprocals on every
+/// call. Hot paths (ILU sweeps, Schur iterations) must precompute them with
+/// [`diag_pointers`]/[`diag_reciprocals`] and call [`solve_upper_planned`]
+/// so the inner loop is allocation-, search-, and division-free.
+///
 /// # Panics
 /// Panics in debug builds when a diagonal entry is missing; in release the
-/// behaviour on a missing diagonal is a NaN result rather than UB.
+/// behaviour on a missing diagonal is a non-finite result rather than UB.
 pub fn solve_upper(u: &Csr, x: &mut [f64]) {
+    let diag_ptr = match diag_pointers(u) {
+        Ok(d) => d,
+        Err(e) => {
+            debug_assert!(false, "missing diagonal: {e:?}");
+            // Release fallback mirroring the historical behaviour: rows
+            // without a diagonal treat their first entry as the pivot.
+            (0..u.n_rows()).map(|i| u.row_ptr()[i]).collect()
+        }
+    };
+    let diag_inv = diag_reciprocals(u, &diag_ptr);
+    solve_upper_planned(u, &diag_ptr, &diag_inv, x);
+}
+
+/// Search- and division-free upper triangular solve: `diag_ptr` addresses
+/// each row's diagonal inside `u`'s value array (from [`diag_pointers`]),
+/// `diag_inv` holds the diagonal reciprocals (from [`diag_reciprocals`]).
+pub fn solve_upper_planned(u: &Csr, diag_ptr: &[usize], diag_inv: &[f64], x: &mut [f64]) {
     let n = u.n_rows();
     debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(diag_ptr.len(), n);
+    debug_assert_eq!(diag_inv.len(), n);
+    let row_ptr = u.row_ptr();
+    let cols = u.col_idx();
+    let vals = u.vals();
     for i in (0..n).rev() {
-        let (cols, vals) = u.row(i);
-        // Find the diagonal position by binary search (columns sorted).
-        let d = cols.binary_search(&i);
-        debug_assert!(d.is_ok(), "missing diagonal in row {i}");
-        let d = d.unwrap_or(0);
         let mut acc = x[i];
-        for (&j, &v) in cols[d + 1..].iter().zip(&vals[d + 1..]) {
-            acc -= v * x[j];
+        for k in (diag_ptr[i] + 1)..row_ptr[i + 1] {
+            acc -= vals[k] * x[cols[k]];
         }
-        x[i] = acc / vals[d];
+        x[i] = acc * diag_inv[i];
     }
 }
 
@@ -149,6 +193,33 @@ mod tests {
         for (a, b) in x.iter().zip(&x_true) {
             assert!((a - b).abs() < 1e-14);
         }
+    }
+
+    #[test]
+    fn planned_upper_solve_matches_wrapper_bitwise() {
+        let u = Csr::from_dense_rows(&[
+            vec![2.0, 1.0, 0.5],
+            vec![0.0, 4.0, -1.0],
+            vec![0.0, 0.0, 5.0],
+        ]);
+        let diag_ptr = diag_pointers(&u).unwrap();
+        assert_eq!(diag_ptr, vec![0, 3, 5]);
+        let diag_inv = diag_reciprocals(&u, &diag_ptr);
+        let b = [1.0, 2.0, 3.0];
+        let mut x1 = b;
+        solve_upper(&u, &mut x1);
+        let mut x2 = b;
+        solve_upper_planned(&u, &diag_ptr, &diag_inv, &mut x2);
+        assert_eq!(x1, x2, "wrapper delegates to the planned kernel");
+    }
+
+    #[test]
+    fn diag_pointers_reports_missing_diagonal() {
+        let u = Csr::from_dense_rows(&[vec![0.0, 1.0], vec![0.0, 3.0]]);
+        assert!(matches!(
+            diag_pointers(&u),
+            Err(crate::Error::MissingDiagonal(0))
+        ));
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Ambient execution-context flag controlling nested data parallelism.
+//!
+//! The workspace runs distributed algorithms as `P` threads inside a
+//! `parapre-mpisim` universe. A data-parallel kernel such as
+//! [`Csr::spmv_par`](crate::Csr::spmv_par) that spawns
+//! `available_parallelism()` worker threads *per call* would then
+//! oversubscribe the machine `P`-fold (every rank thread spawning a full
+//! complement of workers). The runtime marks its rank threads with the
+//! thread-local flag in this module, and kernels consult
+//! [`in_serial_region`] to fall back to their serial variant there.
+//!
+//! The flag is a depth counter, so regions may nest (a universe launched
+//! from inside another serial region keeps the flag set until the outermost
+//! guard drops).
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Nesting depth of serial regions on this thread.
+    static SERIAL_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// RAII guard returned by [`enter_serial_region`]; leaving the region (drop)
+/// decrements the thread-local depth counter.
+#[derive(Debug)]
+pub struct SerialRegionGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl SerialRegionGuard {
+    fn new() -> Self {
+        SERIAL_DEPTH.with(|d| d.set(d.get() + 1));
+        SerialRegionGuard {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for SerialRegionGuard {
+    fn drop(&mut self) {
+        SERIAL_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+/// Marks the current thread as being inside a cooperative parallel runtime
+/// (an mpisim rank thread): data-parallel kernels must run serially until
+/// the returned guard is dropped.
+pub fn enter_serial_region() -> SerialRegionGuard {
+    SerialRegionGuard::new()
+}
+
+/// True when the current thread is inside a serial region (e.g. an mpisim
+/// universe rank): kernels should not spawn their own worker threads.
+pub fn in_serial_region() -> bool {
+    SERIAL_DEPTH.with(|d| d.get() > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_is_scoped_and_nests() {
+        assert!(!in_serial_region());
+        {
+            let _g = enter_serial_region();
+            assert!(in_serial_region());
+            {
+                let _g2 = enter_serial_region();
+                assert!(in_serial_region());
+            }
+            assert!(in_serial_region());
+        }
+        assert!(!in_serial_region());
+    }
+
+    #[test]
+    fn flag_is_per_thread() {
+        let _g = enter_serial_region();
+        let other = std::thread::spawn(in_serial_region).join().unwrap();
+        assert!(!other, "serial region must not leak across threads");
+    }
+}

@@ -76,6 +76,29 @@ pub mod phase {
     pub const PRECOND_APPLY: &str = "precond_apply";
 }
 
+/// Canonical counter names for the comm/compute-overlap and buffer-reuse
+/// instrumentation, so producers (mpisim, dist) and consumers (benches,
+/// summaries) agree on spelling.
+pub mod counters {
+    /// A pooled send buffer was reused instead of allocating a fresh one.
+    pub const POOL_REUSE: &str = "comm.pool_reuse";
+    /// A send had to allocate because the pool was empty.
+    pub const POOL_ALLOC: &str = "comm.pool_alloc";
+    /// Halo messages that had already arrived when the overlapped SpMV
+    /// finished its interior rows — each count is communication fully
+    /// hidden behind computation.
+    pub const HALO_READY: &str = "halo.ready_after_interior";
+    /// Halo messages the overlapped SpMV still had to block on after the
+    /// interior rows were done.
+    pub const HALO_WAIT: &str = "halo.wait_after_interior";
+    /// Fused (batched) orthogonalization reductions issued by distributed
+    /// GMRES — one per iteration under classical Gram–Schmidt.
+    pub const GMRES_FUSED_ALLREDUCE: &str = "gmres.fused_allreduce";
+    /// Reorthogonalization passes triggered by the cancellation test in
+    /// classical Gram–Schmidt (each costs one extra fused reduction).
+    pub const GMRES_REORTH: &str = "gmres.reorth";
+}
+
 /// Direction of a communication event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommDir {
