@@ -94,6 +94,8 @@ fn main() {
                     rhs: RhsSpec::Natural,
                     repeat: 1,
                     session,
+                    recovery: parapre_engine::RecoveryPolicy::none(),
+                    fault: None,
                 }
             })
         })

@@ -6,7 +6,7 @@
 //! fixed SPD operator and runs fine under CG. Provided as a cross-check and
 //! for downstream users with symmetric problems.
 
-use crate::solver::{DistOp, DistPrecond};
+use crate::solver::{CheckpointCtx, DistOp, DistPrecond};
 use crate::tags;
 use parapre_mpisim::Comm;
 
@@ -64,6 +64,27 @@ impl DistCg {
         b: &[f64],
         x: &mut [f64],
     ) -> DistCgReport {
+        self.solve_with_checkpoint(comm, a, m, b, x, None, 0)
+    }
+
+    /// [`DistCg::solve`] with optional periodic checkpointing.
+    ///
+    /// CG has no restart cycles, so snapshots are taken every
+    /// `checkpoint_every` iterations (0 disables even when `ckpt` is set).
+    /// Unlike FGMRES, a resumed CG rebuilds its search direction from the
+    /// checkpointed iterate alone — losing conjugacy history but not
+    /// correctness.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_with_checkpoint<A: DistOp, M: DistPrecond>(
+        &self,
+        comm: &mut Comm,
+        a: &A,
+        m: &M,
+        b: &[f64],
+        x: &mut [f64],
+        ckpt: Option<CheckpointCtx<'_>>,
+        checkpoint_every: usize,
+    ) -> DistCgReport {
         let n = a.n_owned();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
@@ -78,11 +99,13 @@ impl DistCg {
         for (ri, &bi) in r.iter_mut().zip(b) {
             *ri = bi - *ri;
         }
+        let start = ckpt.map_or(0, |c| c.start_iters);
+        let mut cycle = ckpt.map_or(0, |c| c.start_cycle);
         let r0 = dot(comm, &r, &r).sqrt();
         if r0 <= cfg.abs_tol {
             return DistCgReport {
                 converged: true,
-                iterations: 0,
+                iterations: start,
                 final_relres: 0.0,
             };
         }
@@ -94,7 +117,7 @@ impl DistCg {
         let mut rz = dot(comm, &r, &z);
         let mut ap = vec![0.0; n];
 
-        for it in 1..=cfg.max_iters {
+        for it in (start + 1)..=cfg.max_iters {
             a.apply(comm, &p, &mut ap);
             let pap = dot(comm, &p, &ap);
             if pap <= 0.0 {
@@ -108,6 +131,14 @@ impl DistCg {
             for ((xi, &pi), (ri, &api)) in x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
                 *xi += alpha * pi;
                 *ri -= alpha * api;
+            }
+            if let Some(ck) = ckpt {
+                // Rank-identical cadence: every rank sees the same `it`.
+                if checkpoint_every > 0 && (it - start).is_multiple_of(checkpoint_every) {
+                    cycle += 1;
+                    ck.sink.save(comm.rank(), cycle, it, x);
+                    parapre_trace::counter(parapre_trace::counters::CKPT_SAVED, 1);
+                }
             }
             // Apply M⁻¹ *before* the convergence check so the residual norm
             // and the β-coefficient inner product ride a single fused

@@ -29,8 +29,8 @@ pub mod solver;
 
 pub use cg::{DistCg, DistCgConfig, DistCgReport};
 pub use solver::{
-    DistGmres, DistGmresConfig, DistOp, DistPrecond, DistSolveReport, IdentityDistPrecond,
-    OrthMethod,
+    CheckpointCtx, CheckpointSink, DistGmres, DistGmresConfig, DistOp, DistPrecond,
+    DistSolveReport, IdentityDistPrecond, OrthMethod,
 };
 
 use parapre_mpisim::Comm;

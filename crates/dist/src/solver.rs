@@ -69,6 +69,49 @@ impl DistOp for DistMatrix {
     }
 }
 
+/// Receiver for restart-cycle boundary snapshots of the iterate.
+///
+/// At every restart-cycle boundary (after the true residual has been
+/// computed) each rank hands its owned slice of `x` to the sink. Because a
+/// cycle boundary requires every rank to complete the same allreduces, any
+/// two ranks' latest saved cycles differ by at most one — a store that
+/// keeps the last two snapshots per rank can always reconstruct a
+/// consistent global iterate (the newest cycle present on *all* ranks).
+///
+/// `Send + Sync` because the same sink instance is shared by all rank
+/// threads of a solve.
+pub trait CheckpointSink: Send + Sync {
+    /// Store rank `rank`'s owned iterate at the end of restart cycle
+    /// `cycle` (1-based, monotone within a solve), with `iters` total
+    /// matvecs spent so far.
+    fn save(&self, rank: usize, cycle: u64, iters: usize, x: &[f64]);
+}
+
+/// Checkpointing context for a (possibly resumed) solve.
+#[derive(Clone, Copy)]
+pub struct CheckpointCtx<'a> {
+    /// Where cycle-boundary snapshots go.
+    pub sink: &'a dyn CheckpointSink,
+    /// Iterations already spent before this attempt (counted against
+    /// `max_iters` and included in the reported iteration totals, so a
+    /// resumed solve's budget and report cover the whole logical solve).
+    pub start_iters: usize,
+    /// Cycle number to continue from (0 for a fresh solve), so snapshot
+    /// ordering stays monotone across resume.
+    pub start_cycle: u64,
+}
+
+impl<'a> CheckpointCtx<'a> {
+    /// Context for a fresh (not resumed) solve.
+    pub fn fresh(sink: &'a dyn CheckpointSink) -> Self {
+        CheckpointCtx {
+            sink,
+            start_iters: 0,
+            start_cycle: 0,
+        }
+    }
+}
+
 /// Arnoldi orthogonalization strategy — the latency/reproducibility knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OrthMethod {
@@ -181,6 +224,26 @@ impl DistGmres {
         b: &[f64],
         x: &mut [f64],
     ) -> DistSolveReport {
+        self.solve_with_checkpoint(comm, a, m, b, x, None)
+    }
+
+    /// [`DistGmres::solve`] with optional restart-cycle checkpointing.
+    ///
+    /// When `ckpt` is set, the owned iterate is handed to the sink at every
+    /// restart-cycle boundary, and `start_iters`/`start_cycle` shift the
+    /// budget and cycle numbering for a solve resumed from a snapshot. A
+    /// resumed solve converges to `rel_tol` relative to its *resume-point*
+    /// residual — never looser than the original target, since the
+    /// checkpointed residual is at most the initial one.
+    pub fn solve_with_checkpoint<A: DistOp, M: DistPrecond>(
+        &self,
+        comm: &mut Comm,
+        a: &A,
+        m: &M,
+        b: &[f64],
+        x: &mut [f64],
+        ckpt: Option<CheckpointCtx<'_>>,
+    ) -> DistSolveReport {
         let n = a.n_owned();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
@@ -194,7 +257,7 @@ impl DistGmres {
 
         let mut report = DistSolveReport {
             converged: false,
-            iterations: 0,
+            iterations: ckpt.map_or(0, |c| c.start_iters),
             final_relres: f64::NAN,
             residual_history: Vec::new(),
         };
@@ -228,7 +291,8 @@ impl DistGmres {
         let mut h: Vec<Vec<f64>> = Vec::with_capacity(restart);
         let mut givens: Vec<(f64, f64)> = Vec::with_capacity(restart);
         let mut g = vec![0.0; restart + 1];
-        let mut total_iters = 0usize;
+        let mut total_iters = ckpt.map_or(0, |c| c.start_iters);
+        let mut cycle = ckpt.map_or(0, |c| c.start_cycle);
         let mut beta = r0_norm;
 
         loop {
@@ -350,6 +414,11 @@ impl DistGmres {
             beta = dot(comm, &r, &r).sqrt();
             report.iterations = total_iters;
             report.final_relres = beta / r0_norm;
+            if let Some(ck) = ckpt {
+                cycle += 1;
+                ck.sink.save(comm.rank(), cycle, total_iters, x);
+                parapre_trace::counter(parapre_trace::counters::CKPT_SAVED, 1);
+            }
             if beta <= target {
                 report.converged = true;
                 return report;

@@ -89,7 +89,11 @@ fn main() {
             }
         };
         // Backpressure: when the bounded queue rejects, drain the oldest
-        // in-flight result and retry — submission order is preserved.
+        // in-flight result and retry — submission order is preserved. A
+        // rejection that cannot be recovered becomes a *structured* result
+        // record (`error_kind: "rejected"`) so clients can tell load
+        // shedding from solver failure.
+        let job_id = job.id.clone();
         let mut job = Some(job);
         loop {
             match service.submit_solve(job.take().expect("job present")) {
@@ -97,12 +101,20 @@ fn main() {
                     pending.push_back(ticket);
                     break;
                 }
-                Err(SubmitError::QueueFull { .. }) => {
-                    let ticket = pending.pop_front().expect("queue full implies in-flight");
-                    finish(ticket.wait(), &mut ok, &mut all_converged);
-                    job = Some(parse_job_line(trimmed, seq).expect("already parsed once"));
+                Err(e @ SubmitError::QueueFull { .. }) => match pending.pop_front() {
+                    Some(ticket) => {
+                        finish(ticket.wait(), &mut ok, &mut all_converged);
+                        job = Some(parse_job_line(trimmed, seq).expect("already parsed once"));
+                    }
+                    None => {
+                        finish(rejected(&job_id, &e), &mut ok, &mut all_converged);
+                        break;
+                    }
+                },
+                Err(e @ SubmitError::ShuttingDown) => {
+                    finish(rejected(&job_id, &e), &mut ok, &mut all_converged);
+                    break;
                 }
-                Err(SubmitError::ShuttingDown) => die("service shut down unexpectedly"),
             }
         }
     }
@@ -124,6 +136,13 @@ fn main() {
         std::process::exit(0);
     }
     std::process::exit(2);
+}
+
+/// A structured result record for a job the service refused to run.
+fn rejected(id: &str, e: &SubmitError) -> JobResult {
+    let mut r = JobResult::failed(id, e.to_string());
+    r.error_kind = Some("rejected".into());
+    r
 }
 
 fn parse_num(s: &str, name: &str) -> usize {

@@ -15,14 +15,19 @@
 //!
 //! Recognized keys: `id`, `case` *or* `mtx`, `n` (explicit grid extent,
 //! overrides `size`), `size` (`tiny`/`default`/`full`), `precond`, `ranks`,
-//! `scheme`, `seed`, `repeat`, `rhs`, `tol`, `maxit`, `restart`. Results
-//! come back one flat-ish JSON line per job (the `iterations` array is the
-//! only nesting).
+//! `scheme`, `seed`, `repeat`, `rhs`, `tol`, `maxit`, `restart`. Resilience
+//! keys: `retries`, `backoff_ms`, `degrade`, `checkpoint` (recovery
+//! policy); `fault_seed`, `drop_prob`, `delay_prob`, `delay_us`,
+//! `kill_rank`, `kill_op` (deterministic fault injection — chaos jobs).
+//! Results come back one flat-ish JSON line per job (the `iterations` and
+//! `dead_ranks` arrays are the only nesting).
 
+use crate::resilient::RecoveryPolicy;
 use crate::session::{partition_matrix, SessionConfig};
 use crate::EngineError;
 use parapre_core::{build_case, build_case_sized, CaseId, CaseSize, PartitionScheme, PrecondKind};
 use parapre_core::{partition_case_with, AssembledCase};
+use parapre_resilience::{FaultConfig, RankOp};
 use parapre_sparse::Csr;
 use parapre_trace::flatjson::{self, JsonValue};
 use std::path::PathBuf;
@@ -74,6 +79,10 @@ pub struct SolveJob {
     pub repeat: usize,
     /// Session configuration (preconditioner, ranks, tolerances …).
     pub session: SessionConfig,
+    /// Retry/checkpoint/degrade behavior for this job.
+    pub recovery: RecoveryPolicy,
+    /// Deterministic fault injection plan (chaos jobs only).
+    pub fault: Option<FaultConfig>,
 }
 
 /// The outcome of one job, serializable as a JSONL result line.
@@ -102,6 +111,16 @@ pub struct JobResult {
     pub solve_seconds: f64,
     /// Global problem size.
     pub n_unknowns: usize,
+    /// Failed attempts absorbed by retries, summed over repeats.
+    pub retries: usize,
+    /// At least one repeat was answered by the degraded (reduced-system)
+    /// path — the solution is partial; see `true_relres`.
+    pub degraded: bool,
+    /// Union of ranks declared dead across repeats.
+    pub dead_ranks: Vec<usize>,
+    /// Classification of the failure (`"rank_failure"`, `"panic"`,
+    /// `"rejected"`, ...) when one occurred.
+    pub error_kind: Option<String>,
 }
 
 impl JobResult {
@@ -119,6 +138,10 @@ impl JobResult {
             setup_seconds: 0.0,
             solve_seconds: 0.0,
             n_unknowns: 0,
+            retries: 0,
+            degraded: false,
+            dead_ranks: Vec::new(),
+            error_kind: None,
         }
     }
 
@@ -140,6 +163,19 @@ impl JobResult {
             flatjson::json_f64(self.solve_seconds),
             self.n_unknowns,
         );
+        if self.retries > 0 {
+            out.push_str(&format!(",\"retries\":{}", self.retries));
+        }
+        if self.degraded {
+            out.push_str(",\"degraded\":true");
+        }
+        if !self.dead_ranks.is_empty() {
+            let ranks: Vec<String> = self.dead_ranks.iter().map(|r| r.to_string()).collect();
+            out.push_str(&format!(",\"dead_ranks\":[{}]", ranks.join(",")));
+        }
+        if let Some(kind) = &self.error_kind {
+            out.push_str(&format!(",\"error_kind\":\"{}\"", flatjson::escape(kind)));
+        }
         if let Some(e) = &self.error {
             out.push_str(&format!(",\"error\":\"{}\"", flatjson::escape(e)));
         }
@@ -217,12 +253,51 @@ pub fn parse_job_line(line: &str, seq: usize) -> Result<SolveJob, EngineError> {
         Some(path) => RhsSpec::File(PathBuf::from(path)),
     };
 
+    let get_bool = |k: &str| fields.get(k).and_then(JsonValue::as_bool);
+    let mut recovery = RecoveryPolicy::default();
+    if let Some(r) = get_u("retries") {
+        recovery.retry_budget = r as usize;
+    }
+    if let Some(ms) = get_u("backoff_ms") {
+        recovery.backoff_ms = ms;
+    }
+    if let Some(d) = get_bool("degrade") {
+        recovery.degrade = d;
+    }
+    if let Some(c) = get_bool("checkpoint") {
+        recovery.checkpoint = c;
+    }
+
+    let has_fault = ["fault_seed", "drop_prob", "delay_prob", "kill_rank"]
+        .iter()
+        .any(|k| fields.contains_key(*k));
+    let fault = has_fault.then(|| {
+        let mut f = FaultConfig {
+            seed: get_u("fault_seed").unwrap_or(0),
+            drop_prob: get_f("drop_prob").unwrap_or(0.0),
+            delay_prob: get_f("delay_prob").unwrap_or(0.0),
+            ..Default::default()
+        };
+        if let Some(us) = get_u("delay_us") {
+            f.delay_us = us;
+        }
+        if let Some(rank) = get_u("kill_rank") {
+            f.kill.push(RankOp {
+                rank: rank as usize,
+                op: get_u("kill_op").unwrap_or(0),
+            });
+        }
+        f
+    });
+
     Ok(SolveJob {
         id,
         problem,
         rhs,
         repeat: get_u("repeat").unwrap_or(1).max(1) as usize,
         session,
+        recovery,
+        fault,
     })
 }
 

@@ -28,6 +28,7 @@
 
 pub mod cache;
 pub mod jobs;
+pub mod resilient;
 pub mod service;
 pub mod session;
 pub mod timestep;
@@ -37,6 +38,7 @@ pub use jobs::{
     parse_job_line, problem_key, resolve_problem, JobResult, ProblemSpec, ResolvedProblem, RhsSpec,
     SolveJob,
 };
+pub use resilient::{solve_resilient, FaultOutcome, RecoveryPolicy};
 pub use service::{Job, JobTicket, ServiceConfig, SolveService, SubmitError};
 pub use session::{SessionConfig, SessionSolveReport, SolverSession};
 pub use timestep::{march_heat, StepReport, TimestepConfig, TimestepReport};

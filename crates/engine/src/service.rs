@@ -16,14 +16,17 @@
 
 use crate::cache::{CacheStats, SessionCache, SessionKey};
 use crate::jobs::{problem_key, resolve_problem, JobResult, ResolvedProblem, SolveJob};
+use crate::resilient::solve_resilient;
 use crate::session::SolverSession;
+use parapre_mpisim::FaultHook;
+use parapre_resilience::FaultPlan;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Sizing of the service.
 #[derive(Debug, Clone, Copy)]
@@ -117,6 +120,21 @@ impl JobTicket {
     /// Non-blocking poll; `None` while the job is still queued or running.
     pub fn try_wait(&self) -> Option<JobResult> {
         self.rx.try_recv().ok()
+    }
+
+    /// Blocks for at most `timeout`. `Ok` carries the result; `Err(self)`
+    /// returns the still-live ticket so the caller can keep waiting (or
+    /// drop it to abandon the job) — nobody gets stuck forever behind a
+    /// hung rank.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<JobResult, JobTicket> {
+        use std::sync::mpsc::RecvTimeoutError;
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Ok(result),
+            Err(RecvTimeoutError::Timeout) => Err(self),
+            Err(RecvTimeoutError::Disconnected) => {
+                Ok(JobResult::failed(self.id, "worker disappeared"))
+            }
+        }
     }
 }
 
@@ -298,8 +316,12 @@ fn worker_loop(shared: &Shared) {
         let id = job.id().to_string();
         let now_active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
         shared.peak_active.fetch_max(now_active, Ordering::SeqCst);
-        let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, job)))
-            .unwrap_or_else(|payload| JobResult::failed(id, panic_message(payload)));
+        let result =
+            catch_unwind(AssertUnwindSafe(|| run_job(shared, job))).unwrap_or_else(|payload| {
+                let mut r = JobResult::failed(id, panic_message(payload));
+                r.error_kind = Some("panic".into());
+                r
+            });
         shared.active.fetch_sub(1, Ordering::SeqCst);
         // A dropped ticket just means nobody is waiting for this result.
         let _ = tx.send(result);
@@ -348,25 +370,54 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
     } else {
         t0.elapsed().as_secs_f64()
     };
+    // One plan per job: a `once` kill fires on the first repeat's first
+    // attempt and every later attempt/repeat runs clean, modelling a
+    // transient failure.
+    let plan: Option<Arc<FaultPlan>> = job.fault.clone().map(|f| Arc::new(FaultPlan::new(f)));
     let mut iterations = Vec::with_capacity(job.repeat);
     let mut converged = true;
     let mut final_relres = f64::NAN;
     let mut true_relres = f64::NAN;
     let mut solve_seconds = 0.0;
+    let mut retries = 0usize;
+    let mut degraded = false;
+    let mut dead_ranks: Vec<usize> = Vec::new();
+    let merge_dead = |dead_ranks: &mut Vec<usize>, more: &[usize]| {
+        for &r in more {
+            if !dead_ranks.contains(&r) {
+                dead_ranks.push(r);
+            }
+        }
+        dead_ranks.sort_unstable();
+    };
     for _ in 0..job.repeat {
-        let solve = match &resolved.x0 {
-            Some(x0) => session.solve_with_guess(&resolved.b, x0),
-            None => session.solve(&resolved.b),
-        };
-        match solve {
-            Ok(rep) => {
+        let hook = plan.clone().map(|p| p as Arc<dyn FaultHook>);
+        match solve_resilient(
+            &session,
+            &resolved.b,
+            resolved.x0.as_deref(),
+            hook,
+            &job.recovery,
+        ) {
+            Ok((rep, out)) => {
                 iterations.push(rep.iterations);
                 converged &= rep.converged;
                 final_relres = rep.final_relres;
                 true_relres = rep.true_relres;
                 solve_seconds += rep.solve_seconds;
+                retries += out.retries;
+                degraded |= out.degraded;
+                merge_dead(&mut dead_ranks, &out.dead_ranks);
             }
-            Err(e) => return JobResult::failed(&job.id, e.to_string()),
+            Err((e, out)) => {
+                let mut r = JobResult::failed(&job.id, e.to_string());
+                r.retries = retries + out.retries;
+                r.degraded = degraded;
+                merge_dead(&mut dead_ranks, &out.dead_ranks);
+                r.dead_ranks = dead_ranks;
+                r.error_kind = out.error_kind.or_else(|| Some("rank_failure".into()));
+                return r;
+            }
         }
     }
     JobResult {
@@ -381,5 +432,9 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
         setup_seconds,
         solve_seconds,
         n_unknowns: session.n_unknowns(),
+        retries,
+        degraded,
+        dead_ranks,
+        error_kind: None,
     }
 }

@@ -17,12 +17,14 @@ use parapre_core::{
     PrecondParams,
 };
 use parapre_dist::{
-    gather_vector, scatter_vector, DistGmres, DistGmresConfig, DistMatrix, DistOp, DistPrecond,
+    gather_vector, scatter_vector, CheckpointCtx, DistGmres, DistGmresConfig, DistMatrix, DistOp,
+    DistPrecond,
 };
 use parapre_grid::Adjacency;
-use parapre_mpisim::{MachineModel, Universe};
+use parapre_mpisim::{FaultHook, MachineModel, RankFailure, Universe};
 use parapre_partition::partition_graph;
 use parapre_sparse::Csr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Everything that determines a session's frozen state (and therefore its
@@ -96,6 +98,11 @@ pub struct SolverSession {
     fingerprint: u64,
     setup_seconds: f64,
     ranks: Vec<RankState>,
+    /// The distributed global matrix and owner map, retained so the
+    /// resilience layer can build degraded (reduced) systems and verify
+    /// full-system residuals without re-partitioning.
+    a_global: Csr,
+    owner: Vec<u32>,
 }
 
 /// The outcome of one [`SolverSession::solve`].
@@ -153,6 +160,8 @@ impl SolverSession {
             fingerprint,
             setup_seconds: t0.elapsed().as_secs_f64(),
             ranks,
+            a_global: a.clone(),
+            owner: owner.to_vec(),
         })
     }
 
@@ -208,6 +217,30 @@ impl SolverSession {
         x0: Option<&[f64]>,
         trace: bool,
     ) -> Result<(SessionSolveReport, Vec<parapre_trace::RankTrace>), EngineError> {
+        self.solve_attempt(b, x0, trace, None, None)
+            .map_err(|fails| {
+                EngineError::Solve(
+                    fails
+                        .iter()
+                        .map(|f| f.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                )
+            })
+    }
+
+    /// One solve attempt with optional fault injection and checkpointing,
+    /// returning the *structured* per-rank failures instead of a flattened
+    /// error string — the resilience layer needs to know which rank died
+    /// and whether the death was injected.
+    pub fn solve_attempt(
+        &self,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        trace: bool,
+        faults: Option<Arc<dyn FaultHook>>,
+        ckpt: Option<CheckpointCtx<'_>>,
+    ) -> Result<(SessionSolveReport, Vec<parapre_trace::RankTrace>), Vec<RankFailure>> {
         assert_eq!(b.len(), self.n_global, "rhs length");
         if let Some(x0) = x0 {
             assert_eq!(x0.len(), self.n_global, "guess length");
@@ -223,7 +256,7 @@ impl SolverSession {
         }
         let p = self.cfg.n_ranks;
         let t0 = Instant::now();
-        let outs = Universe::try_run_with_timeout(p, self.cfg.recv_timeout, |comm| {
+        let outs = Universe::try_run_with_faults(p, self.cfg.recv_timeout, faults, |comm| {
             if trace {
                 parapre_trace::install(comm.rank());
             }
@@ -234,8 +267,14 @@ impl SolverSession {
                 Some(g) => scatter_vector(&st.dm.layout, g),
                 None => vec![0.0; n_owned],
             };
-            let rep =
-                DistGmres::new(self.cfg.gmres).solve(comm, &st.dm, &st.precond, &b_loc, &mut x);
+            let rep = DistGmres::new(self.cfg.gmres).solve_with_checkpoint(
+                comm,
+                &st.dm,
+                &st.precond,
+                &b_loc,
+                &mut x,
+                ckpt,
+            );
             // True residual ‖b − Ax‖ / ‖b‖, assembled distributed.
             let mut ax = vec![0.0; n_owned];
             DistOp::apply(&st.dm, comm, &x, &mut ax);
@@ -259,11 +298,11 @@ impl SolverSession {
         for out in outs {
             match out {
                 Ok(o) => ranks.push(o),
-                Err(f) => failures.push(f.to_string()),
+                Err(f) => failures.push(f),
             }
         }
         if !failures.is_empty() {
-            return Err(EngineError::Solve(failures.join("; ")));
+            return Err(failures);
         }
         let traces: Vec<parapre_trace::RankTrace> =
             ranks.iter_mut().filter_map(|o| o.trace.take()).collect();
@@ -302,6 +341,32 @@ impl SolverSession {
     /// Wall time of the one-off setup (partition + distribute + factor).
     pub fn setup_seconds(&self) -> f64 {
         self.setup_seconds
+    }
+
+    /// The (structurally symmetrized) global matrix this session solves.
+    pub fn matrix(&self) -> &Csr {
+        &self.a_global
+    }
+
+    /// Per-unknown owner map.
+    pub fn owner(&self) -> &[u32] {
+        &self.owner
+    }
+
+    /// Assembles per-rank owned slices (rank order, layout ordering) into a
+    /// global vector — the inverse of [`scatter_vector`] over all ranks.
+    /// Used to turn a consistent checkpoint into a restart guess.
+    pub fn assemble_global(&self, per_rank: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(per_rank.len(), self.ranks.len());
+        let mut out = vec![0.0; self.n_global];
+        for (st, xs) in self.ranks.iter().zip(per_rank) {
+            let layout = &st.dm.layout;
+            assert_eq!(xs.len(), layout.n_owned());
+            for (l, &v) in xs.iter().enumerate() {
+                out[layout.local_to_global[l]] = v;
+            }
+        }
+        out
     }
 }
 

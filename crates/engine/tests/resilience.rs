@@ -1,0 +1,176 @@
+//! Chaos tests: solves on TC1–TC4 with one injected rank kill must
+//! complete — via retry (transient kill) or via the degraded reduced
+//! system (persistent kill) — and report residuals honestly.
+
+use parapre_core::{build_case, CaseId, CaseSize, PrecondKind};
+use parapre_dist::CheckpointCtx;
+use parapre_engine::{solve_resilient, RecoveryPolicy, SessionConfig, SolverSession};
+use parapre_mpisim::FaultHook;
+use parapre_resilience::{CheckpointStore, FaultConfig, FaultPlan, RankOp};
+use std::sync::Arc;
+use std::time::Duration;
+
+const P: usize = 4;
+
+fn tc_session(id: CaseId) -> (SolverSession, Vec<f64>, Vec<f64>) {
+    let case = build_case(id, CaseSize::Tiny);
+    let mut cfg = SessionConfig::paper(PrecondKind::Block1, P);
+    // Kill tests make peers wait out the receive timeout; keep it short.
+    cfg.recv_timeout = Duration::from_millis(400);
+    let session = SolverSession::from_case(&case, &cfg).expect("setup");
+    (session, case.sys.b.clone(), case.x0.clone())
+}
+
+fn all_cases() -> [CaseId; 4] {
+    [CaseId::Tc1, CaseId::Tc2, CaseId::Tc3, CaseId::Tc4]
+}
+
+#[test]
+fn transient_kill_recovers_via_retry_on_tc1_tc4() {
+    for id in all_cases() {
+        let (session, b, x0) = tc_session(id);
+        // `once: true` (default): the kill fires on the first attempt only.
+        let plan = Arc::new(FaultPlan::new(FaultConfig::kill_once(1, 2)));
+        let hook: Arc<dyn FaultHook> = plan.clone();
+        let (rep, out) = solve_resilient(
+            &session,
+            &b,
+            Some(&x0),
+            Some(hook),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap_or_else(|(e, _)| panic!("{id:?}: retry should recover: {e}"));
+        assert_eq!(out.retries, 1, "{id:?}: exactly one retry");
+        assert!(!out.degraded, "{id:?}: no degradation needed");
+        assert_eq!(out.dead_ranks, vec![1], "{id:?}: the kill was observed");
+        assert!(rep.converged, "{id:?}: converged after retry");
+        assert!(
+            rep.true_relres <= 2e-6,
+            "{id:?}: true residual {} meets the 1e-6 target",
+            rep.true_relres
+        );
+    }
+}
+
+#[test]
+fn persistent_kill_degrades_on_tc1_tc4() {
+    for id in all_cases() {
+        let (session, b, x0) = tc_session(id);
+        // Persistent kill: every attempt dies, so retries are useless and
+        // the ladder must fall through to the degraded reduced system.
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            once: false,
+            kill: vec![RankOp { rank: 1, op: 2 }],
+            ..Default::default()
+        }));
+        let hook: Arc<dyn FaultHook> = plan.clone();
+        let policy = RecoveryPolicy {
+            retry_budget: 1,
+            backoff_ms: 1,
+            ..Default::default()
+        };
+        let (rep, out) = solve_resilient(&session, &b, Some(&x0), Some(hook), &policy)
+            .unwrap_or_else(|(e, _)| panic!("{id:?}: degraded mode should answer: {e}"));
+        assert!(out.degraded, "{id:?}: answered by the degraded path");
+        assert_eq!(out.dead_ranks, vec![1]);
+        assert!(rep.converged, "{id:?}: reduced system converged");
+        // The residual the solver *claims* is the reduced system's, and it
+        // must meet the configured tolerance…
+        assert!(
+            rep.final_relres <= 1e-6,
+            "{id:?}: reduced relres {} within claimed tolerance",
+            rep.final_relres
+        );
+        // …while the honest full-system residual is reported separately
+        // and does NOT pretend the dead subdomain was solved.
+        let full = out
+            .degraded_full_relres
+            .expect("degraded reports full residual");
+        assert_eq!(
+            rep.true_relres, full,
+            "{id:?}: true_relres is the honest one"
+        );
+        assert!(full.is_finite());
+        assert!(
+            full > rep.final_relres,
+            "{id:?}: full residual {} exceeds reduced {}",
+            full,
+            rep.final_relres
+        );
+    }
+}
+
+#[test]
+fn checkpoint_resume_reaches_the_same_answer() {
+    // No faults here — this pins down the resume semantics: a solve
+    // restarted from a mid-flight consistent checkpoint converges to the
+    // same answer, with the inherited iterations counted in its report.
+    let (session, b, x0) = tc_session(CaseId::Tc1);
+    let store = CheckpointStore::new(P);
+    let (rep_full, _) = session
+        .solve_attempt(
+            &b,
+            Some(&x0),
+            false,
+            None,
+            Some(CheckpointCtx::fresh(&store)),
+        )
+        .expect("clean checkpointed solve");
+    assert!(rep_full.converged);
+    let ck = store.latest_consistent().expect("cycles were checkpointed");
+    assert!(ck.iters > 0 && ck.iters <= rep_full.iterations);
+
+    let guess = session.assemble_global(&ck.x);
+    let store2 = CheckpointStore::new(P);
+    let (rep_resumed, _) = session
+        .solve_attempt(
+            &b,
+            Some(&guess),
+            false,
+            None,
+            Some(CheckpointCtx {
+                sink: &store2,
+                start_iters: ck.iters,
+                start_cycle: ck.cycle,
+            }),
+        )
+        .expect("resumed solve");
+    assert!(rep_resumed.converged);
+    assert!(
+        rep_resumed.iterations >= ck.iters,
+        "inherited iterations are counted"
+    );
+    // Both answers satisfy the same system to the same tolerance.
+    assert!(rep_resumed.true_relres <= 2e-6);
+}
+
+#[test]
+fn late_kill_resumes_from_checkpoint() {
+    // Tight tolerance + tiny restart length ⇒ many cycle boundaries, so by
+    // the time the kill fires (send op 30) at least one checkpoint exists
+    // and the retry must resume mid-solve instead of from zero.
+    let case = build_case(CaseId::Tc1, CaseSize::Tiny);
+    let mut cfg = SessionConfig::paper(PrecondKind::Block1, P);
+    cfg.recv_timeout = Duration::from_millis(400);
+    cfg.gmres.restart = 2;
+    cfg.gmres.rel_tol = 1e-8;
+    let session = SolverSession::from_case(&case, &cfg).expect("setup");
+
+    let plan = Arc::new(FaultPlan::new(FaultConfig::kill_once(1, 30)));
+    let hook: Arc<dyn FaultHook> = plan.clone();
+    let (rep, out) = solve_resilient(
+        &session,
+        &case.sys.b,
+        Some(&case.x0),
+        Some(hook),
+        &RecoveryPolicy::default(),
+    )
+    .unwrap_or_else(|(e, _)| panic!("retry should recover: {e}"));
+    assert_eq!(out.retries, 1, "the kill fired and one retry ran");
+    assert!(
+        out.resumed_iters > 0,
+        "retry resumed from a checkpoint, not from zero"
+    );
+    assert!(rep.converged);
+    assert!(rep.iterations > out.resumed_iters);
+}

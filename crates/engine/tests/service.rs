@@ -218,3 +218,31 @@ fn shutdown_drains_queued_jobs() {
         assert!(t.wait().ok, "queued jobs complete before shutdown");
     }
 }
+
+#[test]
+fn wait_timeout_returns_ticket_while_running_and_result_after() {
+    use std::time::Duration;
+    let service = SolveService::start(ServiceConfig {
+        pool_size: 1,
+        queue_capacity: 4,
+        cache_capacity: 1,
+    });
+    let (job, started, release) = blocking_job("slow");
+    let ticket = service.submit(job).expect("accepted");
+    started.recv().expect("job running");
+
+    // Still running: the timeout elapses and the ticket comes back alive.
+    let ticket = match ticket.wait_timeout(Duration::from_millis(20)) {
+        Err(t) => t,
+        Ok(r) => panic!("job should still be running, got result ok={}", r.ok),
+    };
+    assert_eq!(ticket.id, "slow");
+
+    // Released: the same ticket now redeems normally.
+    release.send(()).expect("release");
+    let result = ticket
+        .wait_timeout(Duration::from_secs(10))
+        .unwrap_or_else(|_| panic!("finishes well within the timeout"));
+    assert!(result.ok);
+    assert_eq!(result.id, "slow");
+}

@@ -34,10 +34,92 @@
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How long a blocking receive waits before declaring a deadlock.
 const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// What an installed fault hook does to one outgoing message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFault {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop the message (it counts as sent, never arrives —
+    /// the receiver's deadlock tripwire is the detection mechanism).
+    Drop,
+    /// Stall the sending rank for the given duration, then deliver.
+    Delay(Duration),
+}
+
+/// What an installed fault hook does to a rank at a send-operation
+/// boundary, *before* the message is considered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepFault {
+    /// Proceed normally.
+    Continue,
+    /// Slow-rank jitter: stall for the given duration, then proceed.
+    Jitter(Duration),
+    /// Kill the rank: it panics with an [`InjectedFault`] payload, which
+    /// [`Universe::try_run`] converts into a [`RankFailure`] whose
+    /// `injected` field identifies the fault.
+    Kill,
+    /// Hang the rank: it stalls past every peer's receive timeout (so the
+    /// peers observe [`CommError`] tripwires first), then dies like
+    /// [`StepFault::Kill`].
+    Hang,
+}
+
+/// Deterministic fault-injection hook consulted by every rank of a
+/// [`Universe::try_run_with_faults`] launch.
+///
+/// Both callbacks receive the rank's 0-based **send-operation index** —
+/// a counter each rank increments exactly once per [`Comm::send`] in
+/// program order. Decisions keyed on `(rank, op)` are therefore
+/// reproducible across runs regardless of thread scheduling; blocking or
+/// polling receives do *not* advance the counter because their call counts
+/// are timing-dependent under comm/compute overlap.
+pub trait FaultHook: Send + Sync {
+    /// Consulted at each send-operation boundary (kill/hang/jitter).
+    fn on_step(&self, rank: usize, op: u64) -> StepFault;
+    /// Consulted for each outgoing message surviving [`FaultHook::on_step`].
+    fn on_send(&self, rank: usize, op: u64, to: usize, tag: u64, bytes: u64) -> SendFault;
+}
+
+/// The panic payload of a rank killed or hung by an installed
+/// [`FaultHook`]; surfaces on [`RankFailure::injected`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The rank the fault was injected into.
+    pub rank: usize,
+    /// The send-operation index at which it fired.
+    pub op: u64,
+    /// Kill or hang.
+    pub kind: InjectedFaultKind,
+}
+
+/// Which terminal fault was injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFaultKind {
+    /// The rank was killed outright.
+    Kill,
+    /// The rank was hung past the deadlock tripwire, then terminated.
+    Hang,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let verb = match self.kind {
+            InjectedFaultKind::Kill => "killed",
+            InjectedFaultKind::Hang => "hung",
+        };
+        write!(
+            f,
+            "rank {} {} by fault injection at send op {}",
+            self.rank, verb, self.op
+        )
+    }
+}
 
 /// A receive that timed out — the runtime's deadlock tripwire.
 ///
@@ -89,6 +171,11 @@ pub struct RankFailure {
     /// The structured receive-timeout error when the failure was a
     /// communication deadlock (`None` for ordinary panics).
     pub comm_error: Option<CommError>,
+    /// The structured fault description when the failure was injected by an
+    /// installed [`FaultHook`] (`None` for organic failures) — the signal a
+    /// recovery layer uses to tell a deliberately dead rank from its
+    /// secondary deadlock victims.
+    pub injected: Option<InjectedFault>,
 }
 
 impl std::fmt::Display for RankFailure {
@@ -100,13 +187,20 @@ impl std::fmt::Display for RankFailure {
 impl std::error::Error for RankFailure {}
 
 fn failure_from_panic(rank: usize, payload: Box<dyn std::any::Any + Send>) -> RankFailure {
-    let (message, comm_error) = match payload.downcast::<CommError>() {
-        Ok(e) => (e.to_string(), Some(*e)),
-        Err(payload) => match payload.downcast::<String>() {
-            Ok(s) => (*s, None),
-            Err(payload) => match payload.downcast::<&'static str>() {
-                Ok(s) => ((*s).to_string(), None),
-                Err(_) => ("rank panicked with a non-string payload".to_string(), None),
+    let (message, comm_error, injected) = match payload.downcast::<CommError>() {
+        Ok(e) => (e.to_string(), Some(*e), None),
+        Err(payload) => match payload.downcast::<InjectedFault>() {
+            Ok(f) => (f.to_string(), None, Some(*f)),
+            Err(payload) => match payload.downcast::<String>() {
+                Ok(s) => (*s, None, None),
+                Err(payload) => match payload.downcast::<&'static str>() {
+                    Ok(s) => ((*s).to_string(), None, None),
+                    Err(_) => (
+                        "rank panicked with a non-string payload".to_string(),
+                        None,
+                        None,
+                    ),
+                },
             },
         },
     };
@@ -114,6 +208,7 @@ fn failure_from_panic(rank: usize, payload: Box<dyn std::any::Any + Send>) -> Ra
         rank,
         message,
         comm_error,
+        injected,
     }
 }
 
@@ -313,6 +408,25 @@ impl Universe {
         F: Fn(&mut Comm) -> T + Sync,
         T: Send,
     {
+        Self::try_run_with_faults(n_ranks, recv_timeout, None, f)
+    }
+
+    /// [`Universe::try_run_with_timeout`] with a deterministic fault hook
+    /// installed on every rank's communicator: the same closure runs under
+    /// a reproducible schedule of message drops/delays, slow-rank jitter,
+    /// and rank kills/hangs (see [`FaultHook`]). Injected terminal faults
+    /// come back as [`RankFailure`]s with [`RankFailure::injected`] set;
+    /// their secondary victims surface as ordinary [`CommError`] timeouts.
+    pub fn try_run_with_faults<F, T>(
+        n_ranks: usize,
+        recv_timeout: Duration,
+        faults: Option<Arc<dyn FaultHook>>,
+        f: F,
+    ) -> Vec<Result<T, RankFailure>>
+    where
+        F: Fn(&mut Comm) -> T + Sync,
+        T: Send,
+    {
         assert!(n_ranks >= 1);
         // Channel matrix: tx[dst][src] sends src → dst.
         let mut txs: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(n_ranks);
@@ -343,6 +457,8 @@ impl Universe {
                 peer_stats: vec![CommStats::default(); n_ranks],
                 recv_timeout,
                 pool: RefCell::new(Vec::new()),
+                faults: faults.clone(),
+                send_ops: 0,
             })
             .collect();
         drop(txs);
@@ -398,6 +514,12 @@ pub struct Comm {
     /// delivered buffers back via [`Comm::recycle_f64s`], so steady-state
     /// halo exchanges allocate nothing per message.
     pool: RefCell<Vec<Vec<f64>>>,
+    /// Deterministic fault hook installed by
+    /// [`Universe::try_run_with_faults`] (`None` in normal launches).
+    faults: Option<Arc<dyn FaultHook>>,
+    /// This rank's 0-based send-operation counter — the deterministic clock
+    /// fault decisions are keyed on.
+    send_ops: u64,
 }
 
 /// Upper bound on pooled free buffers per rank (beyond this, recycled
@@ -426,9 +548,58 @@ impl Comm {
     }
 
     /// Sends `payload` to rank `to` under `tag` (non-blocking, buffered).
+    ///
+    /// When a [`FaultHook`] is installed (see
+    /// [`Universe::try_run_with_faults`]) it is consulted here: the message
+    /// may be dropped or delayed, and the rank itself may be jittered,
+    /// killed, or hung at this operation boundary. Dropped messages still
+    /// count as sent — they left this rank; the wire ate them.
     pub fn send(&mut self, to: usize, tag: u64, payload: Payload) {
         assert!(to < self.size, "send to rank {to} of {}", self.size);
         let bytes = payload.n_bytes();
+        let op = self.send_ops;
+        self.send_ops += 1;
+        if let Some(hook) = self.faults.clone() {
+            match hook.on_step(self.rank, op) {
+                StepFault::Continue => {}
+                StepFault::Jitter(d) => std::thread::sleep(d),
+                StepFault::Kill => {
+                    parapre_trace::counter(parapre_trace::counters::FAULT_KILL, 1);
+                    std::panic::panic_any(InjectedFault {
+                        rank: self.rank,
+                        op,
+                        kind: InjectedFaultKind::Kill,
+                    });
+                }
+                StepFault::Hang => {
+                    parapre_trace::counter(parapre_trace::counters::FAULT_HANG, 1);
+                    // Stall past every peer's tripwire so they observe the
+                    // hang as CommError timeouts, then die so the scoped
+                    // join completes.
+                    std::thread::sleep(self.recv_timeout + Duration::from_millis(50));
+                    std::panic::panic_any(InjectedFault {
+                        rank: self.rank,
+                        op,
+                        kind: InjectedFaultKind::Hang,
+                    });
+                }
+            }
+            match hook.on_send(self.rank, op, to, tag, bytes) {
+                SendFault::Deliver => {}
+                SendFault::Drop => {
+                    self.stats.msgs_sent += 1;
+                    self.stats.bytes_sent += bytes;
+                    self.peer_stats[to].msgs_sent += 1;
+                    self.peer_stats[to].bytes_sent += bytes;
+                    parapre_trace::counter(parapre_trace::counters::FAULT_DROP, 1);
+                    return;
+                }
+                SendFault::Delay(d) => {
+                    parapre_trace::counter(parapre_trace::counters::FAULT_DELAY, 1);
+                    std::thread::sleep(d);
+                }
+            }
+        }
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes;
         self.peer_stats[to].msgs_sent += 1;
@@ -441,6 +612,12 @@ impl Comm {
                 payload,
             })
             .expect("receiver alive for the duration of Universe::run");
+    }
+
+    /// Number of send operations this rank has performed — the
+    /// deterministic per-rank clock that fault schedules are keyed on.
+    pub fn send_ops(&self) -> u64 {
+        self.send_ops
     }
 
     fn note_recv(&mut self, from: usize, tag: u64, bytes: u64) {
@@ -1048,6 +1225,115 @@ mod tests {
         let failure = out[1].as_ref().expect_err("rank 1 panicked");
         assert!(failure.message.contains("boom on rank 1"));
         assert!(failure.comm_error.is_none());
+    }
+
+    /// Test hook: kills `kill.0` at op `kill.1`, drops every message whose
+    /// tag is in `drop_tags`, delays everything else by `delay`.
+    struct TestHook {
+        kill: Option<(usize, u64)>,
+        drop_tags: Vec<u64>,
+        delay: Option<Duration>,
+    }
+
+    impl FaultHook for TestHook {
+        fn on_step(&self, rank: usize, op: u64) -> StepFault {
+            match self.kill {
+                Some((r, k)) if r == rank && op == k => StepFault::Kill,
+                _ => StepFault::Continue,
+            }
+        }
+        fn on_send(&self, _rank: usize, _op: u64, _to: usize, tag: u64, _bytes: u64) -> SendFault {
+            if self.drop_tags.contains(&tag) {
+                SendFault::Drop
+            } else if let Some(d) = self.delay {
+                SendFault::Delay(d)
+            } else {
+                SendFault::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn injected_kill_surfaces_structured_and_contained() {
+        let hook: Arc<dyn FaultHook> = Arc::new(TestHook {
+            kill: Some((1, 0)),
+            drop_tags: vec![],
+            delay: None,
+        });
+        let out = Universe::try_run_with_faults(2, Duration::from_millis(60), Some(hook), |c| {
+            if c.rank() == 1 {
+                c.send_f64s(0, 5, vec![1.0]); // killed at this op
+                unreachable!("rank 1 dies before delivering");
+            }
+            // Rank 0 waits on the victim and must observe a CommError.
+            let got = c.recv_checked(1, 5);
+            got.is_err()
+        });
+        assert_eq!(out[0].as_ref().ok(), Some(&true), "peer sees the timeout");
+        let failure = out[1].as_ref().expect_err("rank 1 was killed");
+        let injected = failure.injected.as_ref().expect("structured fault");
+        assert_eq!((injected.rank, injected.op), (1, 0));
+        assert_eq!(injected.kind, InjectedFaultKind::Kill);
+        assert!(failure.message.contains("fault injection"), "{failure}");
+    }
+
+    #[test]
+    fn dropped_message_counts_as_sent_but_never_arrives() {
+        let hook: Arc<dyn FaultHook> = Arc::new(TestHook {
+            kill: None,
+            drop_tags: vec![0x66],
+            delay: None,
+        });
+        let out = Universe::try_run_with_faults(2, Duration::from_millis(50), Some(hook), |c| {
+            if c.rank() == 0 {
+                c.send_f64s(1, 0x66, vec![1.0, 2.0]); // dropped
+                c.send_f64s(1, 0x67, vec![3.0]); // delivered
+                (c.stats().msgs_sent, 0.0)
+            } else {
+                let ok = c.recv_f64s(0, 0x67)[0];
+                let lost = c.recv_checked(0, 0x66);
+                assert!(lost.is_err(), "dropped message must never arrive");
+                (c.stats().msgs_recv, ok)
+            }
+        });
+        let (sent, _) = *out[0].as_ref().unwrap();
+        let (recv, ok) = *out[1].as_ref().unwrap();
+        assert_eq!(sent, 2, "drop still counts as sent");
+        assert_eq!(recv, 1, "only the delivered message is received");
+        assert_eq!(ok, 3.0);
+    }
+
+    #[test]
+    fn delays_do_not_change_results() {
+        let run = |delay: Option<Duration>| {
+            let hook: Arc<dyn FaultHook> = Arc::new(TestHook {
+                kill: None,
+                drop_tags: vec![],
+                delay,
+            });
+            Universe::try_run_with_faults(4, Duration::from_secs(5), Some(hook), |c| {
+                c.allreduce_sum((c.rank() as f64 + 1.0) * 0.1, 9)
+            })
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect::<Vec<f64>>()
+        };
+        let plain = run(None);
+        let delayed = run(Some(Duration::from_millis(2)));
+        assert_eq!(plain, delayed, "delays shift time, not values");
+    }
+
+    #[test]
+    fn send_ops_counts_per_rank_sends() {
+        let out = Universe::run(2, |c| {
+            let peer = 1 - c.rank();
+            c.send_f64s(peer, 1, vec![0.0]);
+            let _ = c.recv(peer, 1);
+            c.send_f64s(peer, 2, vec![0.0]);
+            let _ = c.recv(peer, 2);
+            c.send_ops()
+        });
+        assert_eq!(out, vec![2, 2]);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! In-memory checkpoint store for distributed solves.
+//!
+//! Implements [`CheckpointSink`]: each rank pushes its owned iterate at
+//! every restart-cycle boundary. Because completing a cycle requires
+//! allreduces with every peer, two live ranks' newest cycles differ by at
+//! most one — keeping the last **two** snapshots per rank therefore always
+//! contains a *consistent* global iterate: the newest cycle present on all
+//! ranks. Recovery assembles that iterate and restarts the solver from it.
+
+use parapre_dist::CheckpointSink;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One rank's snapshot at a cycle boundary.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    cycle: u64,
+    iters: usize,
+    x: Vec<f64>,
+}
+
+/// A consistent global recovery point.
+#[derive(Debug, Clone)]
+pub struct ConsistentCheckpoint {
+    /// Cycle number common to all ranks.
+    pub cycle: u64,
+    /// Iterations spent up to that cycle (rank-identical).
+    pub iters: usize,
+    /// Per-rank owned iterates.
+    pub x: Vec<Vec<f64>>,
+}
+
+/// Bounded per-rank snapshot store shared by the rank threads of a solve.
+pub struct CheckpointStore {
+    ranks: Vec<Mutex<VecDeque<Snapshot>>>,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Store for `n_ranks`, keeping the last two snapshots per rank (the
+    /// minimum that guarantees a consistent recovery point; see module
+    /// docs).
+    pub fn new(n_ranks: usize) -> Self {
+        CheckpointStore {
+            ranks: (0..n_ranks).map(|_| Mutex::new(VecDeque::new())).collect(),
+            keep: 2,
+        }
+    }
+
+    /// Number of ranks this store covers.
+    pub fn n_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Total snapshots currently held.
+    pub fn n_held(&self) -> usize {
+        self.ranks.iter().map(|r| r.lock().unwrap().len()).sum()
+    }
+
+    /// Drops all snapshots (e.g. before a fresh non-resumed attempt).
+    pub fn clear(&self) {
+        for r in &self.ranks {
+            r.lock().unwrap().clear();
+        }
+    }
+
+    /// The newest cycle present on **all** ranks, with its per-rank
+    /// iterates, or `None` if any rank has no snapshot yet.
+    pub fn latest_consistent(&self) -> Option<ConsistentCheckpoint> {
+        let guards: Vec<_> = self.ranks.iter().map(|r| r.lock().unwrap()).collect();
+        let cycle = guards
+            .iter()
+            .map(|g| g.back().map(|s| s.cycle))
+            .min()
+            .flatten()?;
+        let mut x = Vec::with_capacity(guards.len());
+        let mut iters = 0;
+        for g in &guards {
+            let snap = g.iter().find(|s| s.cycle == cycle)?;
+            iters = snap.iters;
+            x.push(snap.x.clone());
+        }
+        Some(ConsistentCheckpoint { cycle, iters, x })
+    }
+}
+
+impl CheckpointSink for CheckpointStore {
+    fn save(&self, rank: usize, cycle: u64, iters: usize, x: &[f64]) {
+        let mut q = self.ranks[rank].lock().unwrap();
+        q.push_back(Snapshot {
+            cycle,
+            iters,
+            x: x.to_vec(),
+        });
+        while q.len() > self.keep {
+            q.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_store_has_no_consistent_point() {
+        let store = CheckpointStore::new(3);
+        assert!(store.latest_consistent().is_none());
+        store.save(0, 1, 20, &[1.0]);
+        store.save(1, 1, 20, &[2.0]);
+        // Rank 2 has nothing yet.
+        assert!(store.latest_consistent().is_none());
+    }
+
+    #[test]
+    fn skewed_ranks_recover_the_common_cycle() {
+        let store = CheckpointStore::new(2);
+        store.save(0, 1, 20, &[0.1]);
+        store.save(1, 1, 20, &[1.1]);
+        store.save(0, 2, 40, &[0.2]); // rank 0 is a cycle ahead
+        let ck = store.latest_consistent().unwrap();
+        assert_eq!(ck.cycle, 1);
+        assert_eq!(ck.iters, 20);
+        assert_eq!(ck.x, vec![vec![0.1], vec![1.1]]);
+    }
+
+    #[test]
+    fn keeps_only_last_two_per_rank() {
+        let store = CheckpointStore::new(1);
+        for c in 1..=5u64 {
+            store.save(0, c, 20 * c as usize, &[c as f64]);
+        }
+        assert_eq!(store.n_held(), 2);
+        let ck = store.latest_consistent().unwrap();
+        assert_eq!(ck.cycle, 5);
+        assert_eq!(ck.iters, 100);
+    }
+}

@@ -97,6 +97,21 @@ pub mod counters {
     /// Reorthogonalization passes triggered by the cancellation test in
     /// classical Gram–Schmidt (each costs one extra fused reduction).
     pub const GMRES_REORTH: &str = "gmres.reorth";
+    /// A message was dropped by the installed fault plan.
+    pub const FAULT_DROP: &str = "fault.msg_dropped";
+    /// A message delivery was delayed by the installed fault plan.
+    pub const FAULT_DELAY: &str = "fault.msg_delayed";
+    /// This rank was killed by the installed fault plan.
+    pub const FAULT_KILL: &str = "fault.rank_killed";
+    /// This rank was hung (stalled past the deadlock tripwire) by the
+    /// installed fault plan.
+    pub const FAULT_HANG: &str = "fault.rank_hung";
+    /// A restart-cycle checkpoint was saved by a distributed solver.
+    pub const CKPT_SAVED: &str = "ckpt.saved";
+    /// A failed solve attempt was retried by the resilience layer.
+    pub const SOLVE_RETRY: &str = "solve.retry";
+    /// A solve fell back to the degraded (survivors-only) path.
+    pub const SOLVE_DEGRADED: &str = "solve.degraded";
 }
 
 /// Direction of a communication event.
