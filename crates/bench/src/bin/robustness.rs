@@ -1,0 +1,281 @@
+//! Numerical-robustness benchmark: what the safety net costs and catches.
+//!
+//! ```text
+//! cargo run --release -p parapre-bench --bin robustness -- \
+//!     [--quick] [--ranks 4] [--out BENCH_robustness.json]
+//! ```
+//!
+//! Two measurements:
+//!
+//! 1. **Hostile suite** — chain matrices with zero, near-zero, and
+//!    sign-flipped diagonals, run through every requested preconditioner
+//!    rung with the fallback ladder on. Records the ladder-rung histogram
+//!    (which preconditioner each build actually landed on), shift-retry
+//!    and fallback totals, and a breakdown-kind census from the solves.
+//!    The acceptance bar: no panic, no non-finite answer presented as a
+//!    plain result — every unconverged solve is budget exhaustion or a
+//!    *typed* breakdown.
+//! 2. **Monitoring overhead** — clean TC1–TC4 built and solved with the
+//!    safety net on (`fallback: true`, the default) versus the strict
+//!    fail-fast path, min wall time over repetitions. Pivot monitoring and
+//!    ladder plumbing must cost ≤ 2% on well-posed problems; the binary
+//!    exits 2 above the bar.
+
+use parapre_core::{build_case_sized, CaseId, PrecondKind};
+use parapre_engine::{SessionConfig, SolverSession};
+use parapre_sparse::{Coo, Csr};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Structurally symmetric chain with a hostile diagonal (exact zeros,
+/// near-zeros, sign flips) — the same family the robustness tests use.
+fn hostile(n: usize, seed: u64) -> Csr {
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let mut coo = Coo::new(n, n);
+    for i in 0..n - 1 {
+        coo.push(i, i + 1, -1.0 + 0.1 * rnd());
+        coo.push(i + 1, i, -1.0 + 0.1 * rnd());
+    }
+    for i in 0..n {
+        let d = match i % 5 {
+            0 => 0.0,
+            1 => 1e-14 * rnd(),
+            2 => -(2.0 + rnd().abs()),
+            _ => 4.0 + rnd().abs(),
+        };
+        coo.push(i, i, d);
+    }
+    coo.to_csr()
+}
+
+fn block_owner(n: usize, p: usize) -> Vec<u32> {
+    (0..n).map(|i| ((i * p) / n) as u32).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut ranks = 4usize;
+    let mut out_path = "BENCH_robustness.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--ranks" => {
+                i += 1;
+                ranks = args[i].parse().expect("rank count");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    // Overhead timing amortizes `inner` build+solve pairs per sample so
+    // universe spawn/join noise stays well under the 2% bar; the extents
+    // sit between the Tiny and Default presets for the same reason.
+    let (seeds, reps, inner, extents) = if quick {
+        (4u64, 7usize, 20usize, [64usize, 16, 4_000, 16])
+    } else {
+        (12, 7, 2, [201, 33, 30_000, 33])
+    };
+    eprintln!(
+        "robustness: {} hostile seeds x {} rungs, P={ranks}, overhead on TC1-TC4 \
+         (extents {extents:?}, {reps} reps x {inner}){}",
+        seeds,
+        PrecondKind::ALL.len(),
+        if quick { " (quick)" } else { "" }
+    );
+
+    // 1. Hostile suite: every rung, several seeds, ladder on.
+    let n = 96;
+    let owner = block_owner(n, ranks);
+    let mut rung_hist: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut breakdowns: BTreeMap<String, usize> = BTreeMap::new();
+    let mut total_shifts = 0usize;
+    let mut total_fallbacks = 0usize;
+    let mut converged = 0usize;
+    let mut runs = 0usize;
+    let mut non_finite = 0usize;
+    for seed in 0..seeds {
+        let a = hostile(n, seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        for kind in PrecondKind::ALL {
+            let mut cfg = SessionConfig::paper(kind, ranks);
+            cfg.gmres.max_iters = 120;
+            let session =
+                SolverSession::build(&a, &owner, &cfg).expect("ladder bottom is infallible");
+            *rung_hist.entry(session.active_precond().key()).or_insert(0) += 1;
+            total_shifts += session.pivot_shifts();
+            total_fallbacks += session.build_fallbacks();
+            let b = vec![1.0; n];
+            let rep = session.solve(&b).expect("solve completes");
+            runs += 1;
+            let finite = rep.x.iter().all(|v| v.is_finite());
+            if rep.converged {
+                converged += 1;
+                if !finite {
+                    non_finite += 1;
+                }
+            } else if let Some(bd) = &rep.breakdown {
+                *breakdowns.entry(bd.kind.key().to_string()).or_insert(0) += 1;
+            } else if !finite {
+                // Unconverged with no typed breakdown must at least hand
+                // back a finite iterate — anything else is a safety hole.
+                non_finite += 1;
+            }
+        }
+    }
+    eprintln!(
+        "hostile suite: {runs} runs, {converged} converged, {total_fallbacks} fallbacks, \
+         {total_shifts} shift retries, rungs {rung_hist:?}, breakdowns {breakdowns:?}"
+    );
+
+    // 2. Monitoring overhead on clean TC1-TC4: safety net on vs strict
+    // fail-fast, min over reps. The net must also stay invisible (rung 0,
+    // zero shifts) on well-posed problems.
+    let mut overhead_rows = Vec::new();
+    let mut max_overhead = f64::NEG_INFINITY;
+    for (ix, (case_id, key)) in [
+        (CaseId::Tc1, "tc1"),
+        (CaseId::Tc2, "tc2"),
+        (CaseId::Tc3, "tc3"),
+        (CaseId::Tc4, "tc4"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let case = build_case_sized(case_id, extents[ix]);
+        let mut strict = SessionConfig::paper(PrecondKind::Block1, ranks);
+        strict.fallback = false;
+        let lax = SessionConfig::paper(PrecondKind::Block1, ranks);
+        // One untimed pass per arm absorbs first-touch and allocator warmup;
+        // it also carries the clean-path invariant checks.
+        let s = SolverSession::from_case(&case, &strict).expect("clean strict build");
+        let iters_strict = s.solve(&case.sys.b).expect("strict solve").iterations;
+        let s = SolverSession::from_case(&case, &lax).expect("clean net build");
+        assert_eq!(s.active_precond(), PrecondKind::Block1);
+        assert_eq!(s.build_fallbacks(), 0, "{key}: fallback on a clean case");
+        assert_eq!(s.pivot_shifts(), 0, "{key}: shift on a clean case");
+        let iters_net = s.solve(&case.sys.b).expect("net solve").iterations;
+        assert_eq!(
+            iters_strict, iters_net,
+            "{key}: the net must not change the math"
+        );
+        let iters = (iters_strict, iters_net);
+
+        let sample = |cfg: &SessionConfig| {
+            let t0 = Instant::now();
+            for _ in 0..inner {
+                let s = SolverSession::from_case(&case, cfg).expect("clean build");
+                let rep = s.solve(&case.sys.b).expect("clean solve");
+                assert!(rep.converged);
+            }
+            t0.elapsed().as_secs_f64() / inner as f64
+        };
+        // Paired samples taken back-to-back: shared drift (CPU frequency,
+        // background load) mostly cancels within a pair. The overhead is a
+        // deterministic quantity and scheduler noise only contaminates
+        // pairs upward or downward at random, so the *cleanest* pair — the
+        // minimum ratio — is the bar's estimator; the median is reported
+        // alongside for context.
+        let mut strict_secs = f64::INFINITY;
+        let mut lax_secs = f64::INFINITY;
+        let mut ratios = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let s = sample(&strict);
+            let l = sample(&lax);
+            strict_secs = strict_secs.min(s);
+            lax_secs = lax_secs.min(l);
+            ratios.push(l / s);
+        }
+        ratios.sort_by(f64::total_cmp);
+        let pct = (ratios[0] - 1.0) * 100.0;
+        let median_pct = (ratios[reps / 2] - 1.0) * 100.0;
+        max_overhead = max_overhead.max(pct);
+        eprintln!(
+            "overhead {key}: strict {strict_secs:.4}s, net {lax_secs:.4}s => \
+             {pct:+.2}% (median {median_pct:+.2}%)"
+        );
+        overhead_rows.push(format!(
+            "{{\"case\": \"{key}\", \"strict_secs\": {strict_secs:.6}, \
+             \"net_secs\": {lax_secs:.6}, \"overhead_pct\": {pct:.4}, \
+             \"median_overhead_pct\": {median_pct:.4}, \"iterations\": {}}}",
+            iters.1
+        ));
+    }
+
+    let rung_json: Vec<String> = rung_hist
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+    let bd_json: Vec<String> = breakdowns
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"config\": {{\"ranks\": {ranks}, \"quick\": {quick}, ",
+            "\"hostile_seeds\": {seeds}, \"hostile_n\": {n}, \"reps\": {reps}, ",
+            "\"inner\": {inner}, \"extents\": [{e0}, {e1}, {e2}, {e3}]}},\n",
+            "  \"hostile\": {{\"runs\": {runs}, \"converged\": {conv}, ",
+            "\"fallbacks\": {fb}, \"pivot_shifts\": {ps}, \"non_finite\": {nf},\n",
+            "    \"rung_histogram\": {{{rungs}}},\n",
+            "    \"breakdowns\": {{{bds}}}}},\n",
+            "  \"overhead\": [{rows}],\n",
+            "  \"max_overhead_pct\": {mo:.4}\n",
+            "}}\n"
+        ),
+        ranks = ranks,
+        quick = quick,
+        seeds = seeds,
+        n = n,
+        reps = reps,
+        inner = inner,
+        e0 = extents[0],
+        e1 = extents[1],
+        e2 = extents[2],
+        e3 = extents[3],
+        runs = runs,
+        conv = converged,
+        fb = total_fallbacks,
+        ps = total_shifts,
+        nf = non_finite,
+        rungs = rung_json.join(", "),
+        bds = bd_json.join(", "),
+        rows = overhead_rows.join(", "),
+        mo = max_overhead,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+
+    let mut fail = false;
+    if non_finite > 0 {
+        eprintln!("FAIL: {non_finite} hostile solves smuggled out non-finite answers");
+        fail = true;
+    }
+    if total_fallbacks + total_shifts == 0 {
+        eprintln!("FAIL: the hostile suite never exercised the safety net");
+        fail = true;
+    }
+    if max_overhead > 2.0 {
+        eprintln!("FAIL: safety-net overhead {max_overhead:.2}% above 2%");
+        fail = true;
+    }
+    if fail {
+        std::process::exit(2);
+    }
+    eprintln!(
+        "PASS: overhead {max_overhead:.2}% <= 2%, {total_fallbacks} fallbacks / \
+         {total_shifts} shifts absorbed with no non-finite answers"
+    );
+}

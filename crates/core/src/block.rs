@@ -29,6 +29,17 @@ impl BlockPrecond {
         })
     }
 
+    /// `Block 1` behind the diagonal-shift retry ladder: survives zero and
+    /// near-zero subdomain pivots that plain [`BlockPrecond::ilu0`] errors
+    /// on.
+    pub fn ilu0_shifted(dm: &DistMatrix) -> Result<Self> {
+        let _s = parapre_trace::span(parapre_trace::phase::FACTOR);
+        let a_i = dm.owned_block();
+        Ok(BlockPrecond {
+            factors: Ilu0::factor_shifted(&a_i)?,
+        })
+    }
+
     /// `Block 2`: ILUT(τ, p) of the owned block.
     pub fn ilut(dm: &DistMatrix, cfg: &IlutConfig) -> Result<Self> {
         let _s = parapre_trace::span(parapre_trace::phase::FACTOR);
@@ -38,9 +49,23 @@ impl BlockPrecond {
         })
     }
 
+    /// `Block 2` behind the diagonal-shift retry ladder.
+    pub fn ilut_shifted(dm: &DistMatrix, cfg: &IlutConfig) -> Result<Self> {
+        let _s = parapre_trace::span(parapre_trace::phase::FACTOR);
+        let a_i = dm.owned_block();
+        Ok(BlockPrecond {
+            factors: Ilut::factor_shifted(&a_i, cfg)?,
+        })
+    }
+
     /// Fill of the stored factor (diagnostics).
     pub fn nnz(&self) -> usize {
         self.factors.nnz()
+    }
+
+    /// The subdomain factors (health report, fill, shift diagnostics).
+    pub fn factors(&self) -> &LuFactors {
+        &self.factors
     }
 }
 
@@ -48,6 +73,42 @@ impl DistPrecond for BlockPrecond {
     fn apply(&self, _comm: &mut Comm, r: &[f64], z: &mut [f64]) {
         z.copy_from_slice(r);
         self.factors.solve_in_place(z);
+    }
+}
+
+/// The bottom rung of the preconditioner fallback ladder: point-Jacobi
+/// scaling by the owned diagonal. Communication-free, factorization-free,
+/// and *infallible* — zero, missing, or non-finite diagonal entries scale
+/// by 1 instead, so construction can never fail, whatever the matrix.
+pub struct JacobiDistPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiDistPrecond {
+    /// Builds from the rank's owned block.
+    pub fn build(dm: &DistMatrix) -> Self {
+        let a_i = dm.owned_block();
+        let n = a_i.n_rows();
+        let mut inv_diag = vec![1.0; n];
+        for (i, slot) in inv_diag.iter_mut().enumerate() {
+            let (cols, vals) = a_i.row(i);
+            if let Ok(k) = cols.binary_search(&i) {
+                let d = vals[k];
+                let r = 1.0 / d;
+                if d != 0.0 && r.is_finite() {
+                    *slot = r;
+                }
+            }
+        }
+        JacobiDistPrecond { inv_diag }
+    }
+}
+
+impl DistPrecond for JacobiDistPrecond {
+    fn apply(&self, _comm: &mut Comm, r: &[f64], z: &mut [f64]) {
+        for ((zi, &ri), &di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
     }
 }
 

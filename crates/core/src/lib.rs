@@ -30,12 +30,13 @@ pub mod schur;
 pub mod schur2;
 pub mod schwarz;
 
-pub use block::BlockPrecond;
+pub use block::{BlockPrecond, JacobiDistPrecond};
 pub use cases::{build_case, build_case_sized, AssembledCase, CaseId, CaseSize};
 pub use overlap::OverlapBlockPrecond;
 pub use runner::{
-    build_dist_precond, partition_case, partition_case_with, run_case, run_case_traced,
-    PartitionScheme, PrecondKind, PrecondParams, RunConfig, RunResult,
+    build_dist_precond, build_dist_precond_with_fallback, partition_case, partition_case_with,
+    run_case, run_case_traced, try_build_dist_precond, FallbackBuild, PartitionScheme, PrecondKind,
+    PrecondParams, RunConfig, RunResult,
 };
 pub use schur::{Schur1Config, Schur1Precond};
 pub use schur2::{Schur2Config, Schur2Precond};

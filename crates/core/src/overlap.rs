@@ -35,6 +35,21 @@ impl OverlapBlockPrecond {
     /// outside the local set; those couplings are dropped (the standard
     /// overlapping-Schwarz restriction).
     pub fn build(dm: &DistMatrix, a_global: &Csr, cfg: &IlutConfig) -> Result<Self> {
+        Self::build_inner(dm, a_global, cfg, false)
+    }
+
+    /// [`OverlapBlockPrecond::build`] with the extended-block ILUT behind
+    /// the diagonal-shift retry ladder.
+    pub fn build_shifted(dm: &DistMatrix, a_global: &Csr, cfg: &IlutConfig) -> Result<Self> {
+        Self::build_inner(dm, a_global, cfg, true)
+    }
+
+    fn build_inner(
+        dm: &DistMatrix,
+        a_global: &Csr,
+        cfg: &IlutConfig,
+        shifted: bool,
+    ) -> Result<Self> {
         let _assemble = parapre_trace::span(parapre_trace::phase::INTERFACE_ASSEMBLY);
         let lay = &dm.layout;
         let nl = lay.n_local();
@@ -75,7 +90,11 @@ impl OverlapBlockPrecond {
         drop(_assemble);
         let factors = {
             let _s = parapre_trace::span(parapre_trace::phase::FACTOR);
-            Ilut::factor(&a_ext, cfg)?
+            if shifted {
+                Ilut::factor_shifted(&a_ext, cfg)?
+            } else {
+                Ilut::factor(&a_ext, cfg)?
+            }
         };
         Ok(OverlapBlockPrecond {
             layout: lay.clone(),
@@ -86,6 +105,11 @@ impl OverlapBlockPrecond {
     /// Fill of the extended factor (diagnostics).
     pub fn nnz(&self) -> usize {
         self.factors.nnz()
+    }
+
+    /// The extended-block factors (health report, shift diagnostics).
+    pub fn factors(&self) -> &LuFactors {
+        &self.factors
     }
 }
 

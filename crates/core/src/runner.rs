@@ -37,6 +37,9 @@ pub enum PrecondKind {
     /// §1.1 "increased overlap" hypothesis; not part of the paper's four,
     /// used by the ablation benches.
     BlockOverlap,
+    /// Point-Jacobi diagonal scaling — the infallible bottom rung of the
+    /// numerical-safety fallback ladder, never used by the paper's tables.
+    Jacobi,
 }
 
 impl PrecondKind {
@@ -56,6 +59,7 @@ impl PrecondKind {
             PrecondKind::Schur1 => "Schur 1",
             PrecondKind::Schur2 => "Schur 2",
             PrecondKind::BlockOverlap => "Block+ovl",
+            PrecondKind::Jacobi => "Jacobi",
         }
     }
 
@@ -67,6 +71,7 @@ impl PrecondKind {
             PrecondKind::Schur1 => "schur1",
             PrecondKind::Schur2 => "schur2",
             PrecondKind::BlockOverlap => "overlap",
+            PrecondKind::Jacobi => "jacobi",
         }
     }
 
@@ -78,7 +83,25 @@ impl PrecondKind {
             "schur1" => Some(PrecondKind::Schur1),
             "schur2" => Some(PrecondKind::Schur2),
             "overlap" | "blockoverlap" => Some(PrecondKind::BlockOverlap),
+            "jacobi" => Some(PrecondKind::Jacobi),
             _ => None,
+        }
+    }
+
+    /// The next (cheaper, more robust) rung of the fallback ladder, or
+    /// `None` from the infallible bottom rung.
+    ///
+    /// Ladder: `Schur 2 → Schur 1 → Block 2 → Block 1 → Jacobi` — each step
+    /// trades convergence strength for constructibility, ending on a
+    /// preconditioner that cannot fail to build.
+    pub fn fallback(self) -> Option<PrecondKind> {
+        match self {
+            PrecondKind::Schur2 => Some(PrecondKind::Schur1),
+            PrecondKind::Schur1 => Some(PrecondKind::Block2),
+            PrecondKind::BlockOverlap => Some(PrecondKind::Block2),
+            PrecondKind::Block2 => Some(PrecondKind::Block1),
+            PrecondKind::Block1 => Some(PrecondKind::Jacobi),
+            PrecondKind::Jacobi => None,
         }
     }
 }
@@ -308,6 +331,101 @@ pub fn build_dist_precond(
             crate::overlap::OverlapBlockPrecond::build(dm, a_global, &params.ilut)
                 .expect("overlap ILUT factorization"),
         ),
+        PrecondKind::Jacobi => Box::new(crate::block::JacobiDistPrecond::build(dm)),
+    }
+}
+
+/// Fallible [`build_dist_precond`]: every factorization goes through the
+/// diagonal-shift retry ladder, and failures come back as `Err` instead of
+/// panicking. Returns the preconditioner plus the number of shift-ladder
+/// retries it took to factor (0 on a clean build).
+///
+/// Collective for [`PrecondKind::Schur2`], whose shifted build agrees on
+/// success/failure across ranks before returning.
+pub fn try_build_dist_precond(
+    kind: PrecondKind,
+    dm: &DistMatrix,
+    comm: &mut parapre_mpisim::Comm,
+    a_global: &parapre_sparse::Csr,
+    params: &PrecondParams,
+) -> parapre_sparse::Result<(Box<dyn DistPrecond>, usize)> {
+    match kind {
+        PrecondKind::Block1 => {
+            let m = BlockPrecond::ilu0_shifted(dm)?;
+            let shifts = m.factors().report().shift_attempts;
+            Ok((Box::new(m), shifts))
+        }
+        PrecondKind::Block2 => {
+            let m = BlockPrecond::ilut_shifted(dm, &params.ilut)?;
+            let shifts = m.factors().report().shift_attempts;
+            Ok((Box::new(m), shifts))
+        }
+        PrecondKind::Schur1 => {
+            let m = Schur1Precond::build_shifted(dm, params.schur1)?;
+            let shifts = m.report().shift_attempts;
+            Ok((Box::new(m), shifts))
+        }
+        PrecondKind::Schur2 => {
+            let m = Schur2Precond::build_shifted(dm, comm, params.schur2)?;
+            let shifts = m.report().shift_attempts;
+            Ok((Box::new(m), shifts))
+        }
+        PrecondKind::BlockOverlap => {
+            let m = crate::overlap::OverlapBlockPrecond::build_shifted(dm, a_global, &params.ilut)?;
+            let shifts = m.factors().report().shift_attempts;
+            Ok((Box::new(m), shifts))
+        }
+        PrecondKind::Jacobi => Ok((Box::new(crate::block::JacobiDistPrecond::build(dm)), 0)),
+    }
+}
+
+/// Result of walking the preconditioner fallback ladder.
+pub struct FallbackBuild {
+    /// The preconditioner that actually got built.
+    pub precond: Box<dyn DistPrecond>,
+    /// The rung it was built on (equals the request when no fallback fired).
+    pub kind_used: PrecondKind,
+    /// Ladder rungs descended below the requested kind.
+    pub fallbacks: usize,
+    /// Diagonal-shift retries spent factoring the winning rung.
+    pub pivot_shifts: usize,
+}
+
+/// Builds `kind`, descending the [`PrecondKind::fallback`] ladder on
+/// factorization failure until a rung builds on **every** rank. Collective:
+/// each rung's success is agreed via an all-reduce so all ranks walk the
+/// ladder in lockstep (a rank whose local block factors fine still descends
+/// when a peer's does not — the preconditioner kind must be uniform).
+///
+/// Infallible: the ladder ends on [`PrecondKind::Jacobi`], which cannot
+/// fail to build. Each descent bumps the `precond.fallback` trace counter.
+pub fn build_dist_precond_with_fallback(
+    kind: PrecondKind,
+    dm: &DistMatrix,
+    comm: &mut parapre_mpisim::Comm,
+    a_global: &parapre_sparse::Csr,
+    params: &PrecondParams,
+) -> FallbackBuild {
+    let mut rung = kind;
+    let mut fallbacks = 0usize;
+    loop {
+        let local = try_build_dist_precond(rung, dm, comm, a_global, params);
+        let all_ok = comm.all_land(local.is_ok(), parapre_dist::tags::REDUCE + 48);
+        if all_ok {
+            let (precond, pivot_shifts) = local.expect("agreed Ok on all ranks");
+            return FallbackBuild {
+                precond,
+                kind_used: rung,
+                fallbacks,
+                pivot_shifts,
+            };
+        }
+        let next = rung
+            .fallback()
+            .expect("Jacobi rung is infallible, ladder cannot run out");
+        parapre_trace::counter(parapre_trace::counters::PRECOND_FALLBACK, 1);
+        fallbacks += 1;
+        rung = next;
     }
 }
 

@@ -89,6 +89,21 @@ impl Schur1Precond {
             let _s = parapre_trace::span(parapre_trace::phase::FACTOR);
             Ilut::factor(&a_i, &cfg.ilut)?
         };
+        Self::assemble(dm, cfg, factors)
+    }
+
+    /// [`Schur1Precond::build`] behind the diagonal-shift retry ladder: the
+    /// subdomain ILUT retries on shifted copies when pivots break down.
+    pub fn build_shifted(dm: &DistMatrix, cfg: Schur1Config) -> Result<Self> {
+        let a_i = dm.owned_block();
+        let factors = {
+            let _s = parapre_trace::span(parapre_trace::phase::FACTOR);
+            Ilut::factor_shifted(&a_i, &cfg.ilut)?
+        };
+        Self::assemble(dm, cfg, factors)
+    }
+
+    fn assemble(dm: &DistMatrix, cfg: Schur1Config, factors: LuFactors) -> Result<Self> {
         let schur_factors = {
             let _s = parapre_trace::span(parapre_trace::phase::SCHUR_EXTRACT);
             factors.trailing_block(dm.layout.n_internal)
@@ -101,6 +116,11 @@ impl Schur1Precond {
             schur_factors,
             cfg,
         })
+    }
+
+    /// Health report of the subdomain factorization.
+    pub fn report(&self) -> &parapre_sparse::FactorReport {
+        self.factors.report()
     }
 
     /// Approximate `B_i⁻¹ r`: a few local GMRES iterations preconditioned by

@@ -59,6 +59,21 @@ pub struct Schur2Precond {
 impl Schur2Precond {
     /// Builds the preconditioner; collective (all ranks must call).
     pub fn build(dm: &DistMatrix, comm: &mut Comm, cfg: Schur2Config) -> Result<Self> {
+        Self::build_inner(dm, comm, cfg, false)
+    }
+
+    /// [`Schur2Precond::build`] with the subdomain ARMS factorization behind
+    /// the diagonal-shift retry ladder; collective (all ranks must call).
+    pub fn build_shifted(dm: &DistMatrix, comm: &mut Comm, cfg: Schur2Config) -> Result<Self> {
+        Self::build_inner(dm, comm, cfg, true)
+    }
+
+    fn build_inner(
+        dm: &DistMatrix,
+        comm: &mut Comm,
+        cfg: Schur2Config,
+        shifted: bool,
+    ) -> Result<Self> {
         let a_i = dm.owned_block();
         let no = dm.layout.n_owned();
         let ni = dm.layout.n_internal;
@@ -67,15 +82,34 @@ impl Schur2Precond {
         for f in forced.iter_mut().skip(ni) {
             *f = true;
         }
-        let arms = {
+        // Do NOT `?` out before the collective below: an early local return
+        // would leave the peer ranks blocked in `all_land` forever. Capture
+        // the local result, agree on the outcome, then fail jointly.
+        let arms_res = {
             let _s = parapre_trace::span(parapre_trace::phase::FACTOR);
-            Arms::factor_with_coarse(&a_i, &cfg.arms, &forced)?
+            if shifted {
+                Arms::factor_with_coarse_shifted(&a_i, &cfg.arms, &forced)
+            } else {
+                Arms::factor_with_coarse(&a_i, &cfg.arms, &forced)
+            }
         };
-        let local_ok = arms.n_levels() >= 1;
+        let local_ok = arms_res.as_ref().is_ok_and(|a| a.n_levels() >= 1);
+        let local_built = arms_res.is_ok();
         let multilevel = comm.all_land(local_ok, parapre_dist::tags::REDUCE + 40);
+        let all_built = comm.all_land(local_built, parapre_dist::tags::REDUCE + 41);
+        if !all_built {
+            // Every rank returns Err together (rank-identical decision), so
+            // callers can descend the fallback ladder in lockstep.
+            return Err(arms_res
+                .err()
+                .unwrap_or(parapre_sparse::Error::ZeroPivot(0)));
+        }
+        let arms = arms_res.expect("all_built implies local Ok");
 
         let _s = parapre_trace::span(parapre_trace::phase::SCHUR_EXTRACT);
-        let (red_of_local, dist_ilu0) = if multilevel {
+        // The reduced-block ILU(0) is local (no collectives), but wrap the
+        // fallibility the same way: decide success collectively below.
+        let local_schur = if multilevel {
             let lvl = &arms.levels()[0];
             let n_ind = lvl.n_ind();
             let mut red_of_local = vec![usize::MAX; no];
@@ -83,13 +117,23 @@ impl Schur2Precond {
                 red_of_local[lvl.perm().old_of(n_ind + k)] = k;
             }
             // Distributed ILU(0): factor the dropped local Schur block.
-            let ilu = Ilu0::factor(lvl.reduced())?;
-            (red_of_local, ilu)
+            let factor = if shifted {
+                Ilu0::factor_shifted(lvl.reduced())
+            } else {
+                Ilu0::factor(lvl.reduced())
+            };
+            factor.map(|ilu| (red_of_local, ilu))
         } else {
-            // Degenerate ranks (tiny subdomains): fall back to the pure
-            // ARMS/ILUT solve of the whole block on every rank.
-            (vec![usize::MAX; no], arms.last_factors().clone())
+            Ok(Self::degenerate_parts(no, &arms))
         };
+        let schur_ok = local_schur.is_ok();
+        let all_schur_ok = comm.all_land(schur_ok, parapre_dist::tags::REDUCE + 42);
+        if !all_schur_ok {
+            return Err(local_schur
+                .err()
+                .unwrap_or(parapre_sparse::Error::ZeroPivot(0)));
+        }
+        let (red_of_local, dist_ilu0) = local_schur.expect("agreed Ok");
         drop(_s);
         let _s = parapre_trace::span(parapre_trace::phase::INTERFACE_ASSEMBLY);
         Ok(Schur2Precond {
@@ -101,6 +145,19 @@ impl Schur2Precond {
             multilevel,
             schur_iters: cfg.schur_iters,
         })
+    }
+
+    fn degenerate_parts(no: usize, arms: &Arms) -> (Vec<usize>, LuFactors) {
+        // Degenerate ranks (tiny subdomains): fall back to the pure
+        // ARMS/ILUT solve of the whole block on every rank.
+        (vec![usize::MAX; no], arms.last_factors().clone())
+    }
+
+    /// Health report of the subdomain ARMS factorization (last-level
+    /// factors), including any diagonal shifts taken by
+    /// [`Schur2Precond::build_shifted`].
+    pub fn report(&self) -> &parapre_sparse::FactorReport {
+        self.arms.report()
     }
 
     /// Size of this rank's expanded-interface (reduced) system.

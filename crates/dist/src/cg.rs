@@ -40,6 +40,9 @@ pub struct DistCgReport {
     pub iterations: usize,
     /// Final relative residual.
     pub final_relres: f64,
+    /// Typed breakdown when the solve stopped for a numerical reason
+    /// (rank-identical, decided on allreduced quantities).
+    pub breakdown: Option<parapre_krylov::SolveBreakdown>,
 }
 
 /// The distributed CG driver.
@@ -102,11 +105,25 @@ impl DistCg {
         let start = ckpt.map_or(0, |c| c.start_iters);
         let mut cycle = ckpt.map_or(0, |c| c.start_cycle);
         let r0 = dot(comm, &r, &r).sqrt();
+        if !r0.is_finite() {
+            parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
+            return DistCgReport {
+                converged: false,
+                iterations: start,
+                final_relres: f64::NAN,
+                breakdown: Some(parapre_krylov::SolveBreakdown {
+                    kind: parapre_krylov::BreakdownKind::NonFinite,
+                    iteration: start,
+                    relres: f64::NAN,
+                }),
+            };
+        }
         if r0 <= cfg.abs_tol {
             return DistCgReport {
                 converged: true,
                 iterations: start,
                 final_relres: 0.0,
+                breakdown: None,
             };
         }
         let target = (cfg.rel_tol * r0).max(cfg.abs_tol);
@@ -120,11 +137,23 @@ impl DistCg {
         for it in (start + 1)..=cfg.max_iters {
             a.apply(comm, &p, &mut ap);
             let pap = dot(comm, &p, &ap);
-            if pap <= 0.0 {
+            if pap <= 0.0 || !pap.is_finite() {
+                let kind = if pap.is_finite() {
+                    parapre_krylov::BreakdownKind::IndefiniteOperator
+                } else {
+                    parapre_krylov::BreakdownKind::NonFinite
+                };
+                let relres = dot(comm, &r, &r).sqrt() / r0;
+                parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
                 return DistCgReport {
                     converged: false,
                     iterations: it - 1,
-                    final_relres: dot(comm, &r, &r).sqrt() / r0,
+                    final_relres: relres,
+                    breakdown: Some(parapre_krylov::SolveBreakdown {
+                        kind,
+                        iteration: it - 1,
+                        relres,
+                    }),
                 };
             }
             let alpha = rz / pap;
@@ -157,6 +186,7 @@ impl DistCg {
                     converged: true,
                     iterations: it,
                     final_relres: rnorm / r0,
+                    breakdown: None,
                 };
             }
             let rz_new = pair[1];
@@ -170,6 +200,7 @@ impl DistCg {
             converged: false,
             iterations: cfg.max_iters,
             final_relres: dot(comm, &r, &r).sqrt() / r0,
+            breakdown: None,
         }
     }
 }

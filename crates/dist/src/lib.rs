@@ -28,6 +28,7 @@ pub mod cg;
 pub mod solver;
 
 pub use cg::{DistCg, DistCgConfig, DistCgReport};
+pub use parapre_krylov::{BreakdownKind, SolveBreakdown};
 pub use solver::{
     CheckpointCtx, CheckpointSink, DistGmres, DistGmresConfig, DistOp, DistPrecond,
     DistSolveReport, IdentityDistPrecond, OrthMethod,

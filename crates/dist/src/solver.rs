@@ -8,6 +8,8 @@
 //! all-reduced quantities.
 
 use crate::{tags, DistMatrix};
+use parapre_krylov::gmres::{DIVERGENCE_GUARD, STALL_RTOL};
+use parapre_krylov::{BreakdownKind, SolveBreakdown};
 use parapre_mpisim::Comm;
 use std::cell::RefCell;
 
@@ -155,6 +157,13 @@ pub struct DistGmresConfig {
     pub trace_iters: bool,
     /// Arnoldi orthogonalization strategy.
     pub orth: OrthMethod,
+    /// Stagnation window in *restart cycles*: when the true residual at a
+    /// cycle boundary fails to improve by `STALL_RTOL` over this many
+    /// cycles, the solve stops with a typed
+    /// [`BreakdownKind::Stagnation`] instead of burning the rest of the
+    /// iteration budget. `0` disables the guard. The decision is made on
+    /// the allreduced residual, so every rank stops identically.
+    pub stall_window: usize,
 }
 
 impl Default for DistGmresConfig {
@@ -168,6 +177,7 @@ impl Default for DistGmresConfig {
             flexible: true,
             trace_iters: true,
             orth: OrthMethod::default(),
+            stall_window: 4,
         }
     }
 }
@@ -184,6 +194,8 @@ impl DistGmresConfig {
             flexible: false,
             trace_iters: false,
             orth: OrthMethod::default(),
+            // Single-cycle inner solves never cross a cycle boundary.
+            stall_window: 0,
         }
     }
 }
@@ -199,6 +211,9 @@ pub struct DistSolveReport {
     pub final_relres: f64,
     /// Residual estimates per iteration when recording was requested.
     pub residual_history: Vec<f64>,
+    /// Typed breakdown when the solve stopped for a numerical reason
+    /// (rank-identical, decided on allreduced quantities).
+    pub breakdown: Option<SolveBreakdown>,
 }
 
 /// The distributed restarted (F)GMRES driver.
@@ -260,6 +275,7 @@ impl DistGmres {
             iterations: ckpt.map_or(0, |c| c.start_iters),
             final_relres: f64::NAN,
             residual_history: Vec::new(),
+            breakdown: None,
         };
 
         let dot = |comm: &mut Comm, u: &[f64], v: &[f64]| -> f64 {
@@ -279,12 +295,22 @@ impl DistGmres {
         if cfg.record_history {
             report.residual_history.push(r0_norm);
         }
+        if !r0_norm.is_finite() {
+            parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
+            report.breakdown = Some(SolveBreakdown {
+                kind: BreakdownKind::NonFinite,
+                iteration: report.iterations,
+                relres: f64::NAN,
+            });
+            return report;
+        }
         if r0_norm <= cfg.abs_tol {
             report.converged = true;
             report.final_relres = 0.0;
             return report;
         }
         let target = (cfg.rel_tol * r0_norm).max(cfg.abs_tol);
+        let mut cycle_betas: Vec<f64> = Vec::new();
 
         let mut v: Vec<Vec<f64>> = Vec::with_capacity(restart + 1);
         let mut zdirs: Vec<Vec<f64>> = Vec::new();
@@ -310,6 +336,8 @@ impl DistGmres {
 
             let mut k = 0usize;
             let mut cycle_done = false;
+            let mut zero_norm = false;
+            let mut nonfinite = false;
             while k < restart && total_iters < cfg.max_iters && !cycle_done {
                 {
                     let _s = parapre_trace::span(parapre_trace::phase::PRECOND_APPLY);
@@ -340,6 +368,15 @@ impl DistGmres {
                 };
                 drop(orth);
                 hcol[k + 1] = wnorm;
+                // All entries of `hcol` come from allreduced sums, so the
+                // non-finite decision is identical on every rank. Discard
+                // the poisoned column and finish the cycle with the finite
+                // prefix.
+                if hcol.iter().any(|h| !h.is_finite()) {
+                    nonfinite = true;
+                    cycle_done = true;
+                    continue;
+                }
                 for (i, &(c, s)) in givens.iter().enumerate() {
                     let t = c * hcol[i] + s * hcol[i + 1];
                     hcol[i + 1] = -s * hcol[i] + c * hcol[i + 1];
@@ -363,6 +400,7 @@ impl DistGmres {
                     parapre_trace::iteration(total_iters, res_est / r0_norm);
                 }
                 if res_est <= target || wnorm == 0.0 {
+                    zero_norm = wnorm == 0.0;
                     cycle_done = true;
                 } else if k < restart {
                     let mut vk = w.clone();
@@ -421,6 +459,33 @@ impl DistGmres {
             }
             if beta <= target {
                 report.converged = true;
+                return report;
+            }
+            let breakdown_kind = if !beta.is_finite() || nonfinite {
+                Some(BreakdownKind::NonFinite)
+            } else if zero_norm {
+                // Serious breakdown: the basis collapsed but the true
+                // residual still misses the target — restarting would
+                // rebuild the same invariant subspace.
+                Some(BreakdownKind::ZeroNormalization)
+            } else if beta > DIVERGENCE_GUARD * r0_norm {
+                Some(BreakdownKind::Divergence)
+            } else if cfg.stall_window > 0 {
+                cycle_betas.push(beta);
+                let w = cfg.stall_window;
+                (cycle_betas.len() > w
+                    && beta > cycle_betas[cycle_betas.len() - 1 - w] * (1.0 - STALL_RTOL))
+                    .then_some(BreakdownKind::Stagnation)
+            } else {
+                None
+            };
+            if let Some(kind) = breakdown_kind {
+                parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
+                report.breakdown = Some(SolveBreakdown {
+                    kind,
+                    iteration: total_iters,
+                    relres: report.final_relres,
+                });
                 return report;
             }
             if total_iters >= cfg.max_iters {

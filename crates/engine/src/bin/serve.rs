@@ -80,11 +80,11 @@ fn main() {
         let job = match parse_job_line(trimmed, seq) {
             Ok(job) => job,
             Err(e) => {
-                finish(
-                    JobResult::failed(format!("job-{seq}"), e.to_string()),
-                    &mut ok,
-                    &mut all_converged,
-                );
+                // Malformed lines become structured `rejected` records, not
+                // aborts — the rest of the stream still runs.
+                let mut r = JobResult::failed(format!("job-{seq}"), e.to_string());
+                r.error_kind = Some("rejected".into());
+                finish(r, &mut ok, &mut all_converged);
                 continue;
             }
         };

@@ -17,7 +17,8 @@
 //! overrides `size`), `size` (`tiny`/`default`/`full`), `precond`, `ranks`,
 //! `scheme`, `seed`, `repeat`, `rhs`, `tol`, `maxit`, `restart`. Resilience
 //! keys: `retries`, `backoff_ms`, `degrade`, `checkpoint` (recovery
-//! policy); `fault_seed`, `drop_prob`, `delay_prob`, `delay_us`,
+//! policy), `fallback` (numerical-safety ladder, default on);
+//! `fault_seed`, `drop_prob`, `delay_prob`, `delay_us`,
 //! `kill_rank`, `kill_op` (deterministic fault injection — chaos jobs).
 //! Results come back one flat-ish JSON line per job (the `iterations` and
 //! `dead_ranks` arrays are the only nesting).
@@ -121,6 +122,14 @@ pub struct JobResult {
     /// Classification of the failure (`"rank_failure"`, `"panic"`,
     /// `"rejected"`, ...) when one occurred.
     pub error_kind: Option<String>,
+    /// Diagonal-shift factorization retries, summed over ranks and repeats.
+    pub pivot_shifts: usize,
+    /// Preconditioner-ladder rungs descended (build- plus solve-time),
+    /// summed over repeats.
+    pub fallbacks: usize,
+    /// Kind key of the last typed numerical breakdown observed
+    /// (`"stagnation"`, `"non_finite"`, ...), recovered-from or not.
+    pub breakdown_kind: Option<String>,
 }
 
 impl JobResult {
@@ -142,6 +151,9 @@ impl JobResult {
             degraded: false,
             dead_ranks: Vec::new(),
             error_kind: None,
+            pivot_shifts: 0,
+            fallbacks: 0,
+            breakdown_kind: None,
         }
     }
 
@@ -172,6 +184,18 @@ impl JobResult {
         if !self.dead_ranks.is_empty() {
             let ranks: Vec<String> = self.dead_ranks.iter().map(|r| r.to_string()).collect();
             out.push_str(&format!(",\"dead_ranks\":[{}]", ranks.join(",")));
+        }
+        if self.pivot_shifts > 0 {
+            out.push_str(&format!(",\"pivot_shifts\":{}", self.pivot_shifts));
+        }
+        if self.fallbacks > 0 {
+            out.push_str(&format!(",\"fallbacks\":{}", self.fallbacks));
+        }
+        if let Some(kind) = &self.breakdown_kind {
+            out.push_str(&format!(
+                ",\"breakdown_kind\":\"{}\"",
+                flatjson::escape(kind)
+            ));
         }
         if let Some(kind) = &self.error_kind {
             out.push_str(&format!(",\"error_kind\":\"{}\"", flatjson::escape(kind)));
@@ -266,6 +290,10 @@ pub fn parse_job_line(line: &str, seq: usize) -> Result<SolveJob, EngineError> {
     }
     if let Some(c) = get_bool("checkpoint") {
         recovery.checkpoint = c;
+    }
+    if let Some(f) = get_bool("fallback") {
+        session.fallback = f;
+        recovery.precond_fallback = f;
     }
 
     let has_fault = ["fault_seed", "drop_prob", "delay_prob", "kill_rank"]
@@ -374,7 +402,7 @@ pub fn resolve_problem(job: &SolveJob) -> Result<ResolvedProblem, EngineError> {
 
 fn rhs_for(spec: &RhsSpec, a: &Csr, natural: Option<&[f64]>) -> Result<Vec<f64>, EngineError> {
     let n = a.n_rows();
-    Ok(match spec {
+    let b = match spec {
         RhsSpec::Natural => match natural {
             Some(b) => b.to_vec(),
             None => vec![1.0; n],
@@ -392,5 +420,14 @@ fn rhs_for(spec: &RhsSpec, a: &Csr, natural: Option<&[f64]>) -> Result<Vec<f64>,
             }
             b
         }
-    })
+    };
+    // A single NaN/Inf in the right-hand side poisons every inner product
+    // of the solve — reject the job up front with a structured error.
+    if let Some(i) = b.iter().position(|v| !v.is_finite()) {
+        return Err(EngineError::BadJob(format!(
+            "rhs entry {i} is not finite ({})",
+            b[i]
+        )));
+    }
+    Ok(b)
 }

@@ -36,6 +36,11 @@ pub struct RecoveryPolicy {
     pub degrade: bool,
     /// Take restart-cycle checkpoints and resume retries from them.
     pub checkpoint: bool,
+    /// On a typed numerical breakdown (non-finite arithmetic, stagnation,
+    /// divergence), rebuild the session one rung down the preconditioner
+    /// fallback ladder and re-solve — unifying numerical recovery with the
+    /// process-level ladder above.
+    pub precond_fallback: bool,
 }
 
 impl Default for RecoveryPolicy {
@@ -45,6 +50,7 @@ impl Default for RecoveryPolicy {
             backoff_ms: 5,
             degrade: true,
             checkpoint: true,
+            precond_fallback: true,
         }
     }
 }
@@ -58,6 +64,7 @@ impl RecoveryPolicy {
             backoff_ms: 0,
             degrade: false,
             checkpoint: false,
+            precond_fallback: false,
         }
     }
 }
@@ -78,6 +85,14 @@ pub struct FaultOutcome {
     /// Classification of the terminal failure, when there was one
     /// (`"rank_failure"`, `"degraded_failed"`, ...).
     pub error_kind: Option<String>,
+    /// Preconditioner-ladder rungs descended, build-time and solve-time
+    /// combined.
+    pub fallbacks: usize,
+    /// Diagonal-shift factorization retries, summed over ranks.
+    pub pivot_shifts: usize,
+    /// Kind key of the last typed numerical breakdown observed
+    /// (`"stagnation"`, `"non_finite"`, ...), recovered-from or not.
+    pub breakdown_kind: Option<String>,
 }
 
 fn injected_dead_ranks(failures: &[RankFailure]) -> Vec<usize> {
@@ -102,6 +117,10 @@ fn join_failures(failures: &[RankFailure]) -> String {
 /// Runs a solve through the resilience ladder. `faults` (optional) is the
 /// deterministic injection plan; pass `None` to get plain solves with
 /// retry/checkpoint/degrade armed against *real* failures.
+// The Err variant carries the full FaultOutcome so callers can see what
+// recovery was attempted before the failure; it is constructed once per
+// failed job, never on a hot path.
+#[allow(clippy::result_large_err)]
 pub fn solve_resilient(
     session: &SolverSession,
     b: &[f64],
@@ -118,19 +137,46 @@ pub fn solve_resilient(
     let t0 = Instant::now();
 
     let mut attempt = 0usize;
+    // A numerical-fallback descent replaces the session with one built a
+    // rung down the preconditioner ladder; the original stays borrowed.
+    let mut rebuilt: Option<SolverSession> = None;
     let failures = loop {
+        let sess: &SolverSession = rebuilt.as_ref().unwrap_or(session);
         let ckpt = store.as_ref().map(|s| CheckpointCtx {
             sink: s,
             start_iters,
             start_cycle,
         });
-        match session.solve_attempt(b, guess.as_deref(), false, faults.clone(), ckpt) {
+        match sess.solve_attempt(b, guess.as_deref(), false, faults.clone(), ckpt) {
             Ok((mut rep, _)) => {
+                if let Some(bd) = rep.breakdown {
+                    outcome.breakdown_kind = Some(bd.kind.key().to_string());
+                }
+                if policy.precond_fallback && !rep.converged && rep.breakdown.is_some() {
+                    if let Some(next) = sess.active_precond().fallback() {
+                        let mut down = sess.config().clone();
+                        down.precond = next;
+                        if let Ok(s2) = SolverSession::build(sess.matrix(), sess.owner(), &down) {
+                            parapre_trace::counter(parapre_trace::counters::PRECOND_FALLBACK, 1);
+                            outcome.fallbacks += 1;
+                            outcome.pivot_shifts += sess.pivot_shifts();
+                            // Warm-start the downgraded solve from the
+                            // broken-down iterate only when it is usable.
+                            if rep.x.iter().all(|v| v.is_finite()) {
+                                guess = Some(std::mem::take(&mut rep.x));
+                            }
+                            rebuilt = Some(s2);
+                            continue;
+                        }
+                    }
+                }
                 // The report's wall clock should cover the whole ladder,
                 // failed attempts and backoff included.
                 rep.solve_seconds = t0.elapsed().as_secs_f64();
                 outcome.retries = attempt;
                 outcome.resumed_iters = start_iters;
+                outcome.fallbacks += sess.build_fallbacks();
+                outcome.pivot_shifts += sess.pivot_shifts();
                 return Ok((rep, outcome));
             }
             Err(fails) => {
@@ -189,6 +235,7 @@ pub fn solve_resilient(
                     // the full-system residual, dead subdomain included.
                     true_relres: deg.full_relres,
                     solve_seconds: t0.elapsed().as_secs_f64(),
+                    breakdown: None,
                 };
                 return Ok((rep, outcome));
             }

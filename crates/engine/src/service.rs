@@ -356,7 +356,13 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
     let t0 = Instant::now();
     let resolved = match shared.problems.get_or_resolve(job) {
         Ok(r) => r,
-        Err(e) => return JobResult::failed(&job.id, e.to_string()),
+        Err(e) => {
+            let mut r = JobResult::failed(&job.id, e.to_string());
+            if matches!(e, crate::EngineError::BadJob(_)) {
+                r.error_kind = Some("rejected".into());
+            }
+            return r;
+        }
     };
     let key = SessionKey::new(resolved.a.fingerprint(), &job.session);
     let (session, cache_hit) = match shared.cache.get_or_build(key, || {
@@ -382,6 +388,9 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
     let mut retries = 0usize;
     let mut degraded = false;
     let mut dead_ranks: Vec<usize> = Vec::new();
+    let mut pivot_shifts = 0usize;
+    let mut fallbacks = 0usize;
+    let mut breakdown_kind: Option<String> = None;
     let merge_dead = |dead_ranks: &mut Vec<usize>, more: &[usize]| {
         for &r in more {
             if !dead_ranks.contains(&r) {
@@ -407,12 +416,20 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
                 solve_seconds += rep.solve_seconds;
                 retries += out.retries;
                 degraded |= out.degraded;
+                pivot_shifts += out.pivot_shifts;
+                fallbacks += out.fallbacks;
+                if out.breakdown_kind.is_some() {
+                    breakdown_kind = out.breakdown_kind;
+                }
                 merge_dead(&mut dead_ranks, &out.dead_ranks);
             }
             Err((e, out)) => {
                 let mut r = JobResult::failed(&job.id, e.to_string());
                 r.retries = retries + out.retries;
                 r.degraded = degraded;
+                r.pivot_shifts = pivot_shifts + out.pivot_shifts;
+                r.fallbacks = fallbacks + out.fallbacks;
+                r.breakdown_kind = out.breakdown_kind.or(breakdown_kind);
                 merge_dead(&mut dead_ranks, &out.dead_ranks);
                 r.dead_ranks = dead_ranks;
                 r.error_kind = out.error_kind.or_else(|| Some("rank_failure".into()));
@@ -436,5 +453,8 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
         degraded,
         dead_ranks,
         error_kind: None,
+        pivot_shifts,
+        fallbacks,
+        breakdown_kind,
     }
 }

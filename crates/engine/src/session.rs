@@ -13,8 +13,8 @@
 
 use crate::EngineError;
 use parapre_core::{
-    build_dist_precond, partition_case_with, AssembledCase, PartitionScheme, PrecondKind,
-    PrecondParams,
+    build_dist_precond, build_dist_precond_with_fallback, partition_case_with, AssembledCase,
+    PartitionScheme, PrecondKind, PrecondParams,
 };
 use parapre_dist::{
     gather_vector, scatter_vector, CheckpointCtx, DistGmres, DistGmresConfig, DistMatrix, DistOp,
@@ -46,6 +46,12 @@ pub struct SessionConfig {
     pub params: PrecondParams,
     /// Deadlock tripwire for every universe this session launches.
     pub recv_timeout: Duration,
+    /// Walk the preconditioner fallback ladder on factorization failure
+    /// (`Schur 2 → Schur 1 → Block 2 → Block 1 → Jacobi`) instead of
+    /// failing the build. All factorizations also go through the
+    /// diagonal-shift retry ladder. `false` reproduces the strict
+    /// fail-fast build.
+    pub fallback: bool,
 }
 
 impl SessionConfig {
@@ -65,6 +71,7 @@ impl SessionConfig {
             },
             params: PrecondParams::default(),
             recv_timeout: Duration::from_secs(60),
+            fallback: true,
         }
     }
 
@@ -73,13 +80,14 @@ impl SessionConfig {
     /// precision (`{:?}`), so configs differing in any bit key differently.
     pub fn config_string(&self) -> String {
         format!(
-            "{}|{}|P{}|seed{}|{:?}|{:?}",
+            "{}|{}|P{}|seed{}|{:?}|{:?}|fb{}",
             self.precond.key(),
             self.scheme.key(),
             self.n_ranks,
             self.partition_seed,
             self.gmres,
-            self.params
+            self.params,
+            self.fallback
         )
     }
 }
@@ -89,6 +97,13 @@ impl SessionConfig {
 struct RankState {
     dm: DistMatrix,
     precond: Box<dyn DistPrecond>,
+    /// Ladder rung the preconditioner was actually built on (identical on
+    /// every rank; equals the configured kind with `fallback: false`).
+    kind_used: PrecondKind,
+    /// Ladder rungs descended below the configured kind (rank-identical).
+    fallbacks: usize,
+    /// Diagonal-shift retries this rank's factorization spent.
+    pivot_shifts: usize,
 }
 
 /// A solver session: setup performed once, solves served on demand.
@@ -121,6 +136,9 @@ pub struct SessionSolveReport {
     pub true_relres: f64,
     /// Wall time of this solve (universe launch to join).
     pub solve_seconds: f64,
+    /// Typed breakdown when the solver stopped for a numerical reason
+    /// (`None` on clean convergence or a plain iteration-budget exit).
+    pub breakdown: Option<parapre_dist::SolveBreakdown>,
 }
 
 impl SolverSession {
@@ -140,8 +158,31 @@ impl SolverSession {
         let outs = Universe::try_run_with_timeout(p, cfg.recv_timeout, move |comm| {
             let _setup = parapre_trace::span(parapre_trace::phase::SETUP);
             let dm = DistMatrix::from_global(a, owner, comm.rank(), p);
-            let precond = build_dist_precond(cfg_ref.precond, &dm, comm, a, &cfg_ref.params);
-            RankState { dm, precond }
+            if cfg_ref.fallback {
+                let built = build_dist_precond_with_fallback(
+                    cfg_ref.precond,
+                    &dm,
+                    comm,
+                    a,
+                    &cfg_ref.params,
+                );
+                RankState {
+                    dm,
+                    precond: built.precond,
+                    kind_used: built.kind_used,
+                    fallbacks: built.fallbacks,
+                    pivot_shifts: built.pivot_shifts,
+                }
+            } else {
+                let precond = build_dist_precond(cfg_ref.precond, &dm, comm, a, &cfg_ref.params);
+                RankState {
+                    dm,
+                    precond,
+                    kind_used: cfg_ref.precond,
+                    fallbacks: 0,
+                    pivot_shifts: 0,
+                }
+            }
         });
         let mut ranks = Vec::with_capacity(p);
         let mut failures = Vec::new();
@@ -249,6 +290,7 @@ impl SolverSession {
             iterations: usize,
             converged: bool,
             final_relres: f64,
+            breakdown: Option<parapre_dist::SolveBreakdown>,
             rnorm: f64,
             bnorm: f64,
             x_global: Option<Vec<f64>>,
@@ -286,6 +328,7 @@ impl SolverSession {
                 iterations: rep.iterations,
                 converged: rep.converged,
                 final_relres: rep.final_relres,
+                breakdown: rep.breakdown,
                 rnorm,
                 bnorm,
                 x_global,
@@ -319,6 +362,7 @@ impl SolverSession {
             final_relres: ranks[0].final_relres,
             true_relres,
             solve_seconds,
+            breakdown: ranks[0].breakdown,
         };
         Ok((report, traces))
     }
@@ -341,6 +385,23 @@ impl SolverSession {
     /// Wall time of the one-off setup (partition + distribute + factor).
     pub fn setup_seconds(&self) -> f64 {
         self.setup_seconds
+    }
+
+    /// The preconditioner actually in use — the fallback-ladder rung the
+    /// build landed on (equals the configured kind when no fallback fired).
+    pub fn active_precond(&self) -> PrecondKind {
+        self.ranks[0].kind_used
+    }
+
+    /// Ladder rungs descended below the configured preconditioner at build
+    /// time (rank-identical; 0 on a clean build).
+    pub fn build_fallbacks(&self) -> usize {
+        self.ranks[0].fallbacks
+    }
+
+    /// Total diagonal-shift retries spent factoring, summed over ranks.
+    pub fn pivot_shifts(&self) -> usize {
+        self.ranks.iter().map(|r| r.pivot_shifts).sum()
     }
 
     /// The (structurally symmetrized) global matrix this session solves.

@@ -1,0 +1,175 @@
+//! End-to-end numerical-safety tests: hostile systems through
+//! `SolverSession`, `solve_resilient`, and the JSONL job layer.
+
+use parapre_core::PrecondKind;
+use parapre_engine::{
+    parse_job_line, solve_resilient, JobResult, RecoveryPolicy, SessionConfig, SolverSession,
+};
+use parapre_sparse::{Coo, Csr};
+
+/// Structurally symmetric chain with zero / tiny / negative diagonals.
+fn hostile(n: usize, seed: u64) -> Csr {
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let mut coo = Coo::new(n, n);
+    for i in 0..n - 1 {
+        coo.push(i, i + 1, -1.0 + 0.1 * rnd());
+        coo.push(i + 1, i, -1.0 + 0.1 * rnd());
+    }
+    for i in 0..n {
+        let d = match i % 5 {
+            0 => 0.0,
+            1 => 1e-14 * rnd(),
+            2 => -(2.0 + rnd().abs()),
+            _ => 4.0 + rnd().abs(),
+        };
+        coo.push(i, i, d);
+    }
+    coo.to_csr()
+}
+
+fn block_owner(n: usize, p: usize) -> Vec<u32> {
+    (0..n).map(|i| ((i * p) / n) as u32).collect()
+}
+
+/// A session with the safety net on builds on a matrix plain `Block 1`
+/// cannot factor, reports its diagnostics, and solves without a panic or a
+/// non-finite answer.
+#[test]
+fn session_builds_and_solves_hostile_system() {
+    let n = 64;
+    let a = hostile(n, 7);
+    let owner = block_owner(n, 4);
+    let mut cfg = SessionConfig::paper(PrecondKind::Block1, 4);
+    cfg.gmres.max_iters = 120;
+    let session = SolverSession::build(&a, &owner, &cfg).expect("safety net absorbs bad pivots");
+    assert!(
+        session.pivot_shifts() > 0 || session.build_fallbacks() > 0,
+        "hostile diagonal must be visible in the build diagnostics"
+    );
+    let b = vec![1.0; n];
+    let rep = session.solve(&b).expect("solve completes");
+    if rep.converged {
+        assert!(rep.x.iter().all(|v| v.is_finite()));
+        assert!(rep.true_relres.is_finite());
+    } else {
+        assert!(rep.breakdown.is_some() || rep.x.iter().all(|v| v.is_finite()));
+    }
+}
+
+/// With the net off, the same build dies — `fallback: false` reproduces the
+/// strict behavior (and keys the session cache differently).
+#[test]
+fn strict_mode_still_fails_fast() {
+    let n = 64;
+    let a = hostile(n, 7);
+    let owner = block_owner(n, 4);
+    let mut strict = SessionConfig::paper(PrecondKind::Block1, 4);
+    strict.fallback = false;
+    assert!(SolverSession::build(&a, &owner, &strict).is_err());
+    let lax = SessionConfig::paper(PrecondKind::Block1, 4);
+    assert_ne!(strict.config_string(), lax.config_string());
+}
+
+/// `solve_resilient` carries the numerical diagnostics in its outcome.
+#[test]
+fn resilient_outcome_reports_numerical_recovery() {
+    let n = 64;
+    let a = hostile(n, 11);
+    let owner = block_owner(n, 2);
+    let mut cfg = SessionConfig::paper(PrecondKind::Block1, 2);
+    cfg.gmres.max_iters = 120;
+    let session = SolverSession::build(&a, &owner, &cfg).expect("build");
+    let b = vec![1.0; n];
+    let (rep, out) = solve_resilient(&session, &b, None, None, &RecoveryPolicy::default())
+        .expect("ladder bottom is infallible");
+    assert!(
+        out.pivot_shifts > 0 || out.fallbacks > 0 || rep.converged,
+        "either the solve was clean or the outcome says what it cost"
+    );
+    if !rep.converged {
+        assert!(rep.breakdown.is_some() || rep.x.iter().all(|v| v.is_finite()));
+    }
+}
+
+/// The clean path stays free: a well-posed Poisson session reports zero
+/// shifts, zero fallbacks, and its configured preconditioner.
+#[test]
+fn clean_session_has_zero_safety_cost() {
+    use parapre_core::{build_case, CaseId, CaseSize};
+    let case = build_case(CaseId::Tc1, CaseSize::Tiny);
+    let cfg = SessionConfig::paper(PrecondKind::Schur1, 4);
+    let session = SolverSession::from_case(&case, &cfg).expect("clean build");
+    assert_eq!(session.active_precond(), PrecondKind::Schur1);
+    assert_eq!(session.build_fallbacks(), 0);
+    assert_eq!(session.pivot_shifts(), 0);
+    let rep = session.solve(&case.sys.b).expect("solve");
+    assert!(rep.converged);
+    assert!(rep.breakdown.is_none());
+}
+
+/// JSONL validation: unknown preconditioners and malformed lines are
+/// structured `BadJob` errors, and the `fallback` knob parses.
+#[test]
+fn job_lines_are_validated() {
+    assert!(parse_job_line(r#"{"case":"tc1","precond":"nonsense"}"#, 0).is_err());
+    assert!(parse_job_line(r#"{"case":"tc1","ranks":0}"#, 0).is_err());
+    assert!(parse_job_line("not json at all", 0).is_err());
+    let job = parse_job_line(r#"{"case":"tc1","fallback":false}"#, 0).expect("valid");
+    assert!(!job.session.fallback);
+    assert!(!job.recovery.precond_fallback);
+    let job = parse_job_line(r#"{"case":"tc1"}"#, 1).expect("valid");
+    assert!(job.session.fallback, "safety net defaults on");
+}
+
+/// A right-hand side containing NaN is rejected up front with a structured
+/// `BadJob` error instead of poisoning the solve.
+#[test]
+fn non_finite_rhs_is_rejected() {
+    use parapre_core::{build_case, CaseId, CaseSize};
+    use parapre_engine::resolve_problem;
+    let n = build_case(CaseId::Tc1, CaseSize::Tiny).sys.b.len();
+    let dir = std::env::temp_dir();
+    let path = dir.join("parapre_robustness_nan_rhs.txt");
+    let mut body = String::new();
+    for i in 0..n {
+        body.push_str(if i == 3 { "nan\n" } else { "1.0\n" });
+    }
+    std::fs::write(&path, &body).expect("write temp rhs");
+    let line = format!(r#"{{"case":"tc1","rhs":"{}"}}"#, path.display());
+    let job = parse_job_line(&line, 0).expect("job parses");
+    let err = match resolve_problem(&job) {
+        Err(e) => e,
+        Ok(_) => panic!("rhs must be rejected"),
+    };
+    assert!(
+        err.to_string().contains("not finite"),
+        "unexpected rejection: {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Result lines carry the new diagnostics keys exactly when they are
+/// meaningful.
+#[test]
+fn result_json_carries_safety_keys() {
+    let mut r = JobResult::failed("j", "boom");
+    r.ok = true;
+    r.error = None;
+    let json = r.to_json();
+    assert!(!json.contains("pivot_shifts"));
+    assert!(!json.contains("fallbacks"));
+    assert!(!json.contains("breakdown_kind"));
+    r.pivot_shifts = 3;
+    r.fallbacks = 1;
+    r.breakdown_kind = Some("stagnation".into());
+    let json = r.to_json();
+    assert!(json.contains("\"pivot_shifts\":3"));
+    assert!(json.contains("\"fallbacks\":1"));
+    assert!(json.contains("\"breakdown_kind\":\"stagnation\""));
+}

@@ -6,7 +6,7 @@
 
 use crate::op::LinOp;
 use crate::precond::Preconditioner;
-use crate::SolveReport;
+use crate::{BreakdownKind, SolveBreakdown, SolveReport};
 use parapre_sparse::ops;
 
 /// CG stopping parameters.
@@ -69,6 +69,16 @@ impl ConjugateGradient {
         if cfg.record_history {
             report.residual_history.push(r0);
         }
+        if !r0.is_finite() {
+            parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
+            report.breakdown = Some(SolveBreakdown {
+                kind: BreakdownKind::NonFinite,
+                iteration: 0,
+                relres: f64::NAN,
+            });
+            report.final_relres = f64::NAN;
+            return report;
+        }
         if r0 <= cfg.abs_tol {
             report.converged = true;
             report.final_relres = 0.0;
@@ -85,10 +95,27 @@ impl ConjugateGradient {
         for it in 1..=cfg.max_iters {
             a.apply(&p, &mut ap);
             let pap = ops::dot(&p, &ap);
-            if pap <= 0.0 {
-                // Not SPD (or breakdown): stop honestly.
+            if !pap.is_finite() {
                 report.iterations = it - 1;
                 report.final_relres = ops::norm2(&r) / r0;
+                parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
+                report.breakdown = Some(SolveBreakdown {
+                    kind: BreakdownKind::NonFinite,
+                    iteration: it - 1,
+                    relres: report.final_relres,
+                });
+                return report;
+            }
+            if pap <= 0.0 {
+                // Not SPD (or breakdown): stop honestly, with the type.
+                report.iterations = it - 1;
+                report.final_relres = ops::norm2(&r) / r0;
+                parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
+                report.breakdown = Some(SolveBreakdown {
+                    kind: BreakdownKind::IndefiniteOperator,
+                    iteration: it - 1,
+                    relres: report.final_relres,
+                });
                 return report;
             }
             let alpha = rz / pap;

@@ -11,8 +11,16 @@
 
 use crate::op::LinOp;
 use crate::precond::Preconditioner;
-use crate::SolveReport;
+use crate::{BreakdownKind, SolveBreakdown, SolveReport};
 use parapre_sparse::ops;
+
+/// Residual-estimate blow-up factor over `‖r₀‖` past which the solve is
+/// declared divergent rather than allowed to burn its iteration budget.
+pub const DIVERGENCE_GUARD: f64 = 1e8;
+
+/// Minimum relative improvement the stagnation window must observe:
+/// `res < (1 − STALL_RTOL) · res_window_ago`, else the solve is stalled.
+pub const STALL_RTOL: f64 = 1e-3;
 
 /// Stopping and restart parameters shared by GMRES and FGMRES.
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +36,11 @@ pub struct GmresConfig {
     pub abs_tol: f64,
     /// Record the residual norm after every iteration.
     pub record_history: bool,
+    /// Stagnation window (iterations): stop early with a typed
+    /// [`BreakdownKind::Stagnation`] when the residual estimate fails to
+    /// improve by [`STALL_RTOL`] over this many iterations. `0` disables
+    /// the guard.
+    pub stall_window: usize,
 }
 
 impl Default for GmresConfig {
@@ -38,6 +51,7 @@ impl Default for GmresConfig {
             rel_tol: 1e-6,
             abs_tol: 1e-300,
             record_history: false,
+            stall_window: 0,
         }
     }
 }
@@ -45,7 +59,8 @@ impl Default for GmresConfig {
 impl GmresConfig {
     /// A fixed-effort configuration used for inner solves: run exactly
     /// `iters` iterations (single restart cycle) unless converged much
-    /// earlier.
+    /// earlier — or cut short by the stagnation guard, so a stalled inner
+    /// solve does not burn the whole budget every outer cycle.
     pub fn inner(iters: usize) -> Self {
         GmresConfig {
             restart: iters.max(1),
@@ -53,6 +68,7 @@ impl GmresConfig {
             rel_tol: 1e-12,
             abs_tol: 1e-300,
             record_history: false,
+            stall_window: 4,
         }
     }
 }
@@ -155,12 +171,23 @@ fn run_gmres_core<A: LinOp, M: Preconditioner>(
     if cfg.record_history {
         report.residual_history.push(r0_norm);
     }
+    if !r0_norm.is_finite() {
+        parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
+        report.breakdown = Some(SolveBreakdown {
+            kind: BreakdownKind::NonFinite,
+            iteration: 0,
+            relres: f64::NAN,
+        });
+        report.final_relres = f64::NAN;
+        return report;
+    }
     if r0_norm <= cfg.abs_tol {
         report.converged = true;
         report.final_relres = 0.0;
         return report;
     }
     let target = (cfg.rel_tol * r0_norm).max(cfg.abs_tol);
+    let mut stall: Vec<f64> = Vec::new();
 
     // Krylov basis and (for FGMRES) preconditioned directions.
     let mut v: Vec<Vec<f64>> = Vec::with_capacity(restart + 1);
@@ -204,6 +231,30 @@ fn run_gmres_core<A: LinOp, M: Preconditioner>(
             let wnorm = ops::norm2(&w);
             hcol[k + 1] = wnorm;
 
+            // A NaN/Inf inner product or norm poisons the Hessenberg
+            // column: discard it, form the best solution from the finite
+            // columns, and report a typed breakdown.
+            if hcol.iter().any(|h| !h.is_finite()) {
+                update_solution(a, m, &v, &zdirs, &h, &g, k, x, flexible, &mut z, &mut w);
+                a.apply(x, &mut r);
+                for (ri, &bi) in r.iter_mut().zip(b) {
+                    *ri = bi - *ri;
+                }
+                let true_norm = ops::norm2(&r);
+                report.iterations = total_iters;
+                report.final_relres = true_norm / r0_norm;
+                report.converged = true_norm <= target * 1.01;
+                if !report.converged {
+                    parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
+                    report.breakdown = Some(SolveBreakdown {
+                        kind: BreakdownKind::NonFinite,
+                        iteration: total_iters,
+                        relres: report.final_relres,
+                    });
+                }
+                return report;
+            }
+
             // Apply accumulated Givens rotations to the new column.
             for (i, &(c, s)) in givens.iter().enumerate() {
                 let t = c * hcol[i] + s * hcol[i + 1];
@@ -227,7 +278,7 @@ fn run_gmres_core<A: LinOp, M: Preconditioner>(
                 report.residual_history.push(res_est);
             }
             if res_est <= target || wnorm == 0.0 {
-                // Converged or lucky breakdown: finish the cycle now.
+                // Converged or breakdown (happy or serious): finish now.
                 update_solution(a, m, &v, &zdirs, &h, &g, k, x, flexible, &mut z, &mut w);
                 // Recompute the true residual to report honestly.
                 a.apply(x, &mut r);
@@ -235,15 +286,75 @@ fn run_gmres_core<A: LinOp, M: Preconditioner>(
                     *ri = bi - *ri;
                 }
                 let true_norm = ops::norm2(&r);
-                report.converged = true_norm <= target * 1.01 || wnorm == 0.0;
+                report.converged = true_norm <= target * 1.01;
                 report.iterations = total_iters;
                 report.final_relres = true_norm / r0_norm;
-                if report.converged || total_iters >= cfg.max_iters {
+                if report.converged {
+                    return report;
+                }
+                if wnorm == 0.0 {
+                    // Serious breakdown: the Krylov space is invariant yet
+                    // the true residual misses the target — a restart
+                    // would rebuild the same exhausted space. Say so
+                    // instead of claiming convergence.
+                    parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
+                    report.breakdown = Some(SolveBreakdown {
+                        kind: BreakdownKind::ZeroNormalization,
+                        iteration: total_iters,
+                        relres: report.final_relres,
+                    });
+                    return report;
+                }
+                if total_iters >= cfg.max_iters {
                     return report;
                 }
                 // True residual disagrees (rare): restart from x.
                 beta = true_norm;
                 continue 'outer;
+            }
+            if res_est > DIVERGENCE_GUARD * r0_norm {
+                update_solution(a, m, &v, &zdirs, &h, &g, k, x, flexible, &mut z, &mut w);
+                a.apply(x, &mut r);
+                for (ri, &bi) in r.iter_mut().zip(b) {
+                    *ri = bi - *ri;
+                }
+                let true_norm = ops::norm2(&r);
+                report.iterations = total_iters;
+                report.final_relres = true_norm / r0_norm;
+                parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
+                report.breakdown = Some(SolveBreakdown {
+                    kind: BreakdownKind::Divergence,
+                    iteration: total_iters,
+                    relres: report.final_relres,
+                });
+                return report;
+            }
+            if cfg.stall_window > 0 {
+                stall.push(res_est);
+                if stall.len() > cfg.stall_window {
+                    let prev = stall[stall.len() - 1 - cfg.stall_window];
+                    if res_est > prev * (1.0 - STALL_RTOL) {
+                        update_solution(a, m, &v, &zdirs, &h, &g, k, x, flexible, &mut z, &mut w);
+                        a.apply(x, &mut r);
+                        for (ri, &bi) in r.iter_mut().zip(b) {
+                            *ri = bi - *ri;
+                        }
+                        let true_norm = ops::norm2(&r);
+                        report.iterations = total_iters;
+                        report.final_relres = true_norm / r0_norm;
+                        report.converged = true_norm <= target * 1.01;
+                        if !report.converged {
+                            parapre_trace::counter(parapre_trace::counters::GMRES_STALL_CUT, 1);
+                            parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
+                            report.breakdown = Some(SolveBreakdown {
+                                kind: BreakdownKind::Stagnation,
+                                iteration: total_iters,
+                                relres: report.final_relres,
+                            });
+                        }
+                        return report;
+                    }
+                }
             }
             if wnorm > 0.0 && k < restart {
                 let mut vk = w.clone();

@@ -12,7 +12,13 @@
 //! [`LuFactors::trailing_block`]).
 
 use crate::precond::Preconditioner;
-use parapre_sparse::{ops, Csr, Error, Result, SweepLevels};
+use parapre_sparse::{ops, Csr, Error, FactorReport, Result, SweepLevels};
+
+/// The diagonal-shift retry ladder: relative shifts applied to the
+/// diagonal (scaled by each row's norm) when an unshifted factorization
+/// breaks down or produces unhealthy pivots. The first rung is the plain
+/// factorization.
+pub const SHIFT_LADDER: [f64; 4] = [0.0, 1e-8, 1e-4, 1e-2];
 
 /// A merged incomplete LU factorization.
 #[derive(Debug, Clone)]
@@ -31,12 +37,23 @@ pub struct LuFactors {
     levels: SweepLevels,
     /// Number of pivots that had to be replaced by a small fallback value.
     pivot_fixes: usize,
+    /// Structured health report of the factorization.
+    report: FactorReport,
 }
 
 impl LuFactors {
     fn from_merged(lu: Csr, pivot_fixes: usize) -> Result<Self> {
         let diag_ptr = ops::diag_pointers(&lu)?;
-        let diag_inv = ops::diag_reciprocals(&lu, &diag_ptr);
+        let mut report = FactorReport::scan(lu.n_rows(), lu.vals(), &diag_ptr);
+        report.pivot_fixes = pivot_fixes;
+        if report.nonfinite > 0 {
+            // Locate the first poisoned row so the error is actionable.
+            let row = (0..lu.n_rows())
+                .find(|&i| lu.row(i).1.iter().any(|v| !v.is_finite()))
+                .unwrap_or(0);
+            return Err(Error::NonFinitePivot(row));
+        }
+        let diag_inv = ops::diag_reciprocals_checked(&lu, &diag_ptr)?;
         let levels = SweepLevels::from_merged(&lu, &diag_ptr);
         Ok(LuFactors {
             lu,
@@ -44,7 +61,20 @@ impl LuFactors {
             diag_inv,
             levels,
             pivot_fixes,
+            report,
         })
+    }
+
+    /// Structured health report: pivot extrema, fill, zero/small-pivot
+    /// counts, and the diagonal shift (if any) these factors were built
+    /// under.
+    pub fn report(&self) -> &FactorReport {
+        &self.report
+    }
+
+    pub(crate) fn set_shift(&mut self, alpha: f64, attempts: usize) {
+        self.report.shift_alpha = alpha;
+        self.report.shift_attempts = attempts;
     }
 
     /// The merged factor matrix (tests, diagnostics).
@@ -186,7 +216,56 @@ impl LuFactors {
             row_ptr.push(col_idx.len());
         }
         let lu = Csr::from_parts_unchecked(ns, ns, row_ptr, col_idx, vals);
+        // Parent factors passed the checked-reciprocal gate, so the trailing
+        // diagonals are present, finite and nonzero.
         LuFactors::from_merged(lu, 0).expect("trailing block keeps diagonals")
+    }
+}
+
+/// Runs `factor` up the diagonal-shift ladder: the plain matrix first, then
+/// copies with increasingly large diagonal shifts (`alpha · ‖row‖∞`,
+/// [`SHIFT_LADDER`]), until a factorization succeeds with healthy pivots.
+/// The last rung that produced *any* finite factorization is accepted
+/// best-effort; only when every rung errors does the ladder fail.
+///
+/// Each retry increments the `factor.pivot_shift` trace counter; the
+/// winning factor records `shift_alpha`/`shift_attempts` in its report.
+pub fn factor_with_shifts<F>(a: &Csr, mut factor: F) -> Result<LuFactors>
+where
+    F: FnMut(&Csr) -> Result<LuFactors>,
+{
+    let mut best: Option<(LuFactors, f64, usize)> = None;
+    let mut last_err = None;
+    for (attempt, &alpha) in SHIFT_LADDER.iter().enumerate() {
+        if attempt > 0 {
+            parapre_trace::counter(parapre_trace::counters::PIVOT_SHIFT, 1);
+        }
+        let shifted;
+        let target = if alpha == 0.0 {
+            a
+        } else {
+            shifted = a.with_shifted_diagonal(alpha);
+            &shifted
+        };
+        match factor(target) {
+            Ok(f) => {
+                // A rung only wins outright when no pivot needed rescuing;
+                // otherwise keep it as the best-effort candidate and climb.
+                let healthy = f.report().healthy() && f.pivot_fixes() == 0;
+                best = Some((f, alpha, attempt));
+                if healthy {
+                    break;
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    match best {
+        Some((mut f, alpha, attempts)) => {
+            f.set_shift(alpha, attempts);
+            Ok(f)
+        }
+        None => Err(last_err.expect("ladder ran at least once")),
     }
 }
 
@@ -271,6 +350,13 @@ impl Ilu0 {
         let lu = Csr::from_parts_unchecked(n, n, row_ptr, col_idx, vals);
         parapre_trace::counter("factor.fill_nnz", lu.nnz() as u64);
         LuFactors::from_merged(lu, 0)
+    }
+
+    /// [`Ilu0::factor`] behind the diagonal-shift retry ladder
+    /// ([`factor_with_shifts`]): never returns factors with zero or
+    /// non-finite pivots without first trying shifted copies of `a`.
+    pub fn factor_shifted(a: &Csr) -> Result<LuFactors> {
+        factor_with_shifts(a, Ilu0::factor)
     }
 }
 
@@ -388,9 +474,10 @@ impl Ilut {
             }
             // Select the p largest lower entries (multipliers).
             if lower_kept.len() > cfg.fill {
-                lower_kept.sort_unstable_by(|a, b| {
-                    b.1.abs().partial_cmp(&a.1.abs()).expect("no NaN in factor")
-                });
+                // total_cmp: a NaN in the accumulator must not panic the
+                // sort — the non-finite scan in `from_merged` rejects the
+                // factor with a structured error instead.
+                lower_kept.sort_unstable_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
                 lower_kept.truncate(cfg.fill);
             }
             lower_kept.sort_unstable_by_key(|&(j, _)| j);
@@ -422,9 +509,7 @@ impl Ilut {
                 })
                 .collect();
             if upper_kept.len() > cfg.fill {
-                upper_kept.sort_unstable_by(|a, b| {
-                    b.1.abs().partial_cmp(&a.1.abs()).expect("no NaN in factor")
-                });
+                upper_kept.sort_unstable_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
                 upper_kept.truncate(cfg.fill);
             }
             upper_kept.sort_unstable_by_key(|&(j, _)| j);
@@ -457,6 +542,13 @@ impl Ilut {
         let lu = Csr::from_parts_unchecked(n, n, row_ptr, col_idx, vals);
         parapre_trace::counter("factor.fill_nnz", lu.nnz() as u64);
         LuFactors::from_merged(lu, pivot_fixes)
+    }
+
+    /// [`Ilut::factor`] behind the diagonal-shift retry ladder
+    /// ([`factor_with_shifts`]): retries on non-finite factors or rows that
+    /// needed pivot fixes, accepting the first healthy rung.
+    pub fn factor_shifted(a: &Csr, cfg: &IlutConfig) -> Result<LuFactors> {
+        factor_with_shifts(a, |m| Ilut::factor(m, cfg))
     }
 }
 

@@ -44,11 +44,64 @@ pub use arms::{Arms, ArmsConfig};
 pub use bicgstab::{BiCgStab, BiCgStabConfig};
 pub use cg::{CgConfig, ConjugateGradient};
 pub use gmres::{FGmres, Gmres, GmresConfig};
-pub use ilu::{Ilu0, Ilut, IlutConfig, LuFactors};
+pub use ilu::{factor_with_shifts, Ilu0, Ilut, IlutConfig, LuFactors, SHIFT_LADDER};
 pub use ilutp::{Ilutp, IlutpConfig, PivotedLu};
 pub use op::LinOp;
 pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner};
 pub use ssor::Ssor;
+
+/// Why a Krylov solve stopped before meeting its tolerance — the typed
+/// alternative to silently looping to `max_iters` or, worse, reporting a
+/// breakdown as convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakdownKind {
+    /// A basis vector had (near-)zero norm but the true residual still
+    /// misses the target — a *serious* Arnoldi/Lanczos breakdown. (The
+    /// *happy* breakdown, where the residual has converged, is reported as
+    /// plain convergence.)
+    ZeroNormalization,
+    /// An inner product, norm, or Hessenberg entry became NaN or infinite.
+    NonFinite,
+    /// The residual stopped improving over the sliding stagnation window.
+    Stagnation,
+    /// The residual estimate grew explosively past the divergence guard.
+    Divergence,
+    /// CG observed `pᵀAp ≤ 0`: the operator (or preconditioner) is not
+    /// symmetric positive definite.
+    IndefiniteOperator,
+}
+
+impl BreakdownKind {
+    /// Stable machine-readable key (JSONL `breakdown_kind` values).
+    pub fn key(&self) -> &'static str {
+        match self {
+            BreakdownKind::ZeroNormalization => "zero_normalization",
+            BreakdownKind::NonFinite => "non_finite",
+            BreakdownKind::Stagnation => "stagnation",
+            BreakdownKind::Divergence => "divergence",
+            BreakdownKind::IndefiniteOperator => "indefinite_operator",
+        }
+    }
+}
+
+impl std::fmt::Display for BreakdownKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// A typed solver breakdown: what went wrong, where, and how far the
+/// residual had come.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveBreakdown {
+    /// Classification of the breakdown.
+    pub kind: BreakdownKind,
+    /// Iteration at which the breakdown was detected.
+    pub iteration: usize,
+    /// Relative residual at detection (estimate or true, whichever the
+    /// solver had).
+    pub relres: f64,
+}
 
 /// Outcome of an iterative solve.
 #[derive(Debug, Clone)]
@@ -61,6 +114,9 @@ pub struct SolveReport {
     pub final_relres: f64,
     /// Residual norm after every iteration (including the initial one).
     pub residual_history: Vec<f64>,
+    /// Typed breakdown when the solve stopped for a numerical reason other
+    /// than convergence or iteration exhaustion.
+    pub breakdown: Option<SolveBreakdown>,
 }
 
 impl SolveReport {
@@ -70,6 +126,7 @@ impl SolveReport {
             iterations: 0,
             final_relres: f64::NAN,
             residual_history: Vec::new(),
+            breakdown: None,
         }
     }
 }

@@ -2,8 +2,8 @@
 //! Property-based tests for Krylov solvers and factorizations.
 
 use parapre_krylov::{
-    Arms, ArmsConfig, ConjugateGradient, FGmres, Gmres, GmresConfig, IdentityPrecond, Ilu0, Ilut,
-    IlutConfig,
+    Arms, ArmsConfig, BreakdownKind, CgConfig, ConjugateGradient, FGmres, Gmres, GmresConfig,
+    IdentityPrecond, Ilu0, Ilut, IlutConfig,
 };
 use parapre_sparse::{Coo, Csr};
 use proptest::prelude::*;
@@ -38,6 +38,35 @@ fn diag_dominant(n: usize, seed: u64, symmetric: bool) -> Csr {
     }
     for i in 0..n {
         coo.push(i, i, rowsum[i] + 1.0 + rnd().abs());
+    }
+    coo.to_csr()
+}
+
+/// Random *hostile* sparse matrix: structurally symmetric chain coupling,
+/// with zero, negative, and near-zero diagonal entries mixed in — the kind
+/// of input plain ILU dies on.
+fn hostile(n: usize, seed: u64) -> Csr {
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let mut coo = Coo::new(n, n);
+    for i in 0..n.saturating_sub(1) {
+        let v = rnd();
+        coo.push(i, i + 1, v);
+        coo.push(i + 1, i, rnd());
+    }
+    for i in 0..n {
+        let d = match i % 4 {
+            0 => 0.0,                  // exact zero pivot
+            1 => 1e-15 * rnd(),        // near-singular
+            2 => -(1.0 + rnd().abs()), // sign-indefinite
+            _ => 1.0 + rnd().abs(),
+        };
+        coo.push(i, i, d);
     }
     coo.to_csr()
 }
@@ -119,6 +148,48 @@ proptest! {
     }
 
     #[test]
+    fn shifted_ilu0_factors_hostile_matrices_finite(n in 4usize..60, seed in any::<u64>()) {
+        // Satellite property: the diagonal-shift retry ladder either
+        // produces an all-finite factorization or a typed error — never a
+        // panic, never NaN/Inf factors.
+        let a = hostile(n, seed);
+        if let Ok(f) = Ilu0::factor_shifted(&a) {
+            let rep = f.report();
+            prop_assert_eq!(rep.nonfinite, 0);
+            prop_assert!(rep.min_pivot.is_finite());
+            let mut x = vec![1.0; n];
+            f.solve_in_place(&mut x);
+            prop_assert!(x.iter().all(|v| v.is_finite()), "sweep produced non-finite");
+        }
+    }
+
+    #[test]
+    fn shifted_ilut_factors_hostile_matrices_finite(n in 4usize..60, seed in any::<u64>()) {
+        let a = hostile(n, seed);
+        if let Ok(f) = Ilut::factor_shifted(&a, &IlutConfig::default()) {
+            prop_assert_eq!(f.report().nonfinite, 0);
+            let mut x = vec![1.0; n];
+            f.solve_in_place(&mut x);
+            prop_assert!(x.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn gmres_on_hostile_matrices_never_lies(n in 4usize..50, seed in any::<u64>()) {
+        // Convergence claims must be backed by a finite solution; anything
+        // else must carry a typed breakdown or a plain budget exhaustion.
+        let a = hostile(n, seed);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let rep = Gmres::new(GmresConfig { max_iters: 120, ..Default::default() })
+            .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+        if rep.converged {
+            prop_assert!(x.iter().all(|v| v.is_finite()));
+            prop_assert!(rep.final_relres.is_finite());
+        }
+    }
+
+    #[test]
     fn gmres_solution_independent_of_restart(seed in any::<u64>()) {
         let n = 30;
         let a = diag_dominant(n, seed, false);
@@ -133,4 +204,136 @@ proptest! {
             prop_assert!((u - v).abs() < 1e-6);
         }
     }
+}
+
+// ---- deterministic breakdown-detection cases -------------------------------
+
+/// GMRES on a cyclic-shift permutation makes *zero* residual progress until
+/// iteration `n` — the canonical stagnation case. The guard must cut the
+/// solve short with a typed breakdown instead of burning the budget.
+#[test]
+fn stagnation_guard_cuts_cyclic_shift_early() {
+    let n = 40;
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i, (i + 1) % n, 1.0);
+    }
+    let a = coo.to_csr();
+    let mut b = vec![0.0; n];
+    b[0] = 1.0;
+    let mut x = vec![0.0; n];
+    let rep = Gmres::new(GmresConfig {
+        restart: n,
+        max_iters: n,
+        stall_window: 4,
+        ..Default::default()
+    })
+    .solve(&a, &IdentityPrecond::new(n), &b, &mut x);
+    assert!(!rep.converged);
+    let bd = rep.breakdown.expect("stagnation breakdown");
+    assert_eq!(bd.kind, BreakdownKind::Stagnation);
+    assert!(
+        rep.iterations < n - 1,
+        "guard must fire well before the budget: {} iters",
+        rep.iterations
+    );
+}
+
+/// A singular operator whose Krylov space degenerates without reaching the
+/// target: `wnorm == 0` must surface as `ZeroNormalization`, not as the old
+/// false `converged: true`.
+#[test]
+fn zero_normalization_is_typed_not_fake_convergence() {
+    let mut coo = Coo::new(2, 2);
+    coo.push(0, 0, 1.0);
+    coo.push(1, 1, 0.0);
+    let a = coo.to_csr();
+    let b = vec![0.0, 1.0];
+    let mut x = vec![0.0; 2];
+    let rep = Gmres::new(GmresConfig::default()).solve(&a, &IdentityPrecond::new(2), &b, &mut x);
+    assert!(!rep.converged);
+    assert_eq!(
+        rep.breakdown.expect("breakdown").kind,
+        BreakdownKind::ZeroNormalization
+    );
+}
+
+/// NaN in the operator must yield a typed `NonFinite` breakdown.
+#[test]
+fn nan_operator_breaks_down_typed() {
+    let mut coo = Coo::new(2, 2);
+    coo.push(0, 0, f64::NAN);
+    coo.push(0, 1, 1.0);
+    coo.push(1, 0, 1.0);
+    coo.push(1, 1, 1.0);
+    let a = coo.to_csr();
+    let b = vec![1.0, 1.0];
+    let mut x = vec![0.0; 2];
+    let rep = Gmres::new(GmresConfig::default()).solve(&a, &IdentityPrecond::new(2), &b, &mut x);
+    assert!(!rep.converged);
+    assert_eq!(
+        rep.breakdown.expect("breakdown").kind,
+        BreakdownKind::NonFinite
+    );
+}
+
+/// CG applied to an indefinite operator must stop with
+/// `IndefiniteOperator` instead of silently producing garbage.
+#[test]
+fn cg_detects_indefinite_operator() {
+    let mut coo = Coo::new(2, 2);
+    coo.push(0, 0, 1.0);
+    coo.push(1, 1, -1.0);
+    let a = coo.to_csr();
+    let b = vec![1.0, 1.0];
+    let mut x = vec![0.0; 2];
+    let rep =
+        ConjugateGradient::new(CgConfig::default()).solve(&a, &IdentityPrecond::new(2), &b, &mut x);
+    assert!(!rep.converged);
+    assert_eq!(
+        rep.breakdown.expect("breakdown").kind,
+        BreakdownKind::IndefiniteOperator
+    );
+}
+
+/// NaN in the matrix: every factorization path returns a structured error
+/// (shift ladder included — shifting cannot launder a NaN) and never panics.
+#[test]
+fn nan_matrix_factors_error_typed() {
+    let mut coo = Coo::new(3, 3);
+    coo.push(0, 0, 2.0);
+    coo.push(1, 1, f64::NAN); // a poisoned *diagonal* cannot be dropped
+    coo.push(2, 2, 2.0);
+    coo.push(0, 1, 1.0);
+    coo.push(1, 0, 0.5);
+    let a = coo.to_csr();
+    assert!(Ilu0::factor(&a).is_err());
+    assert!(Ilut::factor(&a, &IlutConfig::default()).is_err());
+    assert!(Ilu0::factor_shifted(&a).is_err());
+    assert!(Ilut::factor_shifted(&a, &IlutConfig::default()).is_err());
+}
+
+/// Zero diagonals alone are exactly what the shift ladder exists for: the
+/// shifted factorization must succeed and record its retries.
+#[test]
+fn shift_ladder_rescues_zero_diagonal() {
+    let n = 12;
+    let mut coo = Coo::new(n, n);
+    for i in 0..n - 1 {
+        coo.push(i, i + 1, -1.0);
+        coo.push(i + 1, i, -1.0);
+    }
+    for i in 0..n {
+        coo.push(i, i, if i % 3 == 0 { 0.0 } else { 2.0 });
+    }
+    let a = coo.to_csr();
+    assert!(Ilu0::factor(&a).is_err(), "plain ILU(0) must reject");
+    let f = Ilu0::factor_shifted(&a).expect("ladder rescues");
+    let rep = f.report();
+    assert!(rep.shift_attempts > 0, "a retry must have happened");
+    assert!(rep.shift_alpha > 0.0);
+    assert_eq!(rep.nonfinite, 0);
+    let mut x = vec![1.0; n];
+    f.solve_in_place(&mut x);
+    assert!(x.iter().all(|v| v.is_finite()));
 }

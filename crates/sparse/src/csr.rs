@@ -410,6 +410,47 @@ impl Csr {
         Ok(d)
     }
 
+    /// Returns a copy with each diagonal entry shifted by
+    /// `alpha · ‖row i‖∞ · sign(a_ii)` (sign `+1` for a zero or structurally
+    /// missing diagonal), inserting missing diagonal entries so that the
+    /// shifted matrix is always factorable by ILU-type methods. Empty rows
+    /// use a unit row norm so they too get a nonzero pivot.
+    pub fn with_shifted_diagonal(&self, alpha: f64) -> Csr {
+        let nd = self.n_rows.min(self.n_cols);
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        let mut col_idx = Vec::with_capacity(self.col_idx.len() + nd);
+        let mut vals = Vec::with_capacity(self.vals.len() + nd);
+        row_ptr.push(0);
+        for i in 0..self.n_rows {
+            let (cols, vs) = self.row(i);
+            if i >= nd {
+                col_idx.extend_from_slice(cols);
+                vals.extend_from_slice(vs);
+                row_ptr.push(col_idx.len());
+                continue;
+            }
+            let rownorm = vs.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+            match cols.binary_search(&i) {
+                Ok(k) => {
+                    let sign = if vs[k] < 0.0 { -1.0 } else { 1.0 };
+                    col_idx.extend_from_slice(cols);
+                    vals.extend_from_slice(vs);
+                    vals[row_ptr[i] + k] += alpha * rownorm * sign;
+                }
+                Err(k) => {
+                    col_idx.extend_from_slice(&cols[..k]);
+                    vals.extend_from_slice(&vs[..k]);
+                    col_idx.push(i);
+                    vals.push(alpha * rownorm);
+                    col_idx.extend_from_slice(&cols[k..]);
+                    vals.extend_from_slice(&vs[k..]);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr::from_parts_unchecked(self.n_rows, self.n_cols, row_ptr, col_idx, vals)
+    }
+
     /// Extracts the submatrix with the given (sorted or unsorted) row set and
     /// a column renumbering map.
     ///

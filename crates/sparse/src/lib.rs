@@ -32,6 +32,7 @@ pub mod levels;
 pub mod ops;
 pub mod parallel;
 pub mod perm;
+pub mod report;
 pub mod scaling;
 
 pub use coo::Coo;
@@ -40,6 +41,7 @@ pub use csr::{Csr, RowSplit};
 pub use dense::Dense;
 pub use levels::SweepLevels;
 pub use perm::Permutation;
+pub use report::FactorReport;
 
 /// Convenience result alias for fallible sparse operations.
 pub type Result<T> = std::result::Result<T, Error>;
@@ -61,6 +63,9 @@ pub enum Error {
     /// A pivot was exactly zero (or numerically negligible) during a solve
     /// or factorization.
     ZeroPivot(usize),
+    /// A pivot (or its reciprocal) was NaN or infinite — the factorization
+    /// produced garbage that must not reach a triangular sweep.
+    NonFinitePivot(usize),
     /// Index out of bounds while building a matrix.
     IndexOutOfBounds {
         /// Offending index.
@@ -87,6 +92,7 @@ impl std::fmt::Display for Error {
             }
             Error::MissingDiagonal(i) => write!(f, "missing diagonal entry in row {i}"),
             Error::ZeroPivot(i) => write!(f, "zero pivot encountered at row {i}"),
+            Error::NonFinitePivot(i) => write!(f, "non-finite pivot encountered at row {i}"),
             Error::IndexOutOfBounds { index, bound } => {
                 write!(f, "index {index} out of bounds ({bound})")
             }

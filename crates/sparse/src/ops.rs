@@ -90,6 +90,28 @@ pub fn diag_reciprocals(u: &Csr, diag_ptr: &[usize]) -> Vec<f64> {
     diag_ptr.iter().map(|&k| 1.0 / u.vals()[k]).collect()
 }
 
+/// Checked variant of [`diag_reciprocals`]: returns a structured error when
+/// a diagonal is zero, non-finite, or so small its reciprocal overflows —
+/// instead of silently seeding every later triangular sweep with Inf/NaN.
+pub fn diag_reciprocals_checked(u: &Csr, diag_ptr: &[usize]) -> Result<Vec<f64>> {
+    let mut out = Vec::with_capacity(diag_ptr.len());
+    for (i, &k) in diag_ptr.iter().enumerate() {
+        let d = u.vals()[k];
+        if d == 0.0 {
+            return Err(Error::ZeroPivot(i));
+        }
+        if !d.is_finite() {
+            return Err(Error::NonFinitePivot(i));
+        }
+        let r = 1.0 / d;
+        if !r.is_finite() {
+            return Err(Error::NonFinitePivot(i));
+        }
+        out.push(r);
+    }
+    Ok(out)
+}
+
 /// Solves `U x = b` where `U` is upper triangular (diagonal stored) in CSR,
 /// in place. Entries with column index `< row` are ignored.
 ///

@@ -22,6 +22,40 @@ fn coo_and_dense(max_n: usize) -> impl Strategy<Value = (Coo, Vec<Vec<f64>>)> {
 
 proptest! {
     #[test]
+    fn shifted_diagonal_preserves_offdiag_and_strengthens_diag(
+        (coo, dense) in coo_and_dense(12),
+        alpha_ix in 0usize..3,
+    ) {
+        let alpha = [1e-8, 1e-4, 1e-2][alpha_ix];
+        let a = coo.to_csr();
+        let s = a.with_shifted_diagonal(alpha);
+        s.validate().unwrap();
+        prop_assert_eq!(s.n_rows(), a.n_rows());
+        prop_assert_eq!(s.n_cols(), a.n_cols());
+        for (i, row) in dense.iter().enumerate() {
+            // Every row gains a structural diagonal.
+            let (cols, _) = s.row(i);
+            prop_assert!(cols.binary_search(&i).is_ok(), "row {i} missing diagonal");
+            // Off-diagonals are untouched; the diagonal never weakens.
+            for (j, &v) in row.iter().enumerate() {
+                if i != j {
+                    prop_assert!((s.get(i, j) - v).abs() < 1e-12);
+                }
+            }
+            let d = row[i];
+            let sd = s.get(i, i);
+            prop_assert!(sd.is_finite());
+            prop_assert!(
+                sd.abs() >= d.abs() - 1e-12,
+                "shift weakened the diagonal: {d} -> {sd}"
+            );
+            if d != 0.0 {
+                prop_assert!(sd.signum() == d.signum(), "shift flipped the sign");
+            }
+        }
+    }
+
+    #[test]
     fn coo_to_csr_matches_dense((coo, dense) in coo_and_dense(12)) {
         let a = coo.to_csr();
         a.validate().unwrap();

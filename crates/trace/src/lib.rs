@@ -112,6 +112,17 @@ pub mod counters {
     pub const SOLVE_RETRY: &str = "solve.retry";
     /// A solve fell back to the degraded (survivors-only) path.
     pub const SOLVE_DEGRADED: &str = "solve.degraded";
+    /// A factorization retried with a diagonal shift (one rung climbed on
+    /// the pivot-shift ladder).
+    pub const PIVOT_SHIFT: &str = "factor.pivot_shift";
+    /// A preconditioner build or solve fell back one rung on the
+    /// preconditioner ladder (Schur 2 → Schur 1 → Block 2 → Block 1 → Jacobi).
+    pub const PRECOND_FALLBACK: &str = "precond.fallback";
+    /// A Krylov solve terminated with a typed breakdown (zero
+    /// normalization, non-finite values, stagnation, divergence).
+    pub const SOLVE_BREAKDOWN: &str = "solve.breakdown";
+    /// An inner GMRES cycle was cut short by the stagnation guard.
+    pub const GMRES_STALL_CUT: &str = "gmres.stall_cut";
 }
 
 /// Direction of a communication event.
