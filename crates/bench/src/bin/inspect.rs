@@ -1,0 +1,63 @@
+//! `parapre-inspect` — merge per-rank trace JSONL into an imbalance and
+//! critical-path report.
+//!
+//! Feed it the files a traced run wrote (`--trace <dir>` on any table
+//! binary, or `SolverSession::solve_traced` + `RankTrace::to_jsonl`):
+//!
+//! ```text
+//! parapre-inspect traces/tc1_schur_1_p4_rank*.jsonl
+//! parapre-inspect --dir traces --top 3
+//! ```
+//!
+//! Prints the cross-rank phase table (identical to the live
+//! `TraceSummary::merge(...).table()` of the same run), the
+//! comm-vs-compute split, the per-rank load table, and the top-k slowest
+//! ranks with their dominant phases.
+
+use parapre_bench::inspect::{inspect_traces, jsonl_files_in, load_trace_files, report};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: parapre-inspect [--dir DIR] [--top K] [FILE.jsonl ...]
+  --dir DIR   read every *.jsonl in DIR (may be combined with FILEs)
+  --top K     slowest ranks to attribute in the critical path (default 3)";
+
+fn main() {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut top_k = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => {
+                let dir = args.next().unwrap_or_else(|| die("--dir needs a value"));
+                files.extend(
+                    jsonl_files_in(PathBuf::from(&dir).as_path()).unwrap_or_else(|e| die(&e)),
+                );
+            }
+            "--top" => {
+                let k = args.next().unwrap_or_else(|| die("--top needs a value"));
+                top_k = k
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--top needs an integer, got {k:?}")));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if other.starts_with("--") => {
+                die(&format!("unknown argument {other:?}\n{USAGE}"))
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        die(&format!("no trace files given\n{USAGE}"));
+    }
+    let traces = load_trace_files(&files).unwrap_or_else(|e| die(&e));
+    let insp = inspect_traces(&traces);
+    print!("{}", report(&insp, top_k));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("parapre-inspect: {msg}");
+    std::process::exit(1);
+}

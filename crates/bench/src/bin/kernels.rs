@@ -40,6 +40,7 @@ fn max_secs_sum_stats(out: Vec<(f64, CommStats)>) -> Timed {
             bytes_sent: acc.bytes_sent + c.bytes_sent,
             msgs_recv: acc.msgs_recv + c.msgs_recv,
             bytes_recv: acc.bytes_recv + c.bytes_recv,
+            wait_us: acc.wait_us + c.wait_us,
         });
     Timed { secs, comm }
 }

@@ -1,0 +1,215 @@
+//! Live-metrics benchmark: what the always-on observability layer costs.
+//!
+//! ```text
+//! cargo run --release -p parapre-bench --bin metrics -- \
+//!     [--quick] [--ranks 1,4,8] [--out BENCH_metrics.json]
+//! ```
+//!
+//! Two measurements:
+//!
+//! 1. **Exposition smoke** — one TC2 job through a [`SolveService`] with
+//!    metrics on, then a [`parapre_metrics::metrics_text`] scrape that
+//!    must contain every mandatory metric family (counters, latency
+//!    histograms, load gauges, and the fingerprint-keyed solve
+//!    histogram). Missing names fail the run.
+//! 2. **Clean-path overhead** — TC1–TC4 built and solved at each P with
+//!    the registry enabled versus [`parapre_metrics::set_enabled`]`(false)`,
+//!    min wall time over paired repetitions. The live layer must cost
+//!    ≤ 2% on clean solves; the binary exits 2 above the bar.
+
+use parapre_core::{build_case_sized, CaseId, PrecondKind};
+use parapre_engine::{parse_job_line, ServiceConfig, SessionConfig, SolveService, SolverSession};
+use parapre_metrics::names;
+use std::time::Instant;
+
+/// Metric families the scrape must expose after one service solve.
+const MANDATORY: [&str; 12] = [
+    names::JOBS_TOTAL,
+    names::SOLVES_TOTAL,
+    names::CACHE_MISSES_TOTAL,
+    names::QUEUE_WAIT_US,
+    names::BUILD_US,
+    names::SOLVE_US,
+    names::E2E_US,
+    names::SOLVE_ITERS,
+    names::LOAD_IMBALANCE,
+    names::LOAD_COMM_FRACTION,
+    names::LOAD_SLOWEST_RANK,
+    "parapre_solve_us{fp=",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut ranks = vec![1usize, 4, 8];
+    let mut out_path = "BENCH_metrics.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--ranks" => {
+                i += 1;
+                ranks = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("rank count"))
+                    .collect();
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    // 1. Exposition smoke: one traced+metered service job, then a scrape.
+    parapre_metrics::reset();
+    parapre_metrics::set_enabled(true);
+    let service = SolveService::start(ServiceConfig::default());
+    let job = parse_job_line(
+        r#"{"id":"smoke","case":"tc2","precond":"schur1","ranks":4}"#,
+        0,
+    )
+    .expect("smoke job parses");
+    let result = service.submit_solve(job).expect("smoke job submits").wait();
+    assert!(result.ok, "smoke job failed: {:?}", result.error);
+    assert!(result.converged, "smoke job did not converge");
+    assert!(
+        result.solve_ms > 0.0,
+        "smoke result is missing the solve_ms stamp"
+    );
+    service.shutdown();
+    let text = parapre_metrics::metrics_text();
+    let missing: Vec<&str> = MANDATORY
+        .iter()
+        .copied()
+        .filter(|name| !text.contains(name))
+        .collect();
+    let smoke_ok = missing.is_empty();
+    if smoke_ok {
+        eprintln!(
+            "smoke: all {} mandatory metric families exposed ({} scrape bytes)",
+            MANDATORY.len(),
+            text.len()
+        );
+    } else {
+        eprintln!("smoke FAIL: scrape is missing {missing:?}");
+    }
+
+    // 2. Clean-path overhead on TC1-TC4 at each P: registry on vs off,
+    // paired back-to-back samples so shared drift cancels; the minimum
+    // ratio is the bar's estimator (see robustness.rs for the rationale),
+    // the median is reported alongside.
+    let (reps, inner, extents) = if quick {
+        (5usize, 6usize, [64usize, 16, 4_000, 16])
+    } else {
+        (7, 2, [129, 25, 12_000, 25])
+    };
+    eprintln!(
+        "overhead: TC1-TC4 at P={ranks:?} (extents {extents:?}, {reps} reps x {inner}){}",
+        if quick { " (quick)" } else { "" }
+    );
+    let mut overhead_rows = Vec::new();
+    let mut max_overhead = f64::NEG_INFINITY;
+    for (ix, (case_id, key)) in [
+        (CaseId::Tc1, "tc1"),
+        (CaseId::Tc2, "tc2"),
+        (CaseId::Tc3, "tc3"),
+        (CaseId::Tc4, "tc4"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let case = build_case_sized(case_id, extents[ix]);
+        for &p in &ranks {
+            let cfg = SessionConfig::paper(PrecondKind::Block1, p);
+            // One untimed pass absorbs first-touch and allocator warmup
+            // and pins down the iteration count for the report.
+            let s = SolverSession::from_case(&case, &cfg).expect("clean build");
+            let warm = s.solve(&case.sys.b).expect("clean solve");
+            assert!(warm.converged, "{key} P={p}: clean case did not converge");
+            let sample = || {
+                let t0 = Instant::now();
+                for _ in 0..inner {
+                    let s = SolverSession::from_case(&case, &cfg).expect("clean build");
+                    let rep = s.solve(&case.sys.b).expect("clean solve");
+                    assert!(rep.converged);
+                }
+                t0.elapsed().as_secs_f64() / inner as f64
+            };
+            let mut off_secs = f64::INFINITY;
+            let mut on_secs = f64::INFINITY;
+            let mut ratios = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                parapre_metrics::set_enabled(false);
+                let off = sample();
+                parapre_metrics::set_enabled(true);
+                let on = sample();
+                off_secs = off_secs.min(off);
+                on_secs = on_secs.min(on);
+                ratios.push(on / off);
+            }
+            ratios.sort_by(f64::total_cmp);
+            let pct = (ratios[0] - 1.0) * 100.0;
+            let median_pct = (ratios[reps / 2] - 1.0) * 100.0;
+            max_overhead = max_overhead.max(pct);
+            eprintln!(
+                "overhead {key} P={p}: off {off_secs:.4}s, on {on_secs:.4}s => \
+                 {pct:+.2}% (median {median_pct:+.2}%)"
+            );
+            overhead_rows.push(format!(
+                "{{\"case\": \"{key}\", \"ranks\": {p}, \"off_secs\": {off_secs:.6}, \
+                 \"on_secs\": {on_secs:.6}, \"overhead_pct\": {pct:.4}, \
+                 \"median_overhead_pct\": {median_pct:.4}, \"iterations\": {}}}",
+                warm.iterations
+            ));
+        }
+    }
+    parapre_metrics::set_enabled(true);
+
+    let ranks_json: Vec<String> = ranks.iter().map(usize::to_string).collect();
+    let missing_json: Vec<String> = missing.iter().map(|m| format!("\"{m}\"")).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"config\": {{\"ranks\": [{rk}], \"quick\": {quick}, \"reps\": {reps}, ",
+            "\"inner\": {inner}, \"extents\": [{e0}, {e1}, {e2}, {e3}]}},\n",
+            "  \"smoke\": {{\"ok\": {smoke}, \"mandatory\": {nm}, ",
+            "\"missing\": [{missing}], \"scrape_bytes\": {sb}}},\n",
+            "  \"overhead\": [{rows}],\n",
+            "  \"max_overhead_pct\": {mo:.4}\n",
+            "}}\n"
+        ),
+        rk = ranks_json.join(", "),
+        quick = quick,
+        reps = reps,
+        inner = inner,
+        e0 = extents[0],
+        e1 = extents[1],
+        e2 = extents[2],
+        e3 = extents[3],
+        smoke = smoke_ok,
+        nm = MANDATORY.len(),
+        missing = missing_json.join(", "),
+        sb = text.len(),
+        rows = overhead_rows.join(", "),
+        mo = max_overhead,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+
+    let mut fail = false;
+    if !smoke_ok {
+        eprintln!("FAIL: mandatory metric families missing from the scrape");
+        fail = true;
+    }
+    if max_overhead > 2.0 {
+        eprintln!("FAIL: live-metrics overhead {max_overhead:.2}% above 2%");
+        fail = true;
+    }
+    if fail {
+        std::process::exit(2);
+    }
+    eprintln!("PASS: overhead {max_overhead:.2}% <= 2%, scrape complete");
+}

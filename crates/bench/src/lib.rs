@@ -25,6 +25,8 @@ use parapre_core::{
 use parapre_mpisim::MachineModel;
 use std::path::PathBuf;
 
+pub mod inspect;
+
 /// Parsed command-line options for a table binary.
 #[derive(Debug, Clone)]
 pub struct Cli {

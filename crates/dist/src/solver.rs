@@ -398,6 +398,17 @@ impl DistGmres {
                 }
                 if cfg.trace_iters {
                     parapre_trace::iteration(total_iters, res_est / r0_norm);
+                    // Outer solves stream structured convergence events
+                    // into the live ring (rank 0 speaks for the run).
+                    if comm.rank() == 0 {
+                        parapre_metrics::conv_push(
+                            "dist",
+                            total_iters as u64,
+                            res_est / r0_norm,
+                            parapre_metrics::ConvKind::Iter,
+                            "",
+                        );
+                    }
                 }
                 if res_est <= target || wnorm == 0.0 {
                     zero_norm = wnorm == 0.0;
@@ -459,6 +470,15 @@ impl DistGmres {
             }
             if beta <= target {
                 report.converged = true;
+                if cfg.trace_iters && comm.rank() == 0 {
+                    parapre_metrics::conv_push(
+                        "dist",
+                        total_iters as u64,
+                        report.final_relres,
+                        parapre_metrics::ConvKind::Converged,
+                        "",
+                    );
+                }
                 return report;
             }
             let breakdown_kind = if !beta.is_finite() || nonfinite {
@@ -481,6 +501,20 @@ impl DistGmres {
             };
             if let Some(kind) = breakdown_kind {
                 parapre_trace::counter(parapre_trace::counters::SOLVE_BREAKDOWN, 1);
+                if cfg.trace_iters && comm.rank() == 0 {
+                    let conv_kind = if kind == BreakdownKind::Stagnation {
+                        parapre_metrics::ConvKind::Stall
+                    } else {
+                        parapre_metrics::ConvKind::Breakdown
+                    };
+                    parapre_metrics::conv_push(
+                        "dist",
+                        total_iters as u64,
+                        report.final_relres,
+                        conv_kind,
+                        kind.key(),
+                    );
+                }
                 report.breakdown = Some(SolveBreakdown {
                     kind,
                     iteration: total_iters,

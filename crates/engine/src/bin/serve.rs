@@ -11,6 +11,17 @@
 //!   '{"id":"b","case":"tc1","precond":"schur1","ranks":4,"repeat":2}' \
 //!   | parapre-serve --pool 2
 //! ```
+//!
+//! Lines with a `"cmd"` key are control requests, answered in stream
+//! order after every in-flight job has drained:
+//!
+//! * `{"cmd":"stats"}` — one JSON line of live service statistics
+//!   (job/cache counters, latency quantiles, load gauges);
+//! * `{"cmd":"watch"}` — the convergence events that arrived since the
+//!   last `watch`, one JSON line each, terminated by a
+//!   `{"watch_end":<last_seq>}` line;
+//! * `{"cmd":"metrics"}` — the full Prometheus-style text exposition
+//!   ([`parapre_metrics::metrics_text`]), terminated by a `# EOF` line.
 
 use parapre_engine::{
     parse_job_line, JobResult, JobTicket, ServiceConfig, SolveService, SubmitError,
@@ -61,6 +72,7 @@ fn main() {
     let mut jobs = 0usize;
     let mut ok = 0usize;
     let mut all_converged = true;
+    let mut watch_seq = 0u64;
 
     let finish = |result: JobResult, ok: &mut usize, all_converged: &mut bool| {
         if result.ok {
@@ -74,6 +86,15 @@ fn main() {
         let line = line.unwrap_or_else(|e| die(&format!("reading jobs: {e}")));
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(cmd) = command_of(trimmed) {
+            // Drain in-flight jobs first so the answer reflects every job
+            // submitted before the command — stream order is the contract.
+            for ticket in pending.drain(..) {
+                finish(ticket.wait(), &mut ok, &mut all_converged);
+            }
+            serve_command(&cmd, &service, &mut watch_seq);
             continue;
         }
         jobs += 1;
@@ -136,6 +157,95 @@ fn main() {
         std::process::exit(0);
     }
     std::process::exit(2);
+}
+
+/// The `"cmd"` value of a control line, `None` for ordinary job lines
+/// (including unparsable ones — those flow to the job path's structured
+/// rejection).
+fn command_of(line: &str) -> Option<String> {
+    use parapre_trace::flatjson::{parse_flat_object, JsonValue};
+    let fields = parse_flat_object(line).ok()?;
+    fields
+        .get("cmd")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+}
+
+/// Answers one control request on stdout.
+fn serve_command(cmd: &str, service: &SolveService, watch_seq: &mut u64) {
+    let stdout = std::io::stdout();
+    match cmd {
+        "stats" => {
+            writeln!(stdout.lock(), "{}", stats_line(service)).expect("stdout");
+        }
+        "watch" => {
+            let events = parapre_metrics::conv_since(*watch_seq);
+            let mut out = stdout.lock();
+            for ev in &events {
+                writeln!(out, "{}", ev.to_json()).expect("stdout");
+                *watch_seq = ev.seq;
+            }
+            writeln!(out, "{{\"watch_end\":{}}}", *watch_seq).expect("stdout");
+        }
+        "metrics" => {
+            let mut out = stdout.lock();
+            write!(out, "{}", parapre_metrics::metrics_text()).expect("stdout");
+            writeln!(out, "# EOF").expect("stdout");
+        }
+        other => {
+            writeln!(
+                stdout.lock(),
+                "{{\"ok\":false,\"error\":\"unknown cmd {}\",\"error_kind\":\"rejected\"}}",
+                parapre_trace::flatjson::escape(other)
+            )
+            .expect("stdout");
+        }
+    }
+}
+
+/// One flat JSON line of live statistics: job/cache counters plus the
+/// latency-quantile and load-gauge headline numbers.
+fn stats_line(service: &SolveService) -> String {
+    use parapre_metrics::names;
+    let snap = parapre_metrics::snapshot();
+    let cache = service.cache_stats();
+    let ms =
+        |name: &str, q: f64| -> f64 { snap.hist(name).map_or(0.0, |h| h.quantile(q) as f64 / 1e3) };
+    let gauge = |name: &str| -> f64 {
+        let v = snap.gauge(name);
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    };
+    format!(
+        "{{\"stats\":true,\"jobs\":{},\"jobs_failed\":{},\"solves\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+         \"queue_p50_ms\":{:.3},\"queue_p99_ms\":{:.3},\
+         \"build_p50_ms\":{:.3},\"build_p99_ms\":{:.3},\
+         \"solve_p50_ms\":{:.3},\"solve_p99_ms\":{:.3},\
+         \"e2e_p50_ms\":{:.3},\"e2e_p99_ms\":{:.3},\
+         \"load_imbalance\":{:.4},\"load_comm_fraction\":{:.4},\
+         \"conv_events\":{}}}",
+        snap.counter(names::JOBS_TOTAL),
+        snap.counter(names::JOBS_FAILED_TOTAL),
+        snap.counter(names::SOLVES_TOTAL),
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        ms(names::QUEUE_WAIT_US, 0.5),
+        ms(names::QUEUE_WAIT_US, 0.99),
+        ms(names::BUILD_US, 0.5),
+        ms(names::BUILD_US, 0.99),
+        ms(names::SOLVE_US, 0.5),
+        ms(names::SOLVE_US, 0.99),
+        ms(names::E2E_US, 0.5),
+        ms(names::E2E_US, 0.99),
+        gauge(names::LOAD_IMBALANCE),
+        gauge(names::LOAD_COMM_FRACTION),
+        parapre_metrics::global().ring().total(),
+    )
 }
 
 /// A structured result record for a job the service refused to run.

@@ -113,6 +113,7 @@ impl SessionCache {
                     entry.last_used = tick;
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     parapre_trace::counter("engine.cache.hit", 1);
+                    parapre_metrics::inc(parapre_metrics::names::CACHE_HITS_TOTAL, 1);
                     return Ok((Arc::clone(&entry.session), true));
                 }
                 if inner.building.contains(&key) {
@@ -122,6 +123,7 @@ impl SessionCache {
                 inner.building.push(key.clone());
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 parapre_trace::counter("engine.cache.miss", 1);
+                parapre_metrics::inc(parapre_metrics::names::CACHE_MISSES_TOTAL, 1);
                 break;
             }
         }
@@ -150,6 +152,7 @@ impl SessionCache {
                     inner.map.remove(&lru);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                     parapre_trace::counter("engine.cache.evict", 1);
+                    parapre_metrics::inc(parapre_metrics::names::CACHE_EVICTIONS_TOTAL, 1);
                 }
                 Ok((session, false))
             }

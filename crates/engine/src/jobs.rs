@@ -110,6 +110,15 @@ pub struct JobResult {
     pub setup_seconds: f64,
     /// Total solve wall time across repeats.
     pub solve_seconds: f64,
+    /// Milliseconds the job waited in the service queue before a worker
+    /// picked it up (0 when run outside a service).
+    pub queue_ms: f64,
+    /// Milliseconds of session build attributed to this job — the
+    /// millisecond view of `setup_seconds` (0 on cache hits).
+    pub build_ms: f64,
+    /// Milliseconds of solve wall time across repeats — the millisecond
+    /// view of `solve_seconds`.
+    pub solve_ms: f64,
     /// Global problem size.
     pub n_unknowns: usize,
     /// Failed attempts absorbed by retries, summed over repeats.
@@ -146,6 +155,9 @@ impl JobResult {
             cache_hit: false,
             setup_seconds: 0.0,
             solve_seconds: 0.0,
+            queue_ms: 0.0,
+            build_ms: 0.0,
+            solve_ms: 0.0,
             n_unknowns: 0,
             retries: 0,
             degraded: false,
@@ -163,7 +175,8 @@ impl JobResult {
         let mut out = format!(
             "{{\"id\":\"{}\",\"ok\":{},\"converged\":{},\"iterations\":[{}],\
              \"final_relres\":{},\"true_relres\":{},\"cache_hit\":{},\
-             \"setup_seconds\":{},\"solve_seconds\":{},\"n\":{}",
+             \"setup_seconds\":{},\"solve_seconds\":{},\
+             \"queue_ms\":{},\"build_ms\":{},\"solve_ms\":{},\"n\":{}",
             flatjson::escape(&self.id),
             self.ok,
             self.converged,
@@ -173,6 +186,9 @@ impl JobResult {
             self.cache_hit,
             flatjson::json_f64(self.setup_seconds),
             flatjson::json_f64(self.solve_seconds),
+            flatjson::json_f64(self.queue_ms),
+            flatjson::json_f64(self.build_ms),
+            flatjson::json_f64(self.solve_ms),
             self.n_unknowns,
         );
         if self.retries > 0 {

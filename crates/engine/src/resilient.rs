@@ -236,6 +236,9 @@ pub fn solve_resilient(
                     true_relres: deg.full_relres,
                     solve_seconds: t0.elapsed().as_secs_f64(),
                     breakdown: None,
+                    // Degraded solves run on survivor ranks outside the
+                    // session's universe; no per-rank attribution here.
+                    load: parapre_metrics::LoadReport::default(),
                 };
                 return Ok((rep, outcome));
             }

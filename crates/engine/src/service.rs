@@ -139,7 +139,9 @@ impl JobTicket {
 }
 
 struct State {
-    queue: VecDeque<(Job, Sender<JobResult>)>,
+    /// Queued jobs with their result channel and enqueue instant (the
+    /// latter feeds the queue-wait histogram and `queue_ms`).
+    queue: VecDeque<(Job, Sender<JobResult>, Instant)>,
     shutdown: bool,
 }
 
@@ -246,7 +248,7 @@ impl SolveService {
                     capacity: self.shared.cfg.queue_capacity,
                 });
             }
-            st.queue.push_back((job, tx));
+            st.queue.push_back((job, tx, Instant::now()));
         }
         self.shared.available.notify_one();
         Ok(JobTicket { id, rx })
@@ -310,18 +312,31 @@ fn worker_loop(shared: &Shared) {
                 st = shared.available.wait(st).expect("service lock");
             }
         };
-        let Some((job, tx)) = item else {
+        let Some((job, tx, enqueued)) = item else {
             return;
         };
+        let queued = enqueued.elapsed();
+        parapre_metrics::observe_duration(parapre_metrics::names::QUEUE_WAIT_US, queued);
         let id = job.id().to_string();
         let now_active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
         shared.peak_active.fetch_max(now_active, Ordering::SeqCst);
-        let result =
+        let run_t0 = Instant::now();
+        let mut result =
             catch_unwind(AssertUnwindSafe(|| run_job(shared, job))).unwrap_or_else(|payload| {
                 let mut r = JobResult::failed(id, panic_message(payload));
                 r.error_kind = Some("panic".into());
                 r
             });
+        result.queue_ms = queued.as_secs_f64() * 1e3;
+        parapre_metrics::inc(parapre_metrics::names::JOBS_TOTAL, 1);
+        if !result.ok {
+            parapre_metrics::inc(parapre_metrics::names::JOBS_FAILED_TOTAL, 1);
+        }
+        // End-to-end = queue wait + processing: the latency a caller sees.
+        parapre_metrics::observe_duration(
+            parapre_metrics::names::E2E_US,
+            queued + run_t0.elapsed(),
+        );
         shared.active.fetch_sub(1, Ordering::SeqCst);
         // A dropped ticket just means nobody is waiting for this result.
         let _ = tx.send(result);
@@ -374,7 +389,9 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
     let setup_seconds = if cache_hit {
         0.0
     } else {
-        t0.elapsed().as_secs_f64()
+        let s = t0.elapsed().as_secs_f64();
+        parapre_metrics::observe_us(parapre_metrics::names::BUILD_US, (s * 1e6) as u64);
+        s
     };
     // One plan per job: a `once` kill fires on the first repeat's first
     // attempt and every later attempt/repeat runs clean, modelling a
@@ -448,6 +465,9 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
         cache_hit,
         setup_seconds,
         solve_seconds,
+        queue_ms: 0.0, // stamped by the worker loop
+        build_ms: setup_seconds * 1e3,
+        solve_ms: solve_seconds * 1e3,
         n_unknowns: session.n_unknowns(),
         retries,
         degraded,

@@ -139,6 +139,10 @@ pub struct SessionSolveReport {
     /// Typed breakdown when the solver stopped for a numerical reason
     /// (`None` on clean convergence or a plain iteration-budget exit).
     pub breakdown: Option<parapre_dist::SolveBreakdown>,
+    /// Per-rank busy/comm-wait attribution of this solve. Comm-wait
+    /// seconds are only populated while the live metrics layer is
+    /// enabled; busy seconds and traffic counts are always measured.
+    pub load: parapre_metrics::LoadReport,
 }
 
 impl SolverSession {
@@ -295,6 +299,8 @@ impl SolverSession {
             bnorm: f64,
             x_global: Option<Vec<f64>>,
             trace: Option<parapre_trace::RankTrace>,
+            busy_s: f64,
+            comm: parapre_mpisim::CommStats,
         }
         let p = self.cfg.n_ranks;
         let t0 = Instant::now();
@@ -302,6 +308,7 @@ impl SolverSession {
             if trace {
                 parapre_trace::install(comm.rank());
             }
+            let rank_t0 = Instant::now();
             let st = &self.ranks[comm.rank()];
             let n_owned = st.dm.layout.n_owned();
             let b_loc = scatter_vector(&st.dm.layout, b);
@@ -333,6 +340,8 @@ impl SolverSession {
                 bnorm,
                 x_global,
                 trace: if trace { parapre_trace::take() } else { None },
+                busy_s: rank_t0.elapsed().as_secs_f64(),
+                comm: comm.stats(),
             }
         });
         let solve_seconds = t0.elapsed().as_secs_f64();
@@ -355,6 +364,22 @@ impl SolverSession {
         } else {
             root.rnorm
         };
+        let load = parapre_metrics::LoadReport::new(
+            ranks
+                .iter()
+                .enumerate()
+                .map(|(r, o)| parapre_metrics::RankLoad {
+                    rank: r,
+                    busy_s: o.busy_s,
+                    comm_wait_s: o.comm.wait_us as f64 * 1e-6,
+                    msgs_sent: o.comm.msgs_sent,
+                    bytes_sent: o.comm.bytes_sent,
+                    msgs_recv: o.comm.msgs_recv,
+                    bytes_recv: o.comm.bytes_recv,
+                })
+                .collect(),
+        );
+        self.record_solve_metrics(solve_seconds, ranks[0].iterations, &load);
         let report = SessionSolveReport {
             x: ranks[0].x_global.take().expect("rank 0 gathers"),
             iterations: ranks[0].iterations,
@@ -363,8 +388,37 @@ impl SolverSession {
             true_relres,
             solve_seconds,
             breakdown: ranks[0].breakdown,
+            load,
         };
         Ok((report, traces))
+    }
+
+    /// Folds one finished solve into the live registry: latency
+    /// histograms (global and keyed by fingerprint + active rung),
+    /// the iteration histogram, and the load-imbalance gauges.
+    fn record_solve_metrics(
+        &self,
+        solve_seconds: f64,
+        iterations: usize,
+        load: &parapre_metrics::LoadReport,
+    ) {
+        use parapre_metrics::names;
+        if !parapre_metrics::enabled() {
+            return;
+        }
+        let us = (solve_seconds * 1e6) as u64;
+        parapre_metrics::inc(names::SOLVES_TOTAL, 1);
+        parapre_metrics::observe_us(names::SOLVE_US, us);
+        parapre_metrics::observe_us(
+            &names::keyed_solve(self.fingerprint, self.active_precond().key()),
+            us,
+        );
+        parapre_metrics::observe_us(names::SOLVE_ITERS, iterations as u64);
+        parapre_metrics::gauge_set(names::LOAD_IMBALANCE, load.imbalance());
+        parapre_metrics::gauge_set(names::LOAD_COMM_FRACTION, load.comm_fraction());
+        if let Some(r) = load.slowest_rank() {
+            parapre_metrics::gauge_set(names::LOAD_SLOWEST_RANK, r as f64);
+        }
     }
 
     /// The configuration this session was frozen with.

@@ -138,8 +138,17 @@ fn run_gmres<A: LinOp, M: Preconditioner>(
     let report = run_gmres_core(a, m, b, x, cfg, flexible);
     // Sequential (F)GMRES runs inside preconditioner applications in the
     // distributed stack; surface its effort as a counter rather than
-    // polluting the outer convergence stream.
+    // polluting the outer convergence stream. Terminal stalls and
+    // breakdowns *are* streamed — they are rare and diagnostic.
     parapre_trace::counter("gmres.iters", report.iterations as u64);
+    if let Some(bd) = &report.breakdown {
+        let kind = if bd.kind == BreakdownKind::Stagnation {
+            parapre_metrics::ConvKind::Stall
+        } else {
+            parapre_metrics::ConvKind::Breakdown
+        };
+        parapre_metrics::conv_push("gmres", bd.iteration as u64, bd.relres, kind, bd.kind.key());
+    }
     report
 }
 

@@ -1,0 +1,111 @@
+//! Property tests for the histogram: merging per-shard snapshots must be
+//! associative, and merged quantiles must land within one log bucket of
+//! the exact sorted-sample quantiles.
+
+use parapre_metrics::{AtomicHistogram, HistogramSnapshot, LoadReport, RankLoad};
+use proptest::prelude::*;
+
+/// Records `vals` split round-robin into `shards` histograms and returns
+/// the per-shard snapshots.
+fn sharded(vals: &[u64], shards: usize) -> Vec<HistogramSnapshot> {
+    let hs: Vec<AtomicHistogram> = (0..shards).map(|_| AtomicHistogram::new()).collect();
+    for (i, &v) in vals.iter().enumerate() {
+        hs[i % shards].record(v);
+    }
+    hs.iter().map(|h| h.snapshot()).collect()
+}
+
+fn merge_all(snaps: &[HistogramSnapshot]) -> HistogramSnapshot {
+    let mut out = HistogramSnapshot::default();
+    for s in snaps {
+        out.merge(s);
+    }
+    out
+}
+
+/// Exact quantile of a sorted sample, matching the histogram's
+/// ceil-rank definition.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// `b` within one log bucket of `a`: the coarse resolution is 12.5%
+/// (one sub-bucket per octave eighth), so adjacent-bucket agreement
+/// means ≤25% relative error plus the exact range slack.
+fn within_one_bucket(a: u64, b: u64) -> bool {
+    let (lo, hi) = (a.min(b), a.max(b));
+    // Same or adjacent bucket ⟺ hi is below the upper edge of the
+    // bucket after lo's. A conservative closed form: hi ≤ lo·1.25 + 2.
+    (hi as f64) <= (lo as f64) * 1.25 + 2.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merge_is_associative_and_order_independent(
+        vals in proptest::collection::vec(0u64..2_000_000, 1..200),
+        shards in 1usize..6,
+    ) {
+        let snaps = sharded(&vals, shards);
+        // Left fold vs right-grouped fold vs reversed order.
+        let left = merge_all(&snaps);
+        let mut right = HistogramSnapshot::default();
+        for s in snaps.iter().rev() {
+            let mut pair = s.clone();
+            pair.merge(&right);
+            right = pair;
+        }
+        prop_assert_eq!(&left, &right);
+        // Merged totals equal the unsharded recording.
+        let whole = sharded(&vals, 1).remove(0);
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(left.count, vals.len() as u64);
+        prop_assert_eq!(left.sum, vals.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merged_quantiles_match_exact_within_one_bucket(
+        vals in proptest::collection::vec(0u64..10_000_000, 1..300),
+        shards in 1usize..5,
+    ) {
+        let merged = merge_all(&sharded(&vals, shards));
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let est = merged.quantile(q);
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                within_one_bucket(est, exact),
+                "q={} est={} exact={}", q, est, exact
+            );
+        }
+        prop_assert_eq!(merged.quantile(1.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn load_report_flags_the_skewed_rank(
+        p in 2usize..9,
+        slow in 0usize..8,
+        skew in 2.0f64..20.0,
+    ) {
+        // A deliberately skewed partition: one rank does `skew`× the work.
+        let slow = slow % p;
+        let ranks: Vec<RankLoad> = (0..p)
+            .map(|r| RankLoad {
+                rank: r,
+                busy_s: if r == slow { skew } else { 1.0 },
+                comm_wait_s: 0.25,
+                ..Default::default()
+            })
+            .collect();
+        let report = LoadReport::new(ranks);
+        prop_assert_eq!(report.slowest_rank(), Some(slow));
+        prop_assert_eq!(report.slowest(1)[0].rank, slow);
+        let mean = (skew + (p - 1) as f64) / p as f64;
+        prop_assert!((report.imbalance() - skew / mean).abs() < 1e-9);
+        prop_assert!(report.imbalance() > 1.0);
+        prop_assert!(report.comm_fraction() > 0.0 && report.comm_fraction() < 1.0);
+    }
+}

@@ -265,6 +265,11 @@ pub struct CommStats {
     pub msgs_recv: u64,
     /// Payload bytes received.
     pub bytes_recv: u64,
+    /// Microseconds spent blocked inside receive waits. Only accumulated
+    /// while the live metrics layer is enabled
+    /// ([`parapre_metrics::enabled`]); the `LoadReport` imbalance
+    /// attribution consumes it as per-rank comm-wait seconds.
+    pub wait_us: u64,
 }
 
 impl CommStats {
@@ -282,6 +287,7 @@ impl CommStats {
             bytes_sent: after.bytes_sent.saturating_sub(before.bytes_sent),
             msgs_recv: after.msgs_recv.saturating_sub(before.msgs_recv),
             bytes_recv: after.bytes_recv.saturating_sub(before.bytes_recv),
+            wait_us: after.wait_us.saturating_sub(before.wait_us),
         }
     }
 }
@@ -681,11 +687,26 @@ impl Comm {
     /// summary) instead of panicking.
     pub fn recv_checked(&mut self, from: usize, tag: u64) -> Result<Payload, CommError> {
         assert!(from < self.size);
-        // Check the parked messages first.
+        // Check the parked messages first — a parked hit is not a wait.
         if let Some(env) = self.take_parked(from, tag) {
             self.note_recv(from, tag, env.payload.n_bytes());
             return Ok(env.payload);
         }
+        // Time only the blocking portion, and only while the metrics
+        // layer is on: one `Instant` pair per blocked receive.
+        let t0 = parapre_metrics::enabled().then(std::time::Instant::now);
+        let out = self.recv_blocking(from, tag);
+        if let Some(t0) = t0 {
+            let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            self.stats.wait_us += us;
+            self.peer_stats[from].wait_us += us;
+        }
+        out
+    }
+
+    /// The blocking tail of [`Comm::recv_checked`]: waits on the channel
+    /// from `from` until the wanted tag arrives or the tripwire fires.
+    fn recv_blocking(&mut self, from: usize, tag: u64) -> Result<Payload, CommError> {
         loop {
             let env = match self.from[from].recv_timeout(self.recv_timeout) {
                 Ok(env) => env,

@@ -500,7 +500,7 @@ impl RankTrace {
     pub fn summary(&self) -> TraceSummary {
         let mut phases: BTreeMap<String, PhaseStat> = BTreeMap::new();
         let mut counters: BTreeMap<String, u64> = BTreeMap::new();
-        let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, GaugeStat> = BTreeMap::new();
         let mut comm = CommTotals::default();
         let mut iterations = 0u64;
         let mut final_relres = f64::NAN;
@@ -527,7 +527,12 @@ impl RankTrace {
                     *counters.entry(name.clone()).or_insert(0) += delta;
                 }
                 EventKind::Gauge { name, value } => {
-                    gauges.insert(name.clone(), *value);
+                    let g = gauges.entry(name.clone()).or_insert(GaugeStat {
+                        last: *value,
+                        max: *value,
+                    });
+                    g.last = *value;
+                    g.max = g.max.max(*value);
                 }
                 EventKind::Iter { iter, relres } => {
                     iterations = iterations.max(*iter);
@@ -633,6 +638,15 @@ pub struct PeerTotals {
     pub bytes_recv: u64,
 }
 
+/// Last and largest recorded values of one gauge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeStat {
+    /// Most recent recorded value (in a merge: the last rank's value).
+    pub last: f64,
+    /// Largest recorded value (NaN records are ignored).
+    pub max: f64,
+}
+
 /// The folded per-rank summary of a trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSummary {
@@ -642,8 +656,8 @@ pub struct TraceSummary {
     pub phases: BTreeMap<String, PhaseStat>,
     /// Counter totals.
     pub counters: BTreeMap<String, u64>,
-    /// Last value of each gauge.
-    pub gauges: BTreeMap<String, f64>,
+    /// Last + max value of each gauge.
+    pub gauges: BTreeMap<String, GaugeStat>,
     /// Communication totals.
     pub comm: CommTotals,
     /// Highest outer iteration seen in the convergence stream.
@@ -667,7 +681,14 @@ impl TraceSummary {
 
     /// Merges per-rank summaries into a run-level view: phase times take
     /// the **max** across ranks (the pace-setting rank), calls, counters
-    /// and communication totals are **summed**, gauges keep the max.
+    /// and communication totals are **summed**; gauges keep the max of
+    /// the per-rank maxima while `last` takes the final rank's value.
+    ///
+    /// Edge cases are well-defined: an empty slice yields the zero
+    /// summary (no phases/counters/gauges, zero comm, `final_relres`
+    /// NaN), and ranks with disjoint phase sets contribute every phase —
+    /// a phase missing on some ranks is merged as if those ranks spent
+    /// zero time in it.
     pub fn merge(per_rank: &[TraceSummary]) -> TraceSummary {
         let mut out = TraceSummary {
             rank: usize::MAX,
@@ -689,8 +710,9 @@ impl TraceSummary {
                 *out.counters.entry(name.clone()).or_insert(0) += v;
             }
             for (name, v) in &s.gauges {
-                let g = out.gauges.entry(name.clone()).or_insert(f64::NEG_INFINITY);
-                *g = g.max(*v);
+                let g = out.gauges.entry(name.clone()).or_insert(*v);
+                g.max = g.max.max(v.max);
+                g.last = v.last;
             }
             out.comm.msgs_sent += s.comm.msgs_sent;
             out.comm.bytes_sent += s.comm.bytes_sent;
@@ -739,6 +761,12 @@ impl TraceSummary {
             let _ = writeln!(out, "{:<26} {:>20}", "counter", "total");
             for (name, v) in &self.counters {
                 let _ = writeln!(out, "{:<26} {:>20}", name, v);
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "{:<26} {:>12} {:>12}", "gauge", "last", "max");
+            for (name, g) in &self.gauges {
+                let _ = writeln!(out, "{:<26} {:>12.3} {:>12.3}", name, g.last, g.max);
             }
         }
         let c = &self.comm;

@@ -150,9 +150,26 @@ fn counters_and_gauges_aggregate() {
     );
     let s = tr.summary();
     assert_eq!(s.counters["gmres.iters"], 12);
-    assert_eq!(s.gauges["arms.levels"], 2.0); // last write wins
+    assert_eq!(s.gauges["arms.levels"].last, 2.0); // last write wins
+    assert_eq!(s.gauges["arms.levels"].max, 2.0);
     assert_eq!(s.iterations, 2);
     assert_eq!(s.final_relres, 0.25);
+}
+
+#[test]
+fn gauges_track_last_and_max_and_show_in_table() {
+    let gauge = |v: f64| EventKind::Gauge {
+        name: "queue.depth".into(),
+        value: v,
+    };
+    let tr = trace_of(0, vec![(1, gauge(3.0)), (2, gauge(9.0)), (3, gauge(4.0))]);
+    let s = tr.summary();
+    assert_eq!(s.gauges["queue.depth"].last, 4.0);
+    assert_eq!(s.gauges["queue.depth"].max, 9.0);
+    let table = s.table();
+    assert!(table.contains("gauge"), "table lists gauges:\n{table}");
+    assert!(table.contains("queue.depth"));
+    assert!(table.contains("9.000"), "max column rendered:\n{table}");
 }
 
 #[test]
@@ -348,4 +365,67 @@ fn merge_takes_max_times_and_sums_counts() {
     assert_eq!(m.counters["c"], 3); // summed
     assert_eq!(m.comm.bytes_sent, 40); // summed
     assert!(m.table().contains("solve"));
+}
+
+#[test]
+fn merge_of_empty_slice_is_the_zero_summary() {
+    let m = TraceSummary::merge(&[]);
+    assert_eq!(m.rank, usize::MAX);
+    assert!(m.phases.is_empty());
+    assert!(m.counters.is_empty());
+    assert!(m.gauges.is_empty());
+    assert_eq!(m.comm.msgs_sent + m.comm.msgs_recv, 0);
+    assert_eq!(m.iterations, 0);
+    assert!(m.final_relres.is_nan());
+    // The zero summary still renders.
+    assert!(m.table().contains("phase summary"));
+}
+
+#[test]
+fn merge_preserves_disjoint_phase_sets_and_gauges() {
+    let a = trace_of(
+        0,
+        vec![
+            (0, enter(phase::SETUP)),
+            (40, exit(phase::SETUP)),
+            (
+                41,
+                EventKind::Gauge {
+                    name: "arms.levels".into(),
+                    value: 3.0,
+                },
+            ),
+        ],
+    )
+    .summary();
+    let b = trace_of(
+        1,
+        vec![
+            (0, enter(phase::SOLVE)),
+            (90, exit(phase::SOLVE)),
+            (
+                91,
+                EventKind::Gauge {
+                    name: "arms.levels".into(),
+                    value: 2.0,
+                },
+            ),
+            (
+                92,
+                EventKind::Gauge {
+                    name: "only.b".into(),
+                    value: 7.0,
+                },
+            ),
+        ],
+    )
+    .summary();
+    let m = TraceSummary::merge(&[a, b]);
+    // Neither phase is dropped even though no rank has both.
+    assert_eq!(m.phase(phase::SETUP).unwrap().incl_us, 40);
+    assert_eq!(m.phase(phase::SOLVE).unwrap().incl_us, 90);
+    // Gauges: max of per-rank maxima, last from the final rank.
+    assert_eq!(m.gauges["arms.levels"].max, 3.0);
+    assert_eq!(m.gauges["arms.levels"].last, 2.0);
+    assert_eq!(m.gauges["only.b"].max, 7.0);
 }

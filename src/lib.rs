@@ -16,6 +16,8 @@
 //! * [`mpisim`] — the SPMD message-passing runtime (MPI stand-in) with
 //!   α–β machine models;
 //! * [`krylov`] — sequential GMRES/FGMRES/CG, ILU(0), ILUT, ARMS;
+//! * [`metrics`] — live metrics: counters, latency histograms,
+//!   convergence-event ring, per-rank load-imbalance reports;
 //! * [`dist`] — distributed sparse systems and distributed (F)GMRES;
 //! * [`core`] — the paper's preconditioners, test cases and experiment
 //!   runner.
@@ -39,6 +41,7 @@ pub use parapre_dist as dist;
 pub use parapre_fem as fem;
 pub use parapre_grid as grid;
 pub use parapre_krylov as krylov;
+pub use parapre_metrics as metrics;
 pub use parapre_mpisim as mpisim;
 pub use parapre_partition as partition;
 pub use parapre_sparse as sparse;
