@@ -66,7 +66,7 @@ fn main() {
     // 1. Exposition smoke: one traced+metered service job, then a scrape.
     parapre_metrics::reset();
     parapre_metrics::set_enabled(true);
-    let service = SolveService::start(ServiceConfig::default());
+    let service = SolveService::start(ServiceConfig::default()).expect("valid config");
     let job = parse_job_line(
         r#"{"id":"smoke","case":"tc2","precond":"schur1","ranks":4}"#,
         0,

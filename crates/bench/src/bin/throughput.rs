@@ -93,6 +93,8 @@ fn main() {
                     },
                     rhs: RhsSpec::Natural,
                     repeat: 1,
+                    batch: 1,
+                    auto_precond: false,
                     session,
                     recovery: parapre_engine::RecoveryPolicy::none(),
                     fault: None,
@@ -135,7 +137,8 @@ fn main() {
         pool_size: pool,
         queue_capacity: jobs.len(),
         cache_capacity: preconds.len(),
-    });
+    })
+    .expect("valid config");
     let t0 = Instant::now();
     let tickets: Vec<_> = jobs
         .iter()

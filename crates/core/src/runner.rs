@@ -23,7 +23,7 @@ use parapre_partition::{
 use std::time::Instant;
 
 /// The four preconditioners of the study (paper §4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrecondKind {
     /// Simple block preconditioner, ILU(0) subdomain sweep.
     Block1,

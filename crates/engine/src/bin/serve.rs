@@ -65,7 +65,7 @@ fn main() {
         None => Box::new(BufReader::new(std::io::stdin())),
     };
 
-    let service = SolveService::start(cfg);
+    let service = SolveService::start(cfg).unwrap_or_else(|e| die(&format!("{e}\n{USAGE}")));
     let stdout = std::io::stdout();
     let t0 = Instant::now();
     let mut pending: VecDeque<JobTicket> = VecDeque::new();
@@ -79,7 +79,11 @@ fn main() {
             *ok += 1;
         }
         *all_converged &= result.ok && result.converged;
-        writeln!(stdout.lock(), "{}", result.to_json()).expect("stdout");
+        // Flush every line: piped consumers must see whole records as
+        // they finish, not whenever the block buffer happens to fill.
+        let mut out = stdout.lock();
+        writeln!(out, "{}", result.to_json()).expect("stdout");
+        out.flush().expect("stdout");
     };
 
     for (seq, line) in reader.lines().enumerate() {
@@ -176,7 +180,9 @@ fn serve_command(cmd: &str, service: &SolveService, watch_seq: &mut u64) {
     let stdout = std::io::stdout();
     match cmd {
         "stats" => {
-            writeln!(stdout.lock(), "{}", stats_line(service)).expect("stdout");
+            let mut out = stdout.lock();
+            writeln!(out, "{}", service.stats_json()).expect("stdout");
+            out.flush().expect("stdout");
         }
         "watch" => {
             let events = parapre_metrics::conv_since(*watch_seq);
@@ -186,66 +192,25 @@ fn serve_command(cmd: &str, service: &SolveService, watch_seq: &mut u64) {
                 *watch_seq = ev.seq;
             }
             writeln!(out, "{{\"watch_end\":{}}}", *watch_seq).expect("stdout");
+            out.flush().expect("stdout");
         }
         "metrics" => {
             let mut out = stdout.lock();
             write!(out, "{}", parapre_metrics::metrics_text()).expect("stdout");
             writeln!(out, "# EOF").expect("stdout");
+            out.flush().expect("stdout");
         }
         other => {
+            let mut out = stdout.lock();
             writeln!(
-                stdout.lock(),
+                out,
                 "{{\"ok\":false,\"error\":\"unknown cmd {}\",\"error_kind\":\"rejected\"}}",
                 parapre_trace::flatjson::escape(other)
             )
             .expect("stdout");
+            out.flush().expect("stdout");
         }
     }
-}
-
-/// One flat JSON line of live statistics: job/cache counters plus the
-/// latency-quantile and load-gauge headline numbers.
-fn stats_line(service: &SolveService) -> String {
-    use parapre_metrics::names;
-    let snap = parapre_metrics::snapshot();
-    let cache = service.cache_stats();
-    let ms =
-        |name: &str, q: f64| -> f64 { snap.hist(name).map_or(0.0, |h| h.quantile(q) as f64 / 1e3) };
-    let gauge = |name: &str| -> f64 {
-        let v = snap.gauge(name);
-        if v.is_finite() {
-            v
-        } else {
-            0.0
-        }
-    };
-    format!(
-        "{{\"stats\":true,\"jobs\":{},\"jobs_failed\":{},\"solves\":{},\
-         \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
-         \"queue_p50_ms\":{:.3},\"queue_p99_ms\":{:.3},\
-         \"build_p50_ms\":{:.3},\"build_p99_ms\":{:.3},\
-         \"solve_p50_ms\":{:.3},\"solve_p99_ms\":{:.3},\
-         \"e2e_p50_ms\":{:.3},\"e2e_p99_ms\":{:.3},\
-         \"load_imbalance\":{:.4},\"load_comm_fraction\":{:.4},\
-         \"conv_events\":{}}}",
-        snap.counter(names::JOBS_TOTAL),
-        snap.counter(names::JOBS_FAILED_TOTAL),
-        snap.counter(names::SOLVES_TOTAL),
-        cache.hits,
-        cache.misses,
-        cache.evictions,
-        ms(names::QUEUE_WAIT_US, 0.5),
-        ms(names::QUEUE_WAIT_US, 0.99),
-        ms(names::BUILD_US, 0.5),
-        ms(names::BUILD_US, 0.99),
-        ms(names::SOLVE_US, 0.5),
-        ms(names::SOLVE_US, 0.99),
-        ms(names::E2E_US, 0.5),
-        ms(names::E2E_US, 0.99),
-        gauge(names::LOAD_IMBALANCE),
-        gauge(names::LOAD_COMM_FRACTION),
-        parapre_metrics::global().ring().total(),
-    )
 }
 
 /// A structured result record for a job the service refused to run.

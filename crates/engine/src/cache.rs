@@ -44,6 +44,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Sessions evicted by the LRU policy.
     pub evictions: u64,
+    /// Times a caller blocked behind another thread's in-flight build of
+    /// the same key (single-flight waits; each is one factorization saved).
+    pub waits: u64,
     /// Sessions currently resident.
     pub len: usize,
     /// Maximum resident sessions.
@@ -71,6 +74,7 @@ pub struct SessionCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    waits: AtomicU64,
 }
 
 impl SessionCache {
@@ -87,6 +91,7 @@ impl SessionCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
         }
     }
 
@@ -105,6 +110,7 @@ impl SessionCache {
     {
         {
             let mut inner = self.inner.lock().expect("cache lock");
+            let mut waited = false;
             loop {
                 if inner.map.contains_key(&key) {
                     inner.tick += 1;
@@ -117,6 +123,13 @@ impl SessionCache {
                     return Ok((Arc::clone(&entry.session), true));
                 }
                 if inner.building.contains(&key) {
+                    if !waited {
+                        // Count wait *episodes*, not condvar wakeups: one
+                        // per caller that parked behind an in-flight build.
+                        waited = true;
+                        self.waits.fetch_add(1, Ordering::Relaxed);
+                        parapre_trace::counter("engine.cache.wait", 1);
+                    }
                     inner = self.built.wait(inner).expect("cache lock");
                     continue;
                 }
@@ -170,6 +183,7 @@ impl SessionCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
             len: inner.map.len(),
             capacity: self.capacity,
         }

@@ -50,6 +50,13 @@ pub enum ProblemSpec {
         /// Path to the `.mtx` file.
         path: PathBuf,
     },
+    /// A matrix previously registered with the service by content
+    /// fingerprint (`parapre-netd` ingest: clients upload once, then
+    /// submit `{"fp":"<hex>"}` jobs without re-sending the bytes).
+    Registered {
+        /// The [`Csr::fingerprint`] of the registered matrix.
+        fp: u64,
+    },
 }
 
 /// Where a job's right-hand side comes from.
@@ -78,6 +85,15 @@ pub struct SolveJob {
     /// How many times to solve (identical RHS; exercises the cached
     /// factors on every repeat after the first).
     pub repeat: usize,
+    /// Number of right-hand sides solved through the batched multi-RHS
+    /// path (one universe launch, shared factors). `1` uses the ordinary
+    /// resilient per-solve path; `k > 1` derives `k` deterministic RHS
+    /// variants from the job's RHS spec.
+    pub batch: usize,
+    /// `"precond":"auto"` — the service's autotuner picks the rung per
+    /// matrix fingerprint; `session.precond` holds the pre-selection
+    /// default until then.
+    pub auto_precond: bool,
     /// Session configuration (preconditioner, ranks, tolerances …).
     pub session: SessionConfig,
     /// Retry/checkpoint/degrade behavior for this job.
@@ -139,6 +155,13 @@ pub struct JobResult {
     /// Kind key of the last typed numerical breakdown observed
     /// (`"stagnation"`, `"non_finite"`, ...), recovered-from or not.
     pub breakdown_kind: Option<String>,
+    /// Right-hand sides solved per repeat (1 on the non-batched path).
+    pub batch: usize,
+    /// Key of the preconditioner rung that actually served the job —
+    /// reported for every job, load-bearing for `"precond":"auto"` ones.
+    pub precond_used: Option<String>,
+    /// Whether the rung was chosen by the autotuner.
+    pub auto: bool,
 }
 
 impl JobResult {
@@ -166,6 +189,9 @@ impl JobResult {
             pivot_shifts: 0,
             fallbacks: 0,
             breakdown_kind: None,
+            batch: 1,
+            precond_used: None,
+            auto: false,
         }
     }
 
@@ -213,6 +239,15 @@ impl JobResult {
                 flatjson::escape(kind)
             ));
         }
+        if self.batch > 1 {
+            out.push_str(&format!(",\"batch\":{}", self.batch));
+        }
+        if let Some(p) = &self.precond_used {
+            out.push_str(&format!(",\"precond\":\"{}\"", flatjson::escape(p)));
+        }
+        if self.auto {
+            out.push_str(",\"auto\":true");
+        }
         if let Some(kind) = &self.error_kind {
             out.push_str(&format!(",\"error_kind\":\"{}\"", flatjson::escape(kind)));
         }
@@ -224,9 +259,22 @@ impl JobResult {
     }
 }
 
+/// Hard ceiling on one job line. Anything larger is rejected before the
+/// parser touches it — a mis-framed client must not make the service
+/// buffer or scan unbounded garbage. (Matrices travel through the `put`
+/// ingest path, never inline in a job line.)
+pub const MAX_JOB_LINE_BYTES: usize = 1 << 20;
+
 /// Parses one JSONL job line. `seq` numbers auto-generated ids
 /// (`job-<seq>`) for lines without an `id`.
 pub fn parse_job_line(line: &str, seq: usize) -> Result<SolveJob, EngineError> {
+    if line.len() > MAX_JOB_LINE_BYTES {
+        return Err(EngineError::BadJob(format!(
+            "job line of {} bytes exceeds the {} byte limit",
+            line.len(),
+            MAX_JOB_LINE_BYTES
+        )));
+    }
     let fields =
         flatjson::parse_flat_object(line).map_err(|e| EngineError::BadJob(e.to_string()))?;
     let get_str = |k: &str| fields.get(k).and_then(JsonValue::as_str);
@@ -237,8 +285,18 @@ pub fn parse_job_line(line: &str, seq: usize) -> Result<SolveJob, EngineError> {
         .map(str::to_string)
         .unwrap_or_else(|| format!("job-{seq}"));
 
-    let problem = match (get_str("case"), get_str("mtx")) {
-        (Some(c), None) => {
+    let problem = match (get_str("case"), get_str("mtx"), get_str("fp")) {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) | (_, Some(_), Some(_)) => {
+            return Err(EngineError::BadJob(
+                "give exactly one of `case`, `mtx`, `fp`".into(),
+            ))
+        }
+        (None, None, Some(hex)) => {
+            let fp = u64::from_str_radix(hex.trim_start_matches("0x"), 16)
+                .map_err(|_| EngineError::BadJob(format!("bad fingerprint {hex:?}")))?;
+            ProblemSpec::Registered { fp }
+        }
+        (Some(c), None, None) => {
             let case_id = CaseId::parse(c)
                 .ok_or_else(|| EngineError::BadJob(format!("unknown case {c:?}")))?;
             let size = match get_str("size") {
@@ -252,18 +310,24 @@ pub fn parse_job_line(line: &str, seq: usize) -> Result<SolveJob, EngineError> {
                 extent: get_u("n").map(|n| n as usize),
             }
         }
-        (None, Some(path)) => ProblemSpec::Mtx {
+        (None, Some(path), None) => ProblemSpec::Mtx {
             path: PathBuf::from(path),
         },
-        (Some(_), Some(_)) => {
-            return Err(EngineError::BadJob("give `case` or `mtx`, not both".into()))
+        (None, None, None) => {
+            return Err(EngineError::BadJob("missing `case`, `mtx`, or `fp`".into()))
         }
-        (None, None) => return Err(EngineError::BadJob("missing `case` or `mtx`".into())),
     };
 
     let precond_str = get_str("precond").unwrap_or("schur1");
-    let precond = PrecondKind::parse(precond_str)
-        .ok_or_else(|| EngineError::BadJob(format!("unknown precond {precond_str:?}")))?;
+    let auto_precond = precond_str.eq_ignore_ascii_case("auto");
+    let precond = if auto_precond {
+        // Pre-selection placeholder; the service's autotuner replaces it
+        // once the matrix fingerprint is known.
+        PrecondKind::Schur1
+    } else {
+        PrecondKind::parse(precond_str)
+            .ok_or_else(|| EngineError::BadJob(format!("unknown precond {precond_str:?}")))?
+    };
     let n_ranks = get_u("ranks").unwrap_or(4) as usize;
     if n_ranks == 0 {
         return Err(EngineError::BadJob("ranks must be >= 1".into()));
@@ -334,11 +398,20 @@ pub fn parse_job_line(line: &str, seq: usize) -> Result<SolveJob, EngineError> {
         f
     });
 
+    let batch = get_u("batch").unwrap_or(1).max(1) as usize;
+    if batch > 1 && fault.is_some() {
+        return Err(EngineError::BadJob(
+            "batched jobs do not support fault injection".into(),
+        ));
+    }
+
     Ok(SolveJob {
         id,
         problem,
         rhs,
         repeat: get_u("repeat").unwrap_or(1).max(1) as usize,
+        batch,
+        auto_precond,
         session,
         recovery,
         fault,
@@ -374,9 +447,35 @@ pub struct ResolvedProblem {
 }
 
 /// Materializes a job's problem: assembles the case or loads the file,
-/// partitions, and produces the right-hand side.
+/// partitions, and produces the right-hand side. Fingerprint-referencing
+/// jobs ([`ProblemSpec::Registered`]) need a store —
+/// use [`resolve_problem_with`].
 pub fn resolve_problem(job: &SolveJob) -> Result<ResolvedProblem, EngineError> {
+    resolve_problem_with(job, &|_| None)
+}
+
+/// [`resolve_problem`] with a fingerprint → matrix lookup for
+/// [`ProblemSpec::Registered`] jobs (the service passes its
+/// [`MatrixStore`](crate::service::MatrixStore)).
+pub fn resolve_problem_with(
+    job: &SolveJob,
+    lookup: &dyn Fn(u64) -> Option<std::sync::Arc<Csr>>,
+) -> Result<ResolvedProblem, EngineError> {
     match &job.problem {
+        ProblemSpec::Registered { fp } => {
+            let a = lookup(*fp).ok_or_else(|| {
+                EngineError::BadJob(format!("fingerprint {fp:016x} is not registered"))
+            })?;
+            let (a_sym, owner) =
+                partition_matrix(&a, job.session.n_ranks, job.session.partition_seed);
+            let b = rhs_for(&job.rhs, &a_sym, None)?;
+            Ok(ResolvedProblem {
+                a: a_sym,
+                owner,
+                b,
+                x0: None,
+            })
+        }
         ProblemSpec::Case { id, size, extent } => {
             let case: AssembledCase = match extent {
                 Some(n) => build_case_sized(*id, *n),
@@ -414,6 +513,29 @@ pub fn resolve_problem(job: &SolveJob) -> Result<ResolvedProblem, EngineError> {
             })
         }
     }
+}
+
+/// Derives `k` deterministic right-hand-side variants from a base vector
+/// for batched jobs: variant 0 is the base itself, variant `j` modulates
+/// it with a smooth index-dependent factor, so the batch exercises `k`
+/// genuinely different solves of comparable difficulty (a scaled RHS
+/// alone would converge identically by linearity).
+pub fn batch_rhs(base: &[f64], k: usize) -> Vec<Vec<f64>> {
+    (0..k.max(1))
+        .map(|j| {
+            if j == 0 {
+                return base.to_vec();
+            }
+            let freq = j as f64;
+            base.iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let phase = freq * (i as f64 + 1.0) / (base.len() as f64 + 1.0);
+                    v * (1.0 + 0.25 * (std::f64::consts::PI * phase).sin())
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn rhs_for(spec: &RhsSpec, a: &Csr, natural: Option<&[f64]>) -> Result<Vec<f64>, EngineError> {

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod cache;
 pub mod jobs;
 pub mod resilient;
@@ -33,14 +34,20 @@ pub mod service;
 pub mod session;
 pub mod timestep;
 
+pub use autotune::{AutoTuner, TuneDecision, TuneRecord, TuneSample, TunerStats, AUTO_CANDIDATES};
 pub use cache::{CacheStats, SessionCache, SessionKey};
 pub use jobs::{
-    parse_job_line, problem_key, resolve_problem, JobResult, ProblemSpec, ResolvedProblem, RhsSpec,
-    SolveJob,
+    batch_rhs, parse_job_line, problem_key, resolve_problem, resolve_problem_with, JobResult,
+    ProblemSpec, ResolvedProblem, RhsSpec, SolveJob, MAX_JOB_LINE_BYTES,
 };
 pub use resilient::{solve_resilient, FaultOutcome, RecoveryPolicy};
-pub use service::{Job, JobTicket, ServiceConfig, SolveService, SubmitError};
-pub use session::{SessionConfig, SessionSolveReport, SolverSession};
+pub use service::{
+    ConfigError, Job, JobTicket, MatrixStore, MatrixStoreStats, ServiceConfig, SolveService,
+    SubmitError,
+};
+pub use session::{
+    BatchOptions, BatchSolveReport, SessionConfig, SessionSolveReport, SolverSession,
+};
 pub use timestep::{march_heat, StepReport, TimestepConfig, TimestepReport};
 
 /// Errors of the serving layer.

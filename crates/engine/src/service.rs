@@ -14,15 +14,19 @@
 //! and the worker moves on to the next job — the process is never
 //! poisoned.
 
+use crate::autotune::AutoTuner;
 use crate::cache::{CacheStats, SessionCache, SessionKey};
-use crate::jobs::{problem_key, resolve_problem, JobResult, ResolvedProblem, SolveJob};
+use crate::jobs::{
+    batch_rhs, problem_key, resolve_problem_with, JobResult, ResolvedProblem, SolveJob,
+};
 use crate::resilient::solve_resilient;
-use crate::session::SolverSession;
+use crate::session::{BatchOptions, SolverSession};
 use parapre_mpisim::FaultHook;
 use parapre_resilience::FaultPlan;
+use parapre_sparse::Csr;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -49,6 +53,51 @@ impl Default for ServiceConfig {
         }
     }
 }
+
+impl ServiceConfig {
+    /// Rejects configurations that cannot serve: a zero-sized pool has no
+    /// worker to ever drain the queue (every ticket would hang forever),
+    /// and a zero-capacity queue rejects every submission.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.pool_size == 0 {
+            return Err(ConfigError::ZeroPoolSize);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        Ok(())
+    }
+}
+
+/// A [`ServiceConfig`] the service refuses to start with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `pool_size == 0`: no worker would ever run a job.
+    ZeroPoolSize,
+    /// `queue_capacity == 0`: every submission would be rejected.
+    ZeroQueueCapacity,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroPoolSize => {
+                write!(
+                    f,
+                    "pool_size must be >= 1 (a zero-sized pool never runs a job)"
+                )
+            }
+            ConfigError::ZeroQueueCapacity => {
+                write!(
+                    f,
+                    "queue_capacity must be >= 1 (a zero-capacity queue rejects every job)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Why a submission was not accepted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,7 +212,11 @@ impl ProblemCache {
         }
     }
 
-    fn get_or_resolve(&self, job: &SolveJob) -> Result<Arc<ResolvedProblem>, crate::EngineError> {
+    fn get_or_resolve(
+        &self,
+        job: &SolveJob,
+        matrices: &MatrixStore,
+    ) -> Result<Arc<ResolvedProblem>, crate::EngineError> {
         let key = problem_key(job);
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) as u64 + 1;
         {
@@ -175,7 +228,7 @@ impl ProblemCache {
         }
         // Resolve outside the lock; concurrent identical jobs may resolve
         // redundantly (bounded by the pool size) — cheaper than serializing.
-        let problem = Arc::new(resolve_problem(job)?);
+        let problem = Arc::new(resolve_problem_with(job, &|fp| matrices.get(fp))?);
         let mut map = self.map.lock().expect("problem cache lock");
         map.entry(key)
             .or_insert_with(|| (Arc::clone(&problem), tick));
@@ -191,6 +244,97 @@ impl ProblemCache {
     }
 }
 
+/// Counter snapshot of the fingerprint matrix store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatrixStoreStats {
+    /// Matrices resident.
+    pub len: usize,
+    /// First-time registrations.
+    pub puts: u64,
+    /// Re-registrations deduplicated by fingerprint.
+    pub dedups: u64,
+    /// Fingerprint lookups that found a matrix.
+    pub hits: u64,
+    /// Fingerprint lookups that missed.
+    pub misses: u64,
+}
+
+/// Matrices registered by content fingerprint, so network clients upload a
+/// matrix once and then submit `{"fp":"<hex>"}` jobs — the repeat-matrix
+/// path moves a ~20-byte reference instead of megabytes of triplets, and
+/// the [`SessionCache`]'s single-flight build keyed on the same
+/// fingerprint dedups the factorization behind it.
+pub struct MatrixStore {
+    map: Mutex<HashMap<u64, Arc<Csr>>>,
+    puts: AtomicU64,
+    dedups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for MatrixStore {
+    fn default() -> Self {
+        MatrixStore::new()
+    }
+}
+
+impl MatrixStore {
+    /// An empty store.
+    pub fn new() -> MatrixStore {
+        MatrixStore {
+            map: Mutex::new(HashMap::new()),
+            puts: AtomicU64::new(0),
+            dedups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a matrix and returns `(fingerprint, known_before)`.
+    /// Re-registering identical content is a cheap dedup (the parsed copy
+    /// is dropped, the resident one stays).
+    pub fn put(&self, a: Csr) -> (u64, bool) {
+        let fp = a.fingerprint();
+        let mut map = self.map.lock().expect("matrix store lock");
+        let known = map.contains_key(&fp);
+        if known {
+            self.dedups.fetch_add(1, Ordering::Relaxed);
+            parapre_metrics::inc(parapre_metrics::names::NET_MATRIX_DEDUP_TOTAL, 1);
+        } else {
+            map.insert(fp, Arc::new(a));
+            self.puts.fetch_add(1, Ordering::Relaxed);
+            parapre_metrics::inc(parapre_metrics::names::NET_MATRIX_PUTS_TOTAL, 1);
+        }
+        (fp, known)
+    }
+
+    /// The matrix registered under `fp`, if any.
+    pub fn get(&self, fp: u64) -> Option<Arc<Csr>> {
+        let found = self
+            .map
+            .lock()
+            .expect("matrix store lock")
+            .get(&fp)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Live counter snapshot.
+    pub fn stats(&self) -> MatrixStoreStats {
+        MatrixStoreStats {
+            len: self.map.lock().expect("matrix store lock").len(),
+            puts: self.puts.load(Ordering::Relaxed),
+            dedups: self.dedups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 struct Shared {
     state: Mutex<State>,
     available: Condvar,
@@ -198,6 +342,8 @@ struct Shared {
     peak_active: AtomicUsize,
     cache: SessionCache,
     problems: ProblemCache,
+    matrices: MatrixStore,
+    tuner: AutoTuner,
     cfg: ServiceConfig,
 }
 
@@ -209,9 +355,10 @@ pub struct SolveService {
 }
 
 impl SolveService {
-    /// Starts `cfg.pool_size` workers.
-    pub fn start(cfg: ServiceConfig) -> SolveService {
-        assert!(cfg.pool_size >= 1);
+    /// Validates `cfg` and starts `cfg.pool_size` workers. A zero pool or
+    /// queue is a typed [`ConfigError`], not a hang or a panic.
+    pub fn start(cfg: ServiceConfig) -> Result<SolveService, ConfigError> {
+        cfg.validate()?;
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -222,6 +369,8 @@ impl SolveService {
             peak_active: AtomicUsize::new(0),
             cache: SessionCache::new(cfg.cache_capacity),
             problems: ProblemCache::new(cfg.cache_capacity),
+            matrices: MatrixStore::new(),
+            tuner: AutoTuner::default(),
             cfg,
         });
         let workers = (0..cfg.pool_size)
@@ -230,7 +379,7 @@ impl SolveService {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        SolveService { shared, workers }
+        Ok(SolveService { shared, workers })
     }
 
     /// Submits a job, returning its ticket — or rejecting with
@@ -262,6 +411,79 @@ impl SolveService {
     /// Session-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// The fingerprint matrix store (network ingest path).
+    pub fn matrix_store(&self) -> &MatrixStore {
+        &self.shared.matrices
+    }
+
+    /// The fingerprint-keyed autotuner serving `"precond":"auto"` jobs.
+    pub fn tuner(&self) -> &AutoTuner {
+        &self.shared.tuner
+    }
+
+    /// One flat JSON line of live statistics: job/cache/store/tuner
+    /// counters plus the latency-quantile and load-gauge headline numbers.
+    /// Shared by the `parapre-serve` and `parapre-netd` `{"cmd":"stats"}`
+    /// handlers so both surfaces report identically.
+    pub fn stats_json(&self) -> String {
+        use parapre_metrics::names;
+        let snap = parapre_metrics::snapshot();
+        let cache = self.cache_stats();
+        let store = self.matrix_store().stats();
+        let tuner = self.tuner().stats();
+        let ms = |name: &str, q: f64| -> f64 {
+            snap.hist(name).map_or(0.0, |h| h.quantile(q) as f64 / 1e3)
+        };
+        let gauge = |name: &str| -> f64 {
+            let v = snap.gauge(name);
+            if v.is_finite() {
+                v
+            } else {
+                0.0
+            }
+        };
+        format!(
+            "{{\"stats\":true,\"jobs\":{},\"jobs_failed\":{},\"solves\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+             \"cache_waits\":{},\
+             \"store_len\":{},\"store_puts\":{},\"store_dedups\":{},\
+             \"store_hits\":{},\"store_misses\":{},\
+             \"tuner_records\":{},\"tuner_explore\":{},\"tuner_exploit\":{},\
+             \"queue_p50_ms\":{:.3},\"queue_p99_ms\":{:.3},\
+             \"build_p50_ms\":{:.3},\"build_p99_ms\":{:.3},\
+             \"solve_p50_ms\":{:.3},\"solve_p99_ms\":{:.3},\
+             \"e2e_p50_ms\":{:.3},\"e2e_p99_ms\":{:.3},\
+             \"load_imbalance\":{:.4},\"load_comm_fraction\":{:.4},\
+             \"conv_events\":{}}}",
+            snap.counter(names::JOBS_TOTAL),
+            snap.counter(names::JOBS_FAILED_TOTAL),
+            snap.counter(names::SOLVES_TOTAL),
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.waits,
+            store.len,
+            store.puts,
+            store.dedups,
+            store.hits,
+            store.misses,
+            tuner.records,
+            tuner.explore,
+            tuner.exploit,
+            ms(names::QUEUE_WAIT_US, 0.5),
+            ms(names::QUEUE_WAIT_US, 0.99),
+            ms(names::BUILD_US, 0.5),
+            ms(names::BUILD_US, 0.99),
+            ms(names::SOLVE_US, 0.5),
+            ms(names::SOLVE_US, 0.99),
+            ms(names::E2E_US, 0.5),
+            ms(names::E2E_US, 0.99),
+            gauge(names::LOAD_IMBALANCE),
+            gauge(names::LOAD_COMM_FRACTION),
+            parapre_metrics::global().ring().total(),
+        )
     }
 
     /// Highest number of jobs ever running simultaneously — bounded by
@@ -369,7 +591,7 @@ fn run_job(shared: &Shared, job: Job) -> JobResult {
 
 fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
     let t0 = Instant::now();
-    let resolved = match shared.problems.get_or_resolve(job) {
+    let resolved = match shared.problems.get_or_resolve(job, &shared.matrices) {
         Ok(r) => r,
         Err(e) => {
             let mut r = JobResult::failed(&job.id, e.to_string());
@@ -379,9 +601,20 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
             return r;
         }
     };
-    let key = SessionKey::new(resolved.a.fingerprint(), &job.session);
+    let fingerprint = resolved.a.fingerprint();
+    // `"precond":"auto"`: the tuner picks the rung for this fingerprint —
+    // explore until every candidate has data, then exploit the fastest
+    // converged mean. Non-auto jobs skip this entirely (no decision cost)
+    // but still feed the tuner below.
+    let mut session_cfg = job.session.clone();
+    if job.auto_precond {
+        let (kind, _decision) = shared.tuner.select(fingerprint);
+        session_cfg.precond = kind;
+    }
+    let session_cfg = session_cfg; // frozen for the rest of the job
+    let key = SessionKey::new(fingerprint, &session_cfg);
     let (session, cache_hit) = match shared.cache.get_or_build(key, || {
-        SolverSession::build(&resolved.a, &resolved.owner, &job.session)
+        SolverSession::build(&resolved.a, &resolved.owner, &session_cfg)
     }) {
         Ok(pair) => pair,
         Err(e) => return JobResult::failed(&job.id, e.to_string()),
@@ -416,44 +649,91 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
         }
         dead_ranks.sort_unstable();
     };
-    for _ in 0..job.repeat {
-        let hook = plan.clone().map(|p| p as Arc<dyn FaultHook>);
-        match solve_resilient(
-            &session,
-            &resolved.b,
-            resolved.x0.as_deref(),
-            hook,
-            &job.recovery,
-        ) {
-            Ok((rep, out)) => {
-                iterations.push(rep.iterations);
-                converged &= rep.converged;
-                final_relres = rep.final_relres;
-                true_relres = rep.true_relres;
-                solve_seconds += rep.solve_seconds;
-                retries += out.retries;
-                degraded |= out.degraded;
-                pivot_shifts += out.pivot_shifts;
-                fallbacks += out.fallbacks;
-                if out.breakdown_kind.is_some() {
-                    breakdown_kind = out.breakdown_kind;
+    if job.batch > 1 {
+        // Batched multi-RHS path: one universe launch per repeat serves
+        // every RHS against the shared factors. The generated RHS form a
+        // smooth sequence, so each solve is warm-started from the previous
+        // solution — an advantage only the batched path can have. (Fault
+        // injection is rejected for batch jobs at parse time — this path
+        // has no retry ladder inside the batch.)
+        let rhss = batch_rhs(&resolved.b, job.batch);
+        let opts = BatchOptions { warm_start: true };
+        for _ in 0..job.repeat {
+            match session.solve_batch(&rhss, resolved.x0.as_deref(), opts) {
+                Ok(batch) => {
+                    for rep in &batch.reports {
+                        iterations.push(rep.iterations);
+                        converged &= rep.converged;
+                        final_relres = rep.final_relres;
+                        true_relres = rep.true_relres;
+                        if let Some(b) = rep.breakdown {
+                            breakdown_kind = Some(b.kind.key().to_string());
+                        }
+                    }
+                    solve_seconds += batch.batch_seconds;
                 }
-                merge_dead(&mut dead_ranks, &out.dead_ranks);
+                Err(e) => {
+                    let mut r = JobResult::failed(&job.id, e.to_string());
+                    r.batch = job.batch;
+                    r.error_kind = Some("rank_failure".into());
+                    record_tune(shared, job, fingerprint, &session_cfg, false, 0.0, 0, 0, 0);
+                    return r;
+                }
             }
-            Err((e, out)) => {
-                let mut r = JobResult::failed(&job.id, e.to_string());
-                r.retries = retries + out.retries;
-                r.degraded = degraded;
-                r.pivot_shifts = pivot_shifts + out.pivot_shifts;
-                r.fallbacks = fallbacks + out.fallbacks;
-                r.breakdown_kind = out.breakdown_kind.or(breakdown_kind);
-                merge_dead(&mut dead_ranks, &out.dead_ranks);
-                r.dead_ranks = dead_ranks;
-                r.error_kind = out.error_kind.or_else(|| Some("rank_failure".into()));
-                return r;
+        }
+    } else {
+        for _ in 0..job.repeat {
+            let hook = plan.clone().map(|p| p as Arc<dyn FaultHook>);
+            match solve_resilient(
+                &session,
+                &resolved.b,
+                resolved.x0.as_deref(),
+                hook,
+                &job.recovery,
+            ) {
+                Ok((rep, out)) => {
+                    iterations.push(rep.iterations);
+                    converged &= rep.converged;
+                    final_relres = rep.final_relres;
+                    true_relres = rep.true_relres;
+                    solve_seconds += rep.solve_seconds;
+                    retries += out.retries;
+                    degraded |= out.degraded;
+                    pivot_shifts += out.pivot_shifts;
+                    fallbacks += out.fallbacks;
+                    if out.breakdown_kind.is_some() {
+                        breakdown_kind = out.breakdown_kind;
+                    }
+                    merge_dead(&mut dead_ranks, &out.dead_ranks);
+                }
+                Err((e, out)) => {
+                    let mut r = JobResult::failed(&job.id, e.to_string());
+                    r.retries = retries + out.retries;
+                    r.degraded = degraded;
+                    r.pivot_shifts = pivot_shifts + out.pivot_shifts;
+                    r.fallbacks = fallbacks + out.fallbacks;
+                    r.breakdown_kind = out.breakdown_kind.or(breakdown_kind);
+                    merge_dead(&mut dead_ranks, &out.dead_ranks);
+                    r.dead_ranks = dead_ranks;
+                    r.error_kind = out.error_kind.or_else(|| Some("rank_failure".into()));
+                    record_tune(shared, job, fingerprint, &session_cfg, false, 0.0, 0, 0, 0);
+                    return r;
+                }
             }
         }
     }
+    let total_iters: usize = iterations.iter().sum();
+    record_tune(
+        shared,
+        job,
+        fingerprint,
+        &session_cfg,
+        converged,
+        solve_seconds,
+        total_iters,
+        pivot_shifts,
+        fallbacks,
+    );
     JobResult {
         id: job.id.clone(),
         ok: true,
@@ -476,5 +756,42 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
         pivot_shifts,
         fallbacks,
         breakdown_kind,
+        batch: job.batch,
+        precond_used: Some(session.active_precond().key().to_string()),
+        auto: job.auto_precond,
     }
+}
+
+/// Feeds one job's outcome into the autotuner. Every solve job reports —
+/// fixed-precond traffic warms the store for later `"auto"` jobs — except
+/// fault-injected ones, whose timings measure the chaos plan, not the
+/// preconditioner. Per-solve normalization (÷ repeats × batch) keeps
+/// records comparable across job shapes.
+#[allow(clippy::too_many_arguments)]
+fn record_tune(
+    shared: &Shared,
+    job: &SolveJob,
+    fingerprint: u64,
+    session_cfg: &crate::SessionConfig,
+    converged: bool,
+    solve_seconds: f64,
+    total_iters: usize,
+    pivot_shifts: usize,
+    fallbacks: usize,
+) {
+    if job.fault.is_some() {
+        return;
+    }
+    let n_solves = (job.repeat * job.batch).max(1) as u64;
+    shared.tuner.record(
+        fingerprint,
+        session_cfg.precond,
+        crate::TuneSample {
+            converged,
+            solve_us: (solve_seconds * 1e6) as u64 / n_solves,
+            iterations: total_iters as u64 / n_solves,
+            pivot_shifts: pivot_shifts as u64,
+            fallbacks: fallbacks as u64,
+        },
+    );
 }

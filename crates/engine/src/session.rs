@@ -145,6 +145,37 @@ pub struct SessionSolveReport {
     pub load: parapre_metrics::LoadReport,
 }
 
+/// Options of one batched multi-RHS solve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchOptions {
+    /// Seed each right-hand side's solve with the previous one's solution
+    /// (useful when the batch is a time-like sequence; off, every RHS
+    /// starts from the zero vector / the supplied guess).
+    pub warm_start: bool,
+}
+
+/// The outcome of one [`SolverSession::solve_batch`]: per-RHS reports plus
+/// the batch wall time (one universe launch amortized over all of them).
+#[derive(Debug, Clone)]
+pub struct BatchSolveReport {
+    /// One report per right-hand side, in submission order.
+    pub reports: Vec<SessionSolveReport>,
+    /// Wall time of the whole batch (universe launch to join).
+    pub batch_seconds: f64,
+}
+
+impl BatchSolveReport {
+    /// Whether every RHS met the residual target.
+    pub fn all_converged(&self) -> bool {
+        self.reports.iter().all(|r| r.converged)
+    }
+
+    /// Total outer iterations across the batch.
+    pub fn total_iterations(&self) -> usize {
+        self.reports.iter().map(|r| r.iterations).sum()
+    }
+}
+
 impl SolverSession {
     /// Builds a session from a global matrix and a per-unknown owner map:
     /// distributes rows and factors the preconditioner on every rank, once.
@@ -242,6 +273,148 @@ impl SolverSession {
         x0: &[f64],
     ) -> Result<SessionSolveReport, EngineError> {
         self.solve_opts(b, Some(x0), false).map(|(rep, _)| rep)
+    }
+
+    /// Solves `A x = b_j` for every right-hand side in `rhss` inside **one**
+    /// universe launch: the factorization, partition, comm plan, scatter
+    /// tables, and the `P` rank threads are all shared across the batch, so
+    /// the per-solve overhead (thread spawn + join, plan setup) is paid
+    /// once instead of `k` times. RHS are solved in order (pipelined
+    /// per-RHS); with [`BatchOptions::warm_start`] each solve is seeded
+    /// with the previous solution.
+    pub fn solve_batch(
+        &self,
+        rhss: &[Vec<f64>],
+        x0: Option<&[f64]>,
+        opts: BatchOptions,
+    ) -> Result<BatchSolveReport, EngineError> {
+        assert!(!rhss.is_empty(), "batch needs at least one rhs");
+        for b in rhss {
+            assert_eq!(b.len(), self.n_global, "rhs length");
+        }
+        if let Some(x0) = x0 {
+            assert_eq!(x0.len(), self.n_global, "guess length");
+        }
+        struct RhsOut {
+            iterations: usize,
+            converged: bool,
+            final_relres: f64,
+            breakdown: Option<parapre_dist::SolveBreakdown>,
+            rnorm: f64,
+            bnorm: f64,
+            x_global: Option<Vec<f64>>,
+            busy_s: f64,
+            comm: parapre_mpisim::CommStats,
+            solve_s: f64,
+        }
+        let p = self.cfg.n_ranks;
+        let t0 = Instant::now();
+        let outs = Universe::try_run_with_timeout(p, self.cfg.recv_timeout, |comm| {
+            let st = &self.ranks[comm.rank()];
+            let n_owned = st.dm.layout.n_owned();
+            let mut x = match x0 {
+                Some(g) => scatter_vector(&st.dm.layout, g),
+                None => vec![0.0; n_owned],
+            };
+            let mut per_rhs = Vec::with_capacity(rhss.len());
+            let mut comm_before = comm.stats();
+            for b in rhss {
+                let rhs_t0 = Instant::now();
+                let b_loc = scatter_vector(&st.dm.layout, b);
+                if !opts.warm_start {
+                    x = match x0 {
+                        Some(g) => scatter_vector(&st.dm.layout, g),
+                        None => vec![0.0; n_owned],
+                    };
+                }
+                let rep =
+                    DistGmres::new(self.cfg.gmres).solve(comm, &st.dm, &st.precond, &b_loc, &mut x);
+                let mut ax = vec![0.0; n_owned];
+                DistOp::apply(&st.dm, comm, &x, &mut ax);
+                let r: Vec<f64> = b_loc.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+                let rnorm = st.dm.layout.norm2(comm, &r);
+                let bnorm = st.dm.layout.norm2(comm, &b_loc);
+                let x_global = gather_vector(comm, &st.dm.layout, &x, self.n_global);
+                let comm_after = comm.stats();
+                per_rhs.push(RhsOut {
+                    iterations: rep.iterations,
+                    converged: rep.converged,
+                    final_relres: rep.final_relres,
+                    breakdown: rep.breakdown,
+                    rnorm,
+                    bnorm,
+                    x_global,
+                    busy_s: rhs_t0.elapsed().as_secs_f64(),
+                    comm: parapre_mpisim::CommStats::delta(&comm_after, &comm_before),
+                    solve_s: rhs_t0.elapsed().as_secs_f64(),
+                });
+                comm_before = comm_after;
+            }
+            per_rhs
+        });
+        let batch_seconds = t0.elapsed().as_secs_f64();
+        let mut ranks = Vec::with_capacity(p);
+        let mut failures = Vec::new();
+        for out in outs {
+            match out {
+                Ok(o) => ranks.push(o),
+                Err(f) => failures.push(f.to_string()),
+            }
+        }
+        if !failures.is_empty() {
+            return Err(EngineError::Solve(failures.join("; ")));
+        }
+        let k = rhss.len();
+        let mut reports = Vec::with_capacity(k);
+        for j in 0..k {
+            let load = parapre_metrics::LoadReport::new(
+                ranks
+                    .iter()
+                    .enumerate()
+                    .map(|(r, per_rhs)| {
+                        let o = &per_rhs[j];
+                        parapre_metrics::RankLoad {
+                            rank: r,
+                            busy_s: o.busy_s,
+                            comm_wait_s: o.comm.wait_us as f64 * 1e-6,
+                            msgs_sent: o.comm.msgs_sent,
+                            bytes_sent: o.comm.bytes_sent,
+                            msgs_recv: o.comm.msgs_recv,
+                            bytes_recv: o.comm.bytes_recv,
+                        }
+                    })
+                    .collect(),
+            );
+            let root = &mut ranks[0][j];
+            let true_relres = if root.bnorm > 0.0 {
+                root.rnorm / root.bnorm
+            } else {
+                root.rnorm
+            };
+            let report = SessionSolveReport {
+                x: root.x_global.take().expect("rank 0 gathers"),
+                iterations: root.iterations,
+                converged: root.converged,
+                final_relres: root.final_relres,
+                true_relres,
+                solve_seconds: root.solve_s,
+                breakdown: root.breakdown,
+                load,
+            };
+            self.record_solve_metrics(report.solve_seconds, report.iterations, &report.load);
+            reports.push(report);
+        }
+        if parapre_metrics::enabled() {
+            parapre_metrics::inc(parapre_metrics::names::BATCH_RHS_TOTAL, k as u64);
+            parapre_metrics::observe_us(
+                parapre_metrics::names::BATCH_SOLVE_US,
+                (batch_seconds * 1e6) as u64,
+            );
+        }
+        Ok(BatchSolveReport {
+            reports,
+            batch_seconds,
+        })
     }
 
     /// Traced solve: installs a `parapre-trace` recorder on every rank and

@@ -1,0 +1,196 @@
+//! Hostile-input behavior of the job parser, LRU ordering of the session
+//! cache under capacity pressure, and batched-solve correctness against
+//! sequential solves. Every malformed line must come back as a structured
+//! `Err`, never a panic.
+
+use parapre_core::{build_case_sized, CaseId, PrecondKind};
+use parapre_engine::{
+    batch_rhs, parse_job_line, BatchOptions, ProblemSpec, ServiceConfig, SessionCache,
+    SessionConfig, SessionKey, SolveService, SolverSession, MAX_JOB_LINE_BYTES,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn hostile_job_lines_reject_without_panic() {
+    // A control frame is not a job: no problem key, structured rejection.
+    let err = parse_job_line(r#"{"cmd":"frobnicate"}"#, 0).unwrap_err();
+    assert!(err.to_string().contains("case"), "got {err}");
+
+    // Mutually exclusive problem keys.
+    assert!(parse_job_line(r#"{"case":"tc1","fp":"00ff"}"#, 0).is_err());
+    assert!(parse_job_line(r#"{"mtx":"a.mtx","fp":"00ff"}"#, 0).is_err());
+
+    // Unparseable fingerprints.
+    assert!(parse_job_line(r#"{"fp":"xyzzy"}"#, 0).is_err());
+    assert!(parse_job_line(r#"{"fp":""}"#, 0).is_err());
+
+    // Fault injection cannot ride on a batch job.
+    assert!(parse_job_line(r#"{"case":"tc1","batch":4,"kill_rank":1}"#, 0).is_err());
+
+    // Structural garbage: truncated objects, bare values, empty input.
+    for line in ["{", "{\"case\":", "", "42", "[1,2,3]", "{\"case\":\"tc1\""] {
+        assert!(parse_job_line(line, 0).is_err(), "accepted {line:?}");
+    }
+}
+
+#[test]
+fn duplicate_keys_resolve_deterministically() {
+    // The flat parser is last-wins on duplicates; a client repeating a key
+    // gets a deterministic job, not a panic or an ambiguous one.
+    let job = parse_job_line(r#"{"case":"tc1","ranks":2,"ranks":3}"#, 0).expect("parses");
+    assert_eq!(job.session.n_ranks, 3);
+    let job = parse_job_line(r#"{"id":"a","id":"b","case":"tc1"}"#, 0).expect("parses");
+    assert_eq!(job.id, "b");
+}
+
+#[test]
+fn oversized_lines_reject_before_parsing() {
+    let huge = format!(
+        r#"{{"case":"tc1","pad":"{}"}}"#,
+        "x".repeat(MAX_JOB_LINE_BYTES)
+    );
+    let err = parse_job_line(&huge, 0).unwrap_err();
+    assert!(err.to_string().contains("byte limit"), "got {err}");
+
+    // At the limit exactly the guard stays out of the way.
+    let body = r#"{"case":"tc1","pad":"PAD"}"#;
+    let at_limit = body.replace("PAD", &"y".repeat(MAX_JOB_LINE_BYTES - body.len() + 3));
+    assert_eq!(at_limit.len(), MAX_JOB_LINE_BYTES);
+    assert!(parse_job_line(&at_limit, 0).is_ok());
+}
+
+#[test]
+fn non_utf8_and_control_bytes_never_panic() {
+    // The wire layer lossy-decodes raw bytes before parsing, so the parser
+    // sees replacement characters and stray control bytes. Either outcome
+    // (structured error or a parsed job) is fine; a panic is not.
+    let lossy = String::from_utf8_lossy(b"{\"id\":\"\xff\xfe\",\"case\":\"tc1\"}").into_owned();
+    let _ = parse_job_line(&lossy, 0);
+    let _ = parse_job_line("{\"id\":\"\u{fffd}\u{1}\",\"case\":\"tc1\"}", 0);
+    let _ = parse_job_line("{\"\u{0}\":1,\"case\":\"tc1\"}", 0);
+
+    // Type-mismatched values fall back to defaults instead of exploding.
+    let job = parse_job_line(r#"{"case":"tc1","ranks":"two"}"#, 0).expect("parses");
+    assert_eq!(job.session.n_ranks, 4);
+}
+
+#[test]
+fn auto_precond_round_trips_from_line_to_result() {
+    // "precond":"auto" (any case) flags the job and leaves a placeholder
+    // rung for the tuner to replace.
+    let job = parse_job_line(r#"{"case":"tc1","precond":"AUTO","ranks":2}"#, 0).expect("parses");
+    assert!(job.auto_precond);
+    assert_eq!(job.session.precond, PrecondKind::Schur1);
+    assert!(matches!(job.problem, ProblemSpec::Case { .. }));
+
+    // Through a live service the result reports the rung actually used and
+    // carries the auto marker back out on the wire format.
+    let service = SolveService::start(ServiceConfig {
+        pool_size: 1,
+        queue_capacity: 4,
+        cache_capacity: 2,
+    })
+    .expect("valid config");
+    let result = service.submit_solve(job).expect("queued").wait();
+    assert!(result.ok && result.converged, "auto job failed: {result:?}");
+    assert!(result.auto);
+    let line = result.to_json();
+    let fields = parapre_trace::flatjson::parse_flat_object(&line).expect("result line parses");
+    assert_eq!(
+        fields.get("auto").and_then(|v| v.as_bool()),
+        Some(true),
+        "line {line}"
+    );
+    let reported = fields
+        .get("precond")
+        .and_then(|v| v.as_str())
+        .expect("rung reported");
+    assert!(PrecondKind::parse(reported).is_some(), "rung {reported:?}");
+    assert!(service.tuner().stats().records >= 1);
+    service.shutdown();
+}
+
+#[test]
+fn cache_evicts_least_recently_used_under_pressure() {
+    let case = build_case_sized(CaseId::Tc1, 4);
+    let cfg = SessionConfig::paper(PrecondKind::Block1, 2);
+    let builds = AtomicUsize::new(0);
+    let build = || {
+        builds.fetch_add(1, Ordering::SeqCst);
+        SolverSession::from_case(&case, &cfg)
+    };
+    let key = |fp: u64| SessionKey::new(fp, &cfg);
+
+    let cache = SessionCache::new(2);
+    // Fill: A then B, then touch A so B is the least recently used.
+    assert!(!cache.get_or_build(key(0xa), build).expect("build a").1);
+    assert!(!cache.get_or_build(key(0xb), build).expect("build b").1);
+    assert!(cache.get_or_build(key(0xa), build).expect("touch a").1);
+
+    // C overflows the capacity: B (not A) must be the one evicted.
+    assert!(!cache.get_or_build(key(0xc), build).expect("build c").1);
+    assert_eq!(cache.stats().evictions, 1);
+    assert!(
+        cache.get_or_build(key(0xa), build).expect("a again").1,
+        "A was touched after B and must have survived the eviction"
+    );
+    assert!(
+        !cache.get_or_build(key(0xb), build).expect("b again").1,
+        "B was the LRU entry and must have been evicted"
+    );
+
+    // Rebuilding B overflowed again; the LRU victim this time is C.
+    let stats = cache.stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.evictions, stats.len),
+        (2, 4, 2, 2)
+    );
+    assert_eq!(builds.load(Ordering::SeqCst) as u64, stats.misses);
+    assert!(cache.get_or_build(key(0xa), build).expect("a resident").1);
+    assert!(cache.get_or_build(key(0xb), build).expect("b resident").1);
+    assert!(!cache.get_or_build(key(0xc), build).expect("c evicted").1);
+}
+
+#[test]
+fn batch_solve_matches_sequential_solves() {
+    let case = build_case_sized(CaseId::Tc1, 8);
+    let cfg = SessionConfig::paper(PrecondKind::Schur1, 2);
+    let session = SolverSession::from_case(&case, &cfg).expect("session builds");
+    let rhss = batch_rhs(&case.sys.b, 4);
+
+    let sequential: Vec<_> = rhss
+        .iter()
+        .map(|b| session.solve(b).expect("sequential solve"))
+        .collect();
+    let batch = session
+        .solve_batch(&rhss, None, BatchOptions::default())
+        .expect("batch solve");
+    assert_eq!(batch.reports.len(), rhss.len());
+
+    // Cold-started batch solves retrace the sequential trajectories: same
+    // factors, same zero guess, same arithmetic order.
+    for (j, (seq, bat)) in sequential.iter().zip(&batch.reports).enumerate() {
+        assert!(seq.converged && bat.converged, "rhs {j} must converge");
+        assert_eq!(seq.iterations, bat.iterations, "rhs {j} iteration drift");
+        assert!(
+            (seq.final_relres - bat.final_relres).abs() <= 1e-12 * seq.final_relres.max(1e-30),
+            "rhs {j}: sequential relres {} vs batch {}",
+            seq.final_relres,
+            bat.final_relres
+        );
+        assert!(
+            bat.true_relres < 1e-4,
+            "rhs {j} true relres {}",
+            bat.true_relres
+        );
+    }
+
+    // Warm-started batches still meet the residual target on every RHS.
+    let warm = session
+        .solve_batch(&rhss, None, BatchOptions { warm_start: true })
+        .expect("warm batch");
+    assert!(warm.all_converged());
+    for rep in &warm.reports {
+        assert!(rep.true_relres < 1e-4);
+    }
+}

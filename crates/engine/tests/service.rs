@@ -32,7 +32,8 @@ fn full_queue_rejects_with_backpressure() {
         pool_size: 1,
         queue_capacity: 1,
         cache_capacity: 1,
-    });
+    })
+    .expect("valid config");
 
     // Occupy the single worker, deterministically.
     let (job1, started, release) = blocking_job("blocker");
@@ -70,7 +71,8 @@ fn pool_runs_jobs_concurrently_and_bounded() {
         pool_size: pool,
         queue_capacity: 16,
         cache_capacity: 1,
-    });
+    })
+    .expect("valid config");
     // All `pool` jobs rendezvous at one barrier: passing it proves they ran
     // simultaneously, so peak concurrency is exactly the pool size.
     let barrier = Arc::new(Barrier::new(pool));
@@ -116,7 +118,8 @@ fn panicking_job_fails_without_poisoning_the_worker() {
         pool_size: 1,
         queue_capacity: 4,
         cache_capacity: 1,
-    });
+    })
+    .expect("valid config");
     let bad = service
         .submit(Job::Custom {
             id: "bad".into(),
@@ -147,7 +150,7 @@ fn panicking_job_fails_without_poisoning_the_worker() {
 
 #[test]
 fn failing_solve_job_reports_instead_of_crashing() {
-    let service = SolveService::start(ServiceConfig::default());
+    let service = SolveService::start(ServiceConfig::default()).expect("valid config");
     let job = parse_job_line(r#"{"id":"ghost","mtx":"/nonexistent/a.mtx","ranks":2}"#, 0)
         .expect("parses");
     let result = service.submit_solve(job).expect("submit").wait();
@@ -161,7 +164,8 @@ fn concurrent_solve_jobs_converge_and_share_the_cache() {
         pool_size: 4,
         queue_capacity: 16,
         cache_capacity: 4,
-    });
+    })
+    .expect("valid config");
     // Four identical jobs in flight at once: single-flight building means
     // exactly one factorization; everyone else hits.
     let line = r#"{"id":"j","case":"tc1","size":"tiny","precond":"schur1","ranks":2}"#;
@@ -202,7 +206,8 @@ fn shutdown_drains_queued_jobs() {
         pool_size: 1,
         queue_capacity: 8,
         cache_capacity: 1,
-    });
+    })
+    .expect("valid config");
     let tickets: Vec<_> = (0..5)
         .map(|i| {
             service
@@ -226,7 +231,8 @@ fn wait_timeout_returns_ticket_while_running_and_result_after() {
         pool_size: 1,
         queue_capacity: 4,
         cache_capacity: 1,
-    });
+    })
+    .expect("valid config");
     let (job, started, release) = blocking_job("slow");
     let ticket = service.submit(job).expect("accepted");
     started.recv().expect("job running");

@@ -877,6 +877,35 @@ pub mod names {
     pub const LOAD_COMM_FRACTION: &str = "parapre_load_comm_fraction";
     /// Gauge: pace-setting rank of the last solve.
     pub const LOAD_SLOWEST_RANK: &str = "parapre_load_slowest_rank";
+    /// Counter: right-hand sides solved through the batched multi-RHS
+    /// path (each shares one factorization/universe with its batch).
+    pub const BATCH_RHS_TOTAL: &str = "parapre_batch_rhs_total";
+    /// Histogram (µs): one batched multi-RHS solve (all RHS, wall time).
+    pub const BATCH_SOLVE_US: &str = "parapre_batch_solve_us";
+    /// Counter: outcome records folded into the autotuner.
+    pub const TUNER_RECORDS_TOTAL: &str = "parapre_tuner_records_total";
+    /// Counter: `"precond":"auto"` jobs answered from a converged best
+    /// config (exploitation).
+    pub const TUNER_EXPLOIT_TOTAL: &str = "parapre_tuner_exploit_total";
+    /// Counter: `"precond":"auto"` jobs spent gathering data on an
+    /// untried rung (exploration).
+    pub const TUNER_EXPLORE_TOTAL: &str = "parapre_tuner_explore_total";
+    /// Counter: client connections accepted by `parapre-netd`.
+    pub const NET_CONNECTIONS_TOTAL: &str = "parapre_net_connections_total";
+    /// Gauge: currently connected `parapre-netd` clients.
+    pub const NET_ACTIVE_CONNECTIONS: &str = "parapre_net_active_connections";
+    /// Counter: protocol frames received by `parapre-netd`.
+    pub const NET_FRAMES_TOTAL: &str = "parapre_net_frames_total";
+    /// Counter: malformed / oversized frames answered with a structured
+    /// error instead of work.
+    pub const NET_FRAMES_REJECTED_TOTAL: &str = "parapre_net_frames_rejected_total";
+    /// Counter: submissions refused by per-client admission control.
+    pub const NET_ADMISSION_REJECTS_TOTAL: &str = "parapre_net_admission_rejects_total";
+    /// Counter: matrices ingested by fingerprint (first-time puts).
+    pub const NET_MATRIX_PUTS_TOTAL: &str = "parapre_net_matrix_puts_total";
+    /// Counter: repeat-matrix puts deduplicated by fingerprint (the bytes
+    /// were parsed but no new session state was created).
+    pub const NET_MATRIX_DEDUP_TOTAL: &str = "parapre_net_matrix_dedup_total";
 
     /// Builds the keyed solve-latency histogram name for one
     /// (fingerprint, preconditioner rung) pair.

@@ -1,0 +1,101 @@
+//! `parapre-netd` — the persistent network solve service.
+//!
+//! ```text
+//! parapre-netd --unix /tmp/parapre.sock --pool 4 --tune-state tuner.jsonl
+//! parapre-netd --tcp 127.0.0.1:7070
+//! ```
+//!
+//! Serves concurrent clients until a `{"cmd":"shutdown"}` frame arrives,
+//! then drains in-flight jobs and exits 0. With `--tune-state FILE` the
+//! autotuner's per-fingerprint records are loaded at start and persisted
+//! at exit, so `"precond":"auto"` jobs keep their learned rung across
+//! restarts.
+
+use parapre_net::{NetConfig, NetError, NetServer};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: parapre-netd [--tcp ADDR] [--unix PATH] [--pool N] [--queue N]
+                    [--cache N] [--max-inflight N] [--tune-state FILE]
+  --tcp ADDR        listen on a TCP address (host:port; port 0 picks one)
+  --unix PATH       listen on a unix-domain socket
+  --pool N          worker threads / concurrent jobs (default 4)
+  --queue N         bounded queue capacity (default 16)
+  --cache N         session-cache capacity (default 4)
+  --max-inflight N  per-client in-flight job cap (default 8)
+  --tune-state F    load/persist autotuner records (JSONL) at F
+at least one of --tcp / --unix is required";
+
+fn main() {
+    let mut cfg = NetConfig::default();
+    let mut tcp: Option<String> = None;
+    let mut unix: Option<PathBuf> = None;
+    let mut tune_state: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--tcp" => tcp = Some(take("--tcp")),
+            "--unix" => unix = Some(PathBuf::from(take("--unix"))),
+            "--pool" => cfg.service.pool_size = parse_num(&take("--pool"), "--pool"),
+            "--queue" => cfg.service.queue_capacity = parse_num(&take("--queue"), "--queue"),
+            "--cache" => cfg.service.cache_capacity = parse_num(&take("--cache"), "--cache"),
+            "--max-inflight" => {
+                cfg.max_inflight = parse_num(&take("--max-inflight"), "--max-inflight")
+            }
+            "--tune-state" => tune_state = Some(PathBuf::from(take("--tune-state"))),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+
+    let server = match NetServer::start(cfg, tcp.as_deref(), unix.as_deref()) {
+        Ok(server) => server,
+        // Config errors are usage errors: the caller typed a size the
+        // service refuses to run with.
+        Err(e @ (NetError::Config(_) | NetError::NoListener)) => die(&format!("{e}\n{USAGE}")),
+        Err(e) => die(&e.to_string()),
+    };
+    if let Some(path) = &tune_state {
+        match server.service().tuner().load(path) {
+            Ok(n) if n > 0 => eprintln!("parapre-netd: loaded {n} tuner records"),
+            Ok(_) => {}
+            Err(e) => eprintln!("parapre-netd: tune state {}: {e}", path.display()),
+        }
+    }
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("parapre-netd: listening on tcp {addr}");
+    }
+    if let Some(path) = &unix {
+        eprintln!("parapre-netd: listening on unix {}", path.display());
+    }
+
+    server.wait();
+    if let Some(path) = &tune_state {
+        if let Err(e) = server.service().tuner().save(path) {
+            eprintln!("parapre-netd: saving tune state: {e}");
+        }
+    }
+    let stats = server.service().cache_stats();
+    eprintln!(
+        "parapre-netd: drained; cache {} hits {} misses {} evictions",
+        stats.hits, stats.misses, stats.evictions
+    );
+}
+
+fn parse_num(s: &str, name: &str) -> usize {
+    match s.parse::<usize>() {
+        Ok(n) => n,
+        _ => die(&format!("{name} needs a non-negative integer, got {s:?}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("parapre-netd: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,111 @@
+//! A small blocking client for the `parapre-netd` protocol: frames
+//! requests, reads newline-delimited response lines.
+
+use crate::protocol::write_frame;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+enum ClientStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.write(buf),
+            ClientStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.flush(),
+            ClientStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected client. Sends length-framed requests with
+/// [`NetClient::send_line`] / [`NetClient::put_mtx`], reads response
+/// lines with [`NetClient::recv_line`]; requests and responses are
+/// decoupled, so a caller may pipeline many sends before reading.
+pub struct NetClient {
+    reader: BufReader<ClientStream>,
+    writer: ClientStream,
+}
+
+impl NetClient {
+    /// Connects over TCP (with Nagle disabled — requests are small
+    /// frames written whole, and coalescing them costs round trips).
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> std::io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(ClientStream::Tcp(stream.try_clone()?));
+        Ok(NetClient {
+            reader,
+            writer: ClientStream::Tcp(stream),
+        })
+    }
+
+    /// Connects over a unix-domain socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<NetClient> {
+        let stream = UnixStream::connect(path)?;
+        let reader = BufReader::new(ClientStream::Unix(stream.try_clone()?));
+        Ok(NetClient {
+            reader,
+            writer: ClientStream::Unix(stream),
+        })
+    }
+
+    /// Sends one single-line request (a job line or a `{"cmd":…}`
+    /// control request) as a length-prefixed frame.
+    pub fn send_line(&mut self, json: &str) -> std::io::Result<()> {
+        self.send_frame(json.trim().as_bytes())
+    }
+
+    /// Sends one raw frame payload.
+    pub fn send_frame(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        write_frame(&mut self.writer, payload)?;
+        self.writer.flush()
+    }
+
+    /// Uploads a matrix (Matrix Market text) through the `put` ingest
+    /// path. The server answers with the matrix's fingerprint; later jobs
+    /// reference it as `{"fp":"<hex>"}` without re-sending the bytes.
+    pub fn put_mtx(&mut self, mtx_text: &str) -> std::io::Result<()> {
+        let mut payload = Vec::with_capacity(mtx_text.len() + 32);
+        payload.extend_from_slice(b"{\"cmd\":\"put\"}\n");
+        payload.extend_from_slice(mtx_text.as_bytes());
+        self.send_frame(&payload)
+    }
+
+    /// Reads the next response line; `None` on a clean end of stream
+    /// (the server closed after a drain).
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        Ok(Some(line.trim_end().to_string()))
+    }
+
+    /// Sends one request and returns the next response line — only
+    /// correct when nothing else is in flight on this connection.
+    pub fn request(&mut self, json: &str) -> std::io::Result<Option<String>> {
+        self.send_line(json)?;
+        self.recv_line()
+    }
+}

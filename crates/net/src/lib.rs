@@ -1,0 +1,26 @@
+//! # parapre-net
+//!
+//! The network layer of the serving stack: `parapre-netd`, a long-lived
+//! server exposing the [`SolveService`](parapre_engine::SolveService)
+//! over TCP and unix-domain sockets.
+//!
+//! * [`protocol`] — length-prefixed request frames with a bare-JSONL
+//!   fallback for interactive clients; newline-delimited responses;
+//! * [`server`] — concurrent connections with out-of-order streaming
+//!   results, per-client admission control (max in-flight + fair-share
+//!   slots) over the service's own queue backpressure, fingerprint
+//!   matrix ingest (`{"cmd":"put"}` → `{"fp":…}` jobs), and graceful
+//!   drain on `{"cmd":"shutdown"}`;
+//! * [`client`] — a small blocking client used by `parapre-netc`, the
+//!   service benchmark, and the tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::NetClient;
+pub use protocol::{read_frame, split_payload, write_frame, FrameError, MAX_FRAME_BYTES};
+pub use server::{NetConfig, NetError, NetServer};

@@ -1,0 +1,301 @@
+//! End-to-end protocol behavior against a live server: concurrent
+//! clients, admission control, fingerprint ingest, graceful drain, and
+//! hostile frames.
+
+use parapre_engine::ServiceConfig;
+use parapre_net::{NetClient, NetConfig, NetServer};
+use parapre_trace::flatjson::{parse_flat_object, JsonValue};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+fn start_tcp(cfg: NetConfig) -> NetServer {
+    NetServer::start(cfg, Some("127.0.0.1:0"), None).expect("server starts")
+}
+
+fn connect(server: &NetServer) -> NetClient {
+    NetClient::connect_tcp(server.tcp_addr().expect("tcp bound")).expect("connects")
+}
+
+fn fields_of(line: &str) -> BTreeMap<String, JsonValue> {
+    parse_flat_object(line).unwrap_or_else(|e| panic!("unparsable response {line:?}: {e}"))
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    fields_of(line)
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+}
+
+fn bool_field(line: &str, key: &str) -> Option<bool> {
+    fields_of(line).get(key).and_then(JsonValue::as_bool)
+}
+
+/// A small SPD tridiagonal system in Matrix Market text.
+fn tridiag_mtx(n: usize) -> String {
+    let mut entries = Vec::new();
+    for i in 1..=n {
+        entries.push(format!("{i} {i} 2.5"));
+        if i < n {
+            entries.push(format!("{i} {} -1.0", i + 1));
+            entries.push(format!("{} {i} -1.0", i + 1));
+        }
+    }
+    format!(
+        "%%MatrixMarket matrix coordinate real general\n{n} {n} {}\n{}\n",
+        entries.len(),
+        entries.join("\n")
+    )
+}
+
+#[test]
+fn two_concurrent_clients_interleave_results_keyed_by_id() {
+    let server = start_tcp(NetConfig {
+        service: ServiceConfig {
+            pool_size: 2,
+            queue_capacity: 8,
+            cache_capacity: 4,
+        },
+        ..NetConfig::default()
+    });
+    let addr = server.tcp_addr().expect("tcp bound");
+    let drive = move |prefix: &'static str| {
+        let mut client = NetClient::connect_tcp(addr).expect("connects");
+        for i in 0..3 {
+            client
+                .send_line(&format!(
+                    "{{\"id\":\"{prefix}{i}\",\"case\":\"tc1\",\"size\":\"tiny\",\
+                     \"precond\":\"schur1\",\"ranks\":2}}"
+                ))
+                .expect("send");
+        }
+        // Results may arrive in any completion order; collect all three.
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let line = client.recv_line().expect("recv").expect("open");
+            assert_eq!(bool_field(&line, "ok"), Some(true), "failed: {line}");
+            seen.push(str_field(&line, "id").expect("id"));
+        }
+        seen.sort();
+        assert_eq!(
+            seen,
+            (0..3).map(|i| format!("{prefix}{i}")).collect::<Vec<_>>()
+        );
+    };
+    let a = std::thread::spawn(move || drive("a"));
+    let b = std::thread::spawn(move || drive("b"));
+    a.join().expect("client a");
+    b.join().expect("client b");
+}
+
+#[test]
+fn admission_limit_rejects_with_structured_frame() {
+    let server = start_tcp(NetConfig {
+        service: ServiceConfig {
+            pool_size: 1,
+            queue_capacity: 4,
+            cache_capacity: 2,
+        },
+        max_inflight: 1,
+        ..NetConfig::default()
+    });
+    let mut client = connect(&server);
+    // A slow job holds the single in-flight slot while the second frame
+    // arrives — the second must bounce off admission control, not queue.
+    client
+        .send_line(
+            "{\"id\":\"slow\",\"case\":\"tc1\",\"size\":\"tiny\",\
+             \"precond\":\"schur1\",\"ranks\":2,\"repeat\":60}",
+        )
+        .expect("send");
+    client
+        .send_line(
+            "{\"id\":\"bounced\",\"case\":\"tc1\",\"size\":\"tiny\",\
+             \"precond\":\"schur1\",\"ranks\":2}",
+        )
+        .expect("send");
+    let mut rejected = None;
+    let mut slow_ok = None;
+    for _ in 0..2 {
+        let line = client.recv_line().expect("recv").expect("open");
+        match str_field(&line, "id").as_deref() {
+            Some("bounced") => rejected = Some(line),
+            Some("slow") => slow_ok = Some(line),
+            other => panic!("unexpected id {other:?} in {line}"),
+        }
+    }
+    let rejected = rejected.expect("admission rejection arrived");
+    assert_eq!(bool_field(&rejected, "ok"), Some(false));
+    assert_eq!(
+        str_field(&rejected, "error_kind").as_deref(),
+        Some("admission"),
+        "line: {rejected}"
+    );
+    let fields = fields_of(&rejected);
+    assert_eq!(fields.get("allowed").and_then(JsonValue::as_u64), Some(1));
+    let slow_ok = slow_ok.expect("slow job completed");
+    assert_eq!(bool_field(&slow_ok, "ok"), Some(true));
+}
+
+#[test]
+fn fingerprint_put_and_resubmission_hit_store_and_cache() {
+    let server = start_tcp(NetConfig::default());
+    let mut client = connect(&server);
+    let mtx = tridiag_mtx(24);
+
+    client.put_mtx(&mtx).expect("put");
+    let ack = client.recv_line().expect("recv").expect("open");
+    assert_eq!(bool_field(&ack, "put"), Some(true), "line: {ack}");
+    assert_eq!(bool_field(&ack, "known"), Some(false));
+    let fp = str_field(&ack, "fp").expect("fingerprint");
+
+    // Re-uploading identical bytes dedups by content.
+    client.put_mtx(&mtx).expect("put again");
+    let again = client.recv_line().expect("recv").expect("open");
+    assert_eq!(bool_field(&again, "known"), Some(true), "line: {again}");
+    assert_eq!(str_field(&again, "fp").as_deref(), Some(fp.as_str()));
+
+    // Fingerprint-only jobs solve without re-sending the matrix; the
+    // second one hits the warm session cache.
+    for (id, expect_hit) in [("f1", false), ("f2", true)] {
+        let line = client
+            .request(&format!(
+                "{{\"id\":\"{id}\",\"fp\":\"{fp}\",\"precond\":\"block1\",\
+                 \"ranks\":2,\"rhs\":\"ones\"}}"
+            ))
+            .expect("request")
+            .expect("open");
+        assert_eq!(bool_field(&line, "ok"), Some(true), "line: {line}");
+        assert_eq!(bool_field(&line, "converged"), Some(true));
+        assert_eq!(bool_field(&line, "cache_hit"), Some(expect_hit));
+    }
+    let store = server.service().matrix_store().stats();
+    assert_eq!(store.puts, 1);
+    assert_eq!(store.dedups, 1);
+    assert!(store.hits >= 1, "fp lookups hit the store: {store:?}");
+
+    // An unregistered fingerprint is a structured rejection, not a hang.
+    let line = client
+        .request("{\"id\":\"ghost\",\"fp\":\"deadbeefdeadbeef\",\"ranks\":2}")
+        .expect("request")
+        .expect("open");
+    assert_eq!(bool_field(&line, "ok"), Some(false));
+    assert_eq!(str_field(&line, "error_kind").as_deref(), Some("rejected"));
+}
+
+#[test]
+fn graceful_drain_mid_stream_completes_inflight_jobs() {
+    let server = start_tcp(NetConfig {
+        service: ServiceConfig {
+            pool_size: 2,
+            queue_capacity: 8,
+            cache_capacity: 2,
+        },
+        ..NetConfig::default()
+    });
+    let mut client = connect(&server);
+    for i in 0..4 {
+        client
+            .send_line(&format!(
+                "{{\"id\":\"d{i}\",\"case\":\"tc1\",\"size\":\"tiny\",\
+                 \"precond\":\"schur1\",\"ranks\":2,\"repeat\":4}}"
+            ))
+            .expect("send");
+    }
+    client.send_line("{\"cmd\":\"shutdown\"}").expect("send");
+    // Every in-flight result still streams out, plus the shutdown ack;
+    // then the server closes the stream.
+    let mut results = Vec::new();
+    let mut acked = false;
+    while let Some(line) = client.recv_line().expect("recv") {
+        if bool_field(&line, "shutdown") == Some(true) {
+            acked = true;
+        } else if let Some(id) = str_field(&line, "id") {
+            assert_eq!(bool_field(&line, "ok"), Some(true), "line: {line}");
+            results.push(id);
+        }
+    }
+    assert!(acked, "shutdown was acknowledged");
+    results.sort();
+    assert_eq!(results, vec!["d0", "d1", "d2", "d3"]);
+    // The server comes down on its own after the drain.
+    server.wait();
+
+    // New connections are refused (or reset) once draining.
+    assert!(
+        NetClient::connect_tcp(server.tcp_addr().expect("addr"))
+            .and_then(|mut c| c.request("{\"cmd\":\"ping\"}"))
+            .map(|r| r.is_none())
+            .unwrap_or(true),
+        "drained server accepts no new work"
+    );
+}
+
+#[test]
+fn malformed_frames_get_structured_errors() {
+    let server = start_tcp(NetConfig::default());
+
+    // A garbage header: structured bad_frame error, then close.
+    let mut raw = TcpStream::connect(server.tcp_addr().expect("addr")).expect("connect");
+    raw.write_all(b"xyzzy\n").expect("write");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert_eq!(
+        str_field(line.trim(), "error_kind").as_deref(),
+        Some("bad_frame"),
+        "line: {line}"
+    );
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("server closes");
+    assert!(rest.is_empty(), "nothing after the error: {rest:?}");
+
+    // Unknown cmd and non-UTF8 payloads are rejected on a connection that
+    // stays usable.
+    let mut client = connect(&server);
+    let line = client
+        .request("{\"cmd\":\"frobnicate\"}")
+        .expect("request")
+        .expect("open");
+    assert_eq!(str_field(&line, "error_kind").as_deref(), Some("rejected"));
+    client
+        .send_frame(&[0xff, 0xfe, 0x01, 0x02])
+        .expect("send non-utf8");
+    let line = client.recv_line().expect("recv").expect("open");
+    assert_eq!(bool_field(&line, "ok"), Some(false), "line: {line}");
+    assert_eq!(str_field(&line, "error_kind").as_deref(), Some("rejected"));
+    let line = client
+        .request("{\"cmd\":\"ping\"}")
+        .expect("request")
+        .expect("open");
+    assert_eq!(bool_field(&line, "pong"), Some(true));
+}
+
+#[test]
+fn stats_and_auto_jobs_over_the_wire() {
+    let server = start_tcp(NetConfig::default());
+    let mut client = connect(&server);
+    // An auto job reports the rung the tuner picked.
+    let line = client
+        .request(
+            "{\"id\":\"auto1\",\"case\":\"tc1\",\"size\":\"tiny\",\
+             \"precond\":\"auto\",\"ranks\":2}",
+        )
+        .expect("request")
+        .expect("open");
+    assert_eq!(bool_field(&line, "ok"), Some(true), "line: {line}");
+    assert_eq!(bool_field(&line, "auto"), Some(true));
+    assert!(str_field(&line, "precond").is_some(), "line: {line}");
+
+    let stats = client
+        .request("{\"cmd\":\"stats\"}")
+        .expect("request")
+        .expect("open");
+    let fields = fields_of(&stats);
+    assert_eq!(fields.get("stats").and_then(JsonValue::as_bool), Some(true));
+    assert!(
+        fields.get("tuner_records").and_then(JsonValue::as_u64) >= Some(1),
+        "the auto job fed the tuner: {stats}"
+    );
+}

@@ -822,7 +822,8 @@ pub mod flatjson {
         }
     }
 
-    /// A scalar value of a flat JSON object.
+    /// A value of a flat JSON object: a scalar, or an array of scalars
+    /// (the one level of nesting result lines use, e.g. `iterations`).
     #[derive(Debug, Clone, PartialEq)]
     pub enum JsonValue {
         /// A string.
@@ -833,6 +834,8 @@ pub mod flatjson {
         Bool(bool),
         /// `null`.
         Null,
+        /// An array of scalars (arrays of arrays are not supported).
+        Arr(Vec<JsonValue>),
     }
 
     impl JsonValue {
@@ -862,6 +865,13 @@ pub mod flatjson {
         pub fn as_bool(&self) -> Option<bool> {
             match self {
                 JsonValue::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+        /// The elements, if an array.
+        pub fn as_arr(&self) -> Option<&[JsonValue]> {
+            match self {
+                JsonValue::Arr(items) => Some(items),
                 _ => None,
             }
         }
@@ -925,24 +935,53 @@ pub mod flatjson {
             }
             i += 1;
             skip_ws(&mut i);
+            let parse_token = |tok: &str| -> Result<JsonValue, String> {
+                match tok {
+                    "null" => Ok(JsonValue::Null),
+                    "true" => Ok(JsonValue::Bool(true)),
+                    "false" => Ok(JsonValue::Bool(false)),
+                    _ => Ok(JsonValue::Num(
+                        tok.parse::<f64>()
+                            .map_err(|e| format!("bad number {tok:?}: {e}"))?,
+                    )),
+                }
+            };
             let value = if chars.get(i) == Some(&'"') {
                 JsonValue::Str(parse_string(&mut i)?)
+            } else if chars.get(i) == Some(&'[') {
+                i += 1;
+                let mut items = Vec::new();
+                loop {
+                    skip_ws(&mut i);
+                    match chars.get(i) {
+                        None => return Err("unterminated array".into()),
+                        Some(']') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('"') => items.push(JsonValue::Str(parse_string(&mut i)?)),
+                        Some(_) => {
+                            let start = i;
+                            while i < n && chars[i] != ',' && chars[i] != ']' {
+                                i += 1;
+                            }
+                            let tok: String = chars[start..i].iter().collect();
+                            items.push(parse_token(tok.trim())?);
+                        }
+                    }
+                    skip_ws(&mut i);
+                    if chars.get(i) == Some(&',') {
+                        i += 1;
+                    }
+                }
+                JsonValue::Arr(items)
             } else {
                 let start = i;
                 while i < n && chars[i] != ',' {
                     i += 1;
                 }
                 let tok: String = chars[start..i].iter().collect();
-                let tok = tok.trim();
-                match tok {
-                    "null" => JsonValue::Null,
-                    "true" => JsonValue::Bool(true),
-                    "false" => JsonValue::Bool(false),
-                    _ => JsonValue::Num(
-                        tok.parse::<f64>()
-                            .map_err(|e| format!("bad number {tok:?}: {e}"))?,
-                    ),
-                }
+                parse_token(tok.trim())?
             };
             map.insert(key, value);
             skip_ws(&mut i);
@@ -967,6 +1006,24 @@ pub mod flatjson {
             assert_eq!(m["f"].as_bool(), Some(false));
             assert!(m["z"].as_f64().unwrap().is_nan());
             assert!(parse_flat_object("not json").is_err());
+        }
+
+        #[test]
+        fn parses_scalar_arrays() {
+            let m =
+                parse_flat_object(r#"{"it":[3, 4,5],"empty":[],"mix":["a",true,null]}"#).unwrap();
+            let it: Vec<u64> = m["it"]
+                .as_arr()
+                .unwrap()
+                .iter()
+                .filter_map(JsonValue::as_u64)
+                .collect();
+            assert_eq!(it, vec![3, 4, 5]);
+            assert_eq!(m["empty"].as_arr(), Some(&[][..]));
+            let mix = m["mix"].as_arr().unwrap();
+            assert_eq!(mix[0].as_str(), Some("a"));
+            assert_eq!(mix[1].as_bool(), Some(true));
+            assert!(parse_flat_object(r#"{"bad":[1,"#).is_err());
         }
     }
 }

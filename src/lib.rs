@@ -20,7 +20,12 @@
 //!   convergence-event ring, per-rank load-imbalance reports;
 //! * [`dist`] — distributed sparse systems and distributed (F)GMRES;
 //! * [`core`] — the paper's preconditioners, test cases and experiment
-//!   runner.
+//!   runner;
+//! * [`engine`] — cached solver sessions, batched multi-RHS solves, the
+//!   fingerprint-keyed autotuner, and the bounded concurrent solve
+//!   service;
+//! * [`net`] — `parapre-netd`, the persistent network solve service
+//!   (length-framed JSONL over TCP / unix sockets).
 //!
 //! ## Quickstart
 //!
@@ -38,11 +43,13 @@
 
 pub use parapre_core as core;
 pub use parapre_dist as dist;
+pub use parapre_engine as engine;
 pub use parapre_fem as fem;
 pub use parapre_grid as grid;
 pub use parapre_krylov as krylov;
 pub use parapre_metrics as metrics;
 pub use parapre_mpisim as mpisim;
+pub use parapre_net as net;
 pub use parapre_partition as partition;
 pub use parapre_sparse as sparse;
 pub use parapre_transform as transform;
