@@ -14,15 +14,18 @@
 //! (`halo.ready_after_interior` / `halo.wait_after_interior`), and the
 //! combined speedup `(sync SpMV + MGS GMRES) / (overlap SpMV + CGS GMRES)`.
 
+use parapre_core::{build_case_sized, CaseId};
 use parapre_dist::{
-    scatter_vector, DistGmres, DistGmresConfig, DistMatrix, IdentityDistPrecond, OrthMethod,
+    scatter_vector, DistGmres, DistGmresConfig, DistMatrix, DistPrecond, IdentityDistPrecond,
+    OrthMethod,
 };
 use parapre_fem::poisson;
 use parapre_grid::structured::unit_square;
-use parapre_mpisim::{CommStats, MachineModel, Universe};
+use parapre_krylov::{Ilu0, LuFactors};
+use parapre_mpisim::{Comm, CommStats, MachineModel, Universe};
 use parapre_partition::partition_graph;
-use parapre_sparse::Csr;
-use std::time::Instant;
+use parapre_sparse::{parallel, Csr};
+use std::time::{Duration, Instant};
 
 struct Timed {
     /// Max over ranks of the timed region's wall-clock seconds.
@@ -142,6 +145,154 @@ fn overlap_counters(a: &Csr, owner: &[u32], p: usize) -> (u64, u64) {
         .fold((0, 0), |(r, w), &(ri, wi)| (r + ri, w + wi))
 }
 
+/// Block-Jacobi preconditioner over the rank's owned diagonal block: one
+/// budget-aware ILU sweep per application (the leveled fan-out is what the
+/// thread-scaling grid measures).
+struct LocalIluPrecond(LuFactors);
+
+impl DistPrecond for LocalIluPrecond {
+    fn apply(&self, _comm: &mut Comm, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+        self.0.solve_in_place(z);
+    }
+}
+
+/// Workload repetitions of one scaling-grid cell.
+#[derive(Clone, Copy)]
+struct ScalingReps {
+    spmv: usize,
+    sweep: usize,
+    gmres_iters: usize,
+}
+
+/// One cell of the in-rank thread-scaling grid: the combined
+/// SpMV + triangular-sweep + FGMRES workload at `p` ranks with an in-rank
+/// budget of `threads`, returning max-over-ranks wall-clock seconds.
+fn bench_scaling_cell(
+    a: &Csr,
+    b: &[f64],
+    owner: &[u32],
+    p: usize,
+    threads: usize,
+    reps: ScalingReps,
+) -> f64 {
+    let outs =
+        Universe::try_run_with_threads(p, Duration::from_secs(600), None, Some(threads), |comm| {
+            let dm = DistMatrix::from_global(a, owner, comm.rank(), p);
+            let n_owned = dm.layout.n_owned();
+            let rows: Vec<usize> = (0..n_owned).collect();
+            let col_map: Vec<Option<usize>> = (0..dm.layout.n_local())
+                .map(|j| (j < n_owned).then_some(j))
+                .collect();
+            let a_own = dm.a_loc.extract(&rows, &col_map, n_owned);
+            let ilu = Ilu0::factor_shifted(&a_own).expect("owned-block ILU(0)");
+            let mut x = vec![0.0; dm.layout.n_local()];
+            for (l, v) in x[..n_owned].iter_mut().enumerate() {
+                *v = (dm.layout.local_to_global[l] as f64 * 0.37).sin();
+            }
+            let mut y = vec![0.0; n_owned];
+            let b_loc = scatter_vector(&dm.layout, b);
+            let solver = DistGmres::new(DistGmresConfig {
+                restart: 20,
+                max_iters: reps.gmres_iters,
+                rel_tol: 1e-30,
+                abs_tol: 1e-300,
+                ..Default::default()
+            });
+            // Warm-up: channels, buffer pool, worker pool.
+            dm.matvec(comm, &mut x, &mut y);
+            y.copy_from_slice(&b_loc);
+            ilu.solve_in_place(&mut y);
+            let t0 = Instant::now();
+            for _ in 0..reps.spmv {
+                dm.matvec(comm, &mut x, &mut y);
+            }
+            let mut sweep_buf = b_loc.clone();
+            for _ in 0..reps.sweep {
+                ilu.solve_in_place(&mut sweep_buf);
+            }
+            let mut xg = vec![0.0; n_owned];
+            solver.solve(comm, &dm, &LocalIluPrecond(ilu), &b_loc, &mut xg);
+            t0.elapsed().as_secs_f64()
+        });
+    outs.into_iter()
+        .map(|r| r.expect("scaling rank"))
+        .fold(0.0, f64::max)
+}
+
+struct ScalingCell {
+    case: &'static str,
+    p: usize,
+    threads: usize,
+    secs: f64,
+    speedup_vs_t1: f64,
+}
+
+/// Runs the P×T grid on TC1–TC4 and returns the cells plus whether the
+/// ≥1.3x bar at (P=2, T=4) is enforceable on this machine (it needs
+/// P·T real cores; the curves are always emitted).
+fn bench_scaling_grid(quick: bool) -> (Vec<ScalingCell>, bool) {
+    let cases: [(CaseId, &'static str, usize); 4] = if quick {
+        [
+            (CaseId::Tc1, "tc1", 49),
+            (CaseId::Tc2, "tc2", 13),
+            (CaseId::Tc3, "tc3", 2500),
+            (CaseId::Tc4, "tc4", 13),
+        ]
+    } else {
+        [
+            (CaseId::Tc1, "tc1", 97),
+            (CaseId::Tc2, "tc2", 21),
+            (CaseId::Tc3, "tc3", 9000),
+            (CaseId::Tc4, "tc4", 21),
+        ]
+    };
+    let reps = if quick {
+        ScalingReps {
+            spmv: 40,
+            sweep: 40,
+            gmres_iters: 20,
+        }
+    } else {
+        ScalingReps {
+            spmv: 120,
+            sweep: 120,
+            gmres_iters: 60,
+        }
+    };
+    let p_grid = [1usize, 2];
+    let t_grid = [1usize, 2, 4];
+    let cores = parallel::machine_parallelism();
+    let mut cells = Vec::new();
+    for &(id, name, extent) in &cases {
+        let case = build_case_sized(id, extent);
+        let a = &case.sys.a;
+        let b = &case.sys.b;
+        for &p in &p_grid {
+            let owner = partition_graph(&case.node_adjacency, p, 11).owner;
+            let mut t1_secs = f64::NAN;
+            for &t in &t_grid {
+                let secs = bench_scaling_cell(a, b, &owner, p, t, reps);
+                if t == 1 {
+                    t1_secs = secs;
+                }
+                let speedup = t1_secs / secs;
+                eprintln!("scaling {name}: P={p} T={t} {secs:.4}s ({speedup:.2}x vs T=1)");
+                cells.push(ScalingCell {
+                    case: name,
+                    p,
+                    threads: t,
+                    secs,
+                    speedup_vs_t1: speedup,
+                });
+            }
+        }
+    }
+    // The ≥1.3x bar needs 2 ranks x 4 workers of real hardware.
+    let enforceable = cores >= 8;
+    (cells, enforceable)
+}
+
 fn modeled(stats: &CommStats) -> String {
     let cluster = stats.modeled_comm_seconds(&MachineModel::linux_cluster());
     let origin = stats.modeled_comm_seconds(&MachineModel::origin_3800());
@@ -208,6 +359,20 @@ fn main() {
     let combined = (sync.secs + mgs.secs) / (over.secs + cgs.secs);
     eprintln!("combined speedup: {combined:.2}x");
 
+    let cores = parallel::machine_parallelism();
+    eprintln!("scaling grid: P x T over TC1-TC4 ({cores} cores visible)");
+    let (scaling, bar_enforceable) = bench_scaling_grid(quick);
+    let scaling_json: String = scaling
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"case\": \"{}\", \"ranks\": {}, \"threads\": {}, \"secs\": {:.6}, \"speedup_vs_t1\": {:.4}}}",
+                c.case, c.p, c.threads, c.secs, c.speedup_vs_t1
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
         concat!(
             "{{\n",
@@ -222,9 +387,13 @@ fn main() {
             "\"speedup\": {gs:.4}, \"iters\": {it}, ",
             "\"mgs_msgs_per_iter\": {mmpi:.2}, \"cgs_msgs_per_iter\": {cmpi:.2}, ",
             "\"modeled_comm_secs_mgs\": {mcm}, \"modeled_comm_secs_cgs\": {mcc}}},\n",
+            "  \"scaling\": {{\"cores\": {cores}, \"bar_enforced\": {bar}, \"grid\": [\n{grid}\n  ]}},\n",
             "  \"combined_speedup\": {comb:.4}\n",
             "}}\n"
         ),
+        cores = cores,
+        bar = bar_enforceable,
+        grid = scaling_json,
         ranks = ranks,
         quick = quick,
         spmv_nx = spmv_nx,
@@ -264,5 +433,26 @@ fn main() {
     if combined < 1.0 {
         eprintln!("FAIL: combined speedup {combined:.2}x below 1.0x");
         std::process::exit(2);
+    }
+    // Thread-scaling bar: at P=2, T=4 the combined SpMV+sweep+FGMRES
+    // workload must be >= 1.3x over the T=1 baseline on every case — only
+    // enforceable when the machine has the 8 cores that cell needs.
+    if bar_enforceable {
+        let mut failed = false;
+        for c in scaling.iter().filter(|c| c.p == 2 && c.threads == 4) {
+            eprintln!("bar {}: P=2 T=4 {:.2}x vs T=1", c.case, c.speedup_vs_t1);
+            if c.speedup_vs_t1 < 1.3 {
+                eprintln!(
+                    "FAIL: {} thread-scaling {:.2}x below 1.3x",
+                    c.case, c.speedup_vs_t1
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(2);
+        }
+    } else {
+        eprintln!("scaling bar skipped: {cores} cores < 8 needed for P=2 x T=4");
     }
 }

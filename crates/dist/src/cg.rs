@@ -9,6 +9,7 @@
 use crate::solver::{CheckpointCtx, DistOp, DistPrecond};
 use crate::tags;
 use parapre_mpisim::Comm;
+use parapre_sparse::ops;
 
 /// CG stopping parameters.
 #[derive(Debug, Clone, Copy)]
@@ -93,8 +94,7 @@ impl DistCg {
         assert_eq!(x.len(), n);
         let cfg = &self.config;
         let dot = |comm: &mut Comm, u: &[f64], v: &[f64]| -> f64 {
-            let local: f64 = u.iter().zip(v).map(|(a, b)| a * b).sum();
-            comm.allreduce_sum(local, tags::REDUCE + 2)
+            comm.allreduce_sum(ops::dot_par(u, v), tags::REDUCE + 2)
         };
 
         let mut r = vec![0.0; n];
@@ -175,10 +175,7 @@ impl DistCg {
             // cost of one speculative preconditioner apply on the final
             // iteration.
             m.apply(comm, &r, &mut z);
-            let mut pair = [
-                r.iter().map(|v| v * v).sum::<f64>(),
-                r.iter().zip(&z).map(|(a, b)| a * b).sum::<f64>(),
-            ];
+            let mut pair = [ops::dot_par(&r, &r), ops::dot_par(&r, &z)];
             comm.allreduce_sum_vec(&mut pair, tags::REDUCE + 2);
             let rnorm = pair[0].sqrt();
             if rnorm <= target {

@@ -35,7 +35,7 @@ pub use solver::{
 };
 
 use parapre_mpisim::Comm;
-use parapre_sparse::{Csr, RowSplit};
+use parapre_sparse::{ops, parallel, Csr, RowSplit};
 use std::cell::RefCell;
 
 thread_local! {
@@ -204,13 +204,11 @@ impl LocalLayout {
         }
     }
 
-    /// Distributed dot product over owned entries.
+    /// Distributed dot product over owned entries. The local part uses
+    /// the deterministic chunked reduction (`ops::dot_par`), so the value
+    /// is identical at any in-rank worker count.
     pub fn dot(&self, comm: &mut Comm, x: &[f64], y: &[f64]) -> f64 {
-        let local: f64 = x[..self.n_owned()]
-            .iter()
-            .zip(&y[..self.n_owned()])
-            .map(|(a, b)| a * b)
-            .sum();
+        let local = ops::dot_par(&x[..self.n_owned()], &y[..self.n_owned()]);
         comm.allreduce_sum(local, tags::REDUCE)
     }
 
@@ -237,6 +235,15 @@ pub struct DistSpmvPlan {
     pub split: RowSplit,
 }
 
+/// Minimum scattered rows before the overlapped SpMV halves fan out.
+const SPMV_SCATTER_PAR_MIN_ROWS: usize = 4096;
+
+thread_local! {
+    /// Per-rank scratch for the two-phase (compute, scatter) parallel
+    /// scattered SpMV — reused across matvecs to avoid re-allocation.
+    static SPMV_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
 impl DistSpmvPlan {
     /// Builds the plan for `a_loc` (owned rows × local cols) under `layout`.
     pub fn new(a_loc: &Csr, layout: &LocalLayout) -> Self {
@@ -257,7 +264,35 @@ impl DistSpmvPlan {
 
     /// Computes `y[rows[i]] = part.row(i) · x` with the exact accumulation
     /// order of [`Csr::spmv`].
+    ///
+    /// When the caller's thread budget allows and the part is large, the
+    /// row dot products fan out across the shared worker pool into a
+    /// scratch buffer and are scattered serially — per-row accumulation
+    /// order is untouched, so the result stays bitwise identical.
     fn spmv_scattered(part: &Csr, rows: &[usize], x: &[f64], y: &mut [f64]) {
+        let budget = parallel::current_budget();
+        if budget > 1 && rows.len() >= SPMV_SCATTER_PAR_MIN_ROWS {
+            SPMV_SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                scratch.clear();
+                scratch.resize(rows.len(), 0.0);
+                parallel::for_each_chunk_mut(&mut scratch, budget, |_, start, out| {
+                    let len = out.len();
+                    for (o, ip) in out.iter_mut().zip(start..start + len) {
+                        let (cols, vals) = part.row(ip);
+                        let mut acc = 0.0;
+                        for (&j, &v) in cols.iter().zip(vals) {
+                            acc += v * x[j];
+                        }
+                        *o = acc;
+                    }
+                });
+                for (&row, &v) in rows.iter().zip(scratch.iter()) {
+                    y[row] = v;
+                }
+            });
+            return;
+        }
         for (ip, &row) in rows.iter().enumerate() {
             let (cols, vals) = part.row(ip);
             let mut acc = 0.0;
@@ -444,7 +479,7 @@ impl DistMatrix {
         self.layout.update_ghosts_baseline(comm, x);
         debug_assert_eq!(y.len(), self.layout.n_owned());
         let _span = parapre_trace::span(parapre_trace::phase::SPMV);
-        self.a_loc.spmv(x, y);
+        self.a_loc.spmv_par(x, y);
     }
 
     /// The paper's local blocks `B_i, F_i, E_i, C_i` (eq. 4) plus the ghost

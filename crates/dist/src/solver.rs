@@ -9,8 +9,9 @@
 
 use crate::{tags, DistMatrix};
 use parapre_krylov::gmres::{DIVERGENCE_GUARD, STALL_RTOL};
-use parapre_krylov::{BreakdownKind, SolveBreakdown};
+use parapre_krylov::{proj, BreakdownKind, SolveBreakdown};
 use parapre_mpisim::Comm;
+use parapre_sparse::ops;
 use std::cell::RefCell;
 
 /// A distributed linear operator on owned-unknown vectors.
@@ -279,8 +280,7 @@ impl DistGmres {
         };
 
         let dot = |comm: &mut Comm, u: &[f64], v: &[f64]| -> f64 {
-            let local: f64 = u.iter().zip(v).map(|(a, b)| a * b).sum();
-            comm.allreduce_sum(local, tags::REDUCE)
+            comm.allreduce_sum(ops::dot_par(u, v), tags::REDUCE)
         };
 
         let mut r = vec![0.0; n];
@@ -543,22 +543,14 @@ fn orthogonalize_batched(comm: &mut Comm, v: &[Vec<f64>], w: &mut [f64], hcol: &
     let k1 = v.len();
     debug_assert!(hcol.len() > k1);
     let mut batch = vec![0.0; k1 + 1];
-    for (bi, vi) in batch.iter_mut().zip(v) {
-        *bi = w.iter().zip(vi).map(|(a, b)| a * b).sum();
-    }
-    batch[k1] = w.iter().map(|a| a * a).sum();
+    proj::batched_dots(w, v, &mut batch[..k1]);
+    batch[k1] = ops::dot_par(w, w);
     comm.allreduce_sum_vec(&mut batch, tags::REDUCE);
     parapre_trace::counter(parapre_trace::counters::GMRES_FUSED_ALLREDUCE, 1);
     let ww = batch[k1];
-    let mut proj_sq = 0.0;
-    for (i, vi) in v.iter().enumerate() {
-        let hik = batch[i];
-        hcol[i] = hik;
-        proj_sq += hik * hik;
-        for (wj, &vj) in w.iter_mut().zip(vi) {
-            *wj -= hik * vj;
-        }
-    }
+    hcol[..k1].copy_from_slice(&batch[..k1]);
+    let proj_sq: f64 = batch[..k1].iter().map(|h| h * h).sum();
+    proj::subtract_projections(w, v, &batch[..k1]);
     let mut est = (ww - proj_sq).max(0.0);
     // DGKS criterion (η² = 1/2): when more than half the mass of `w` was
     // removed by the projection, the Pythagorean estimate is untrustworthy
@@ -566,22 +558,17 @@ fn orthogonalize_batched(comm: &mut Comm, v: &[Vec<f64>], w: &mut [f64], hcol: &
     if est <= 0.5 * ww {
         parapre_trace::counter(parapre_trace::counters::GMRES_REORTH, 1);
         let mut batch2 = vec![0.0; k1 + 1];
-        for (bi, vi) in batch2.iter_mut().zip(v) {
-            *bi = w.iter().zip(vi).map(|(a, b)| a * b).sum();
-        }
-        batch2[k1] = w.iter().map(|a| a * a).sum();
+        proj::batched_dots(w, v, &mut batch2[..k1]);
+        batch2[k1] = ops::dot_par(w, w);
         comm.allreduce_sum_vec(&mut batch2, tags::REDUCE);
         parapre_trace::counter(parapre_trace::counters::GMRES_FUSED_ALLREDUCE, 1);
         let w1w1 = batch2[k1];
         let mut corr_sq = 0.0;
-        for (i, vi) in v.iter().enumerate() {
-            let ci = batch2[i];
-            hcol[i] += ci;
+        for (h, &ci) in hcol[..k1].iter_mut().zip(&batch2[..k1]) {
+            *h += ci;
             corr_sq += ci * ci;
-            for (wj, &vj) in w.iter_mut().zip(vi) {
-                *wj -= ci * vj;
-            }
         }
+        proj::subtract_projections(w, v, &batch2[..k1]);
         est = (w1w1 - corr_sq).max(0.0);
     }
     est.sqrt()

@@ -2,7 +2,9 @@
 //! grid, the distributed operators must agree with their global
 //! counterparts.
 
-use parapre_dist::{gather_vector, scatter_vector, DistMatrix};
+use parapre_dist::{
+    gather_vector, scatter_vector, DistGmres, DistGmresConfig, DistMatrix, IdentityDistPrecond,
+};
 use parapre_fem::poisson;
 use parapre_grid::structured::unit_square;
 use parapre_mpisim::Universe;
@@ -175,5 +177,45 @@ proptest! {
             x1 == x2 && ghosts == x1[lay.n_owned()..]
         });
         prop_assert!(ok.iter().all(|&b| b));
+    }
+}
+
+/// The end-to-end determinism contract of the in-rank data-parallel layer:
+/// for every rank count `P`, the solution is **bitwise identical** at any
+/// in-rank thread budget `T` — deterministic chunked reductions and
+/// element-disjoint fan-out make thread count a pure wall-clock knob.
+#[test]
+fn solve_is_bitwise_identical_across_thread_budgets() {
+    let nx = 24;
+    let mesh = unit_square(nx, nx);
+    let (a, b) = poisson::assemble_2d(&mesh, |_, _| 1.0);
+    let timeout = std::time::Duration::from_secs(60);
+    for p in [1usize, 2, 4, 8] {
+        let owner = partition_graph(&mesh.adjacency(), p, 7).owner;
+        let (a_ref, b_ref, owner_ref) = (&a, &b, &owner);
+        let solve = |threads: usize| -> Vec<f64> {
+            let outs = Universe::try_run_with_threads(p, timeout, None, Some(threads), |comm| {
+                let dm = DistMatrix::from_global(a_ref, owner_ref, comm.rank(), p);
+                let b_loc = scatter_vector(&dm.layout, b_ref);
+                let mut x = vec![0.0; dm.layout.n_owned()];
+                DistGmres::new(DistGmresConfig {
+                    max_iters: 60,
+                    rel_tol: 1e-8,
+                    ..Default::default()
+                })
+                .solve(comm, &dm, &IdentityDistPrecond, &b_loc, &mut x);
+                gather_vector(comm, &dm.layout, &x, b_ref.len())
+            });
+            outs.into_iter()
+                .next()
+                .unwrap()
+                .expect("rank 0 finishes")
+                .expect("rank 0 gathers")
+        };
+        let x_t1 = solve(1);
+        for t in [2usize, 4] {
+            let x_t = solve(t);
+            assert_eq!(x_t, x_t1, "P={p} T={t} drifted from T=1");
+        }
     }
 }

@@ -52,6 +52,11 @@ pub struct SessionConfig {
     /// diagonal-shift retry ladder. `false` reproduces the strict
     /// fail-fast build.
     pub fallback: bool,
+    /// In-rank thread budget for data-parallel kernels (`None` = the
+    /// default share `⌊cores / n_ranks⌋`, or the `PARAPRE_THREADS`
+    /// environment override). Results are bitwise identical at any
+    /// budget; the knob only trades wall-clock for cores.
+    pub threads_per_rank: Option<usize>,
 }
 
 impl SessionConfig {
@@ -72,6 +77,7 @@ impl SessionConfig {
             params: PrecondParams::default(),
             recv_timeout: Duration::from_secs(60),
             fallback: true,
+            threads_per_rank: None,
         }
     }
 
@@ -79,6 +85,9 @@ impl SessionConfig {
     /// of the session cache key. Floats are rendered with full round-trip
     /// precision (`{:?}`), so configs differing in any bit key differently.
     pub fn config_string(&self) -> String {
+        // `threads_per_rank` is deliberately absent: kernels are bitwise
+        // identical at any budget, so thread counts must not fragment the
+        // cache key.
         format!(
             "{}|{}|P{}|seed{}|{:?}|{:?}|fb{}",
             self.precond.key(),
@@ -190,35 +199,42 @@ impl SolverSession {
         let fingerprint = a.fingerprint();
         let t0 = Instant::now();
         let cfg_ref = &cfg;
-        let outs = Universe::try_run_with_timeout(p, cfg.recv_timeout, move |comm| {
-            let _setup = parapre_trace::span(parapre_trace::phase::SETUP);
-            let dm = DistMatrix::from_global(a, owner, comm.rank(), p);
-            if cfg_ref.fallback {
-                let built = build_dist_precond_with_fallback(
-                    cfg_ref.precond,
-                    &dm,
-                    comm,
-                    a,
-                    &cfg_ref.params,
-                );
-                RankState {
-                    dm,
-                    precond: built.precond,
-                    kind_used: built.kind_used,
-                    fallbacks: built.fallbacks,
-                    pivot_shifts: built.pivot_shifts,
+        let outs = Universe::try_run_with_threads(
+            p,
+            cfg.recv_timeout,
+            None,
+            cfg.threads_per_rank,
+            move |comm| {
+                let _setup = parapre_trace::span(parapre_trace::phase::SETUP);
+                let dm = DistMatrix::from_global(a, owner, comm.rank(), p);
+                if cfg_ref.fallback {
+                    let built = build_dist_precond_with_fallback(
+                        cfg_ref.precond,
+                        &dm,
+                        comm,
+                        a,
+                        &cfg_ref.params,
+                    );
+                    RankState {
+                        dm,
+                        precond: built.precond,
+                        kind_used: built.kind_used,
+                        fallbacks: built.fallbacks,
+                        pivot_shifts: built.pivot_shifts,
+                    }
+                } else {
+                    let precond =
+                        build_dist_precond(cfg_ref.precond, &dm, comm, a, &cfg_ref.params);
+                    RankState {
+                        dm,
+                        precond,
+                        kind_used: cfg_ref.precond,
+                        fallbacks: 0,
+                        pivot_shifts: 0,
+                    }
                 }
-            } else {
-                let precond = build_dist_precond(cfg_ref.precond, &dm, comm, a, &cfg_ref.params);
-                RankState {
-                    dm,
-                    precond,
-                    kind_used: cfg_ref.precond,
-                    fallbacks: 0,
-                    pivot_shifts: 0,
-                }
-            }
-        });
+            },
+        );
         let mut ranks = Vec::with_capacity(p);
         let mut failures = Vec::new();
         for out in outs {
@@ -309,49 +325,60 @@ impl SolverSession {
         }
         let p = self.cfg.n_ranks;
         let t0 = Instant::now();
-        let outs = Universe::try_run_with_timeout(p, self.cfg.recv_timeout, |comm| {
-            let st = &self.ranks[comm.rank()];
-            let n_owned = st.dm.layout.n_owned();
-            let mut x = match x0 {
-                Some(g) => scatter_vector(&st.dm.layout, g),
-                None => vec![0.0; n_owned],
-            };
-            let mut per_rhs = Vec::with_capacity(rhss.len());
-            let mut comm_before = comm.stats();
-            for b in rhss {
-                let rhs_t0 = Instant::now();
-                let b_loc = scatter_vector(&st.dm.layout, b);
-                if !opts.warm_start {
-                    x = match x0 {
-                        Some(g) => scatter_vector(&st.dm.layout, g),
-                        None => vec![0.0; n_owned],
-                    };
+        let outs = Universe::try_run_with_threads(
+            p,
+            self.cfg.recv_timeout,
+            None,
+            self.cfg.threads_per_rank,
+            |comm| {
+                let st = &self.ranks[comm.rank()];
+                let n_owned = st.dm.layout.n_owned();
+                let mut x = match x0 {
+                    Some(g) => scatter_vector(&st.dm.layout, g),
+                    None => vec![0.0; n_owned],
+                };
+                let mut per_rhs = Vec::with_capacity(rhss.len());
+                let mut comm_before = comm.stats();
+                for b in rhss {
+                    let rhs_t0 = Instant::now();
+                    let b_loc = scatter_vector(&st.dm.layout, b);
+                    if !opts.warm_start {
+                        x = match x0 {
+                            Some(g) => scatter_vector(&st.dm.layout, g),
+                            None => vec![0.0; n_owned],
+                        };
+                    }
+                    let rep = DistGmres::new(self.cfg.gmres).solve(
+                        comm,
+                        &st.dm,
+                        &st.precond,
+                        &b_loc,
+                        &mut x,
+                    );
+                    let mut ax = vec![0.0; n_owned];
+                    DistOp::apply(&st.dm, comm, &x, &mut ax);
+                    let r: Vec<f64> = b_loc.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+                    let rnorm = st.dm.layout.norm2(comm, &r);
+                    let bnorm = st.dm.layout.norm2(comm, &b_loc);
+                    let x_global = gather_vector(comm, &st.dm.layout, &x, self.n_global);
+                    let comm_after = comm.stats();
+                    per_rhs.push(RhsOut {
+                        iterations: rep.iterations,
+                        converged: rep.converged,
+                        final_relres: rep.final_relres,
+                        breakdown: rep.breakdown,
+                        rnorm,
+                        bnorm,
+                        x_global,
+                        busy_s: rhs_t0.elapsed().as_secs_f64(),
+                        comm: parapre_mpisim::CommStats::delta(&comm_after, &comm_before),
+                        solve_s: rhs_t0.elapsed().as_secs_f64(),
+                    });
+                    comm_before = comm_after;
                 }
-                let rep =
-                    DistGmres::new(self.cfg.gmres).solve(comm, &st.dm, &st.precond, &b_loc, &mut x);
-                let mut ax = vec![0.0; n_owned];
-                DistOp::apply(&st.dm, comm, &x, &mut ax);
-                let r: Vec<f64> = b_loc.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
-                let rnorm = st.dm.layout.norm2(comm, &r);
-                let bnorm = st.dm.layout.norm2(comm, &b_loc);
-                let x_global = gather_vector(comm, &st.dm.layout, &x, self.n_global);
-                let comm_after = comm.stats();
-                per_rhs.push(RhsOut {
-                    iterations: rep.iterations,
-                    converged: rep.converged,
-                    final_relres: rep.final_relres,
-                    breakdown: rep.breakdown,
-                    rnorm,
-                    bnorm,
-                    x_global,
-                    busy_s: rhs_t0.elapsed().as_secs_f64(),
-                    comm: parapre_mpisim::CommStats::delta(&comm_after, &comm_before),
-                    solve_s: rhs_t0.elapsed().as_secs_f64(),
-                });
-                comm_before = comm_after;
-            }
-            per_rhs
-        });
+                per_rhs
+            },
+        );
         let batch_seconds = t0.elapsed().as_secs_f64();
         let mut ranks = Vec::with_capacity(p);
         let mut failures = Vec::new();
@@ -477,46 +504,52 @@ impl SolverSession {
         }
         let p = self.cfg.n_ranks;
         let t0 = Instant::now();
-        let outs = Universe::try_run_with_faults(p, self.cfg.recv_timeout, faults, |comm| {
-            if trace {
-                parapre_trace::install(comm.rank());
-            }
-            let rank_t0 = Instant::now();
-            let st = &self.ranks[comm.rank()];
-            let n_owned = st.dm.layout.n_owned();
-            let b_loc = scatter_vector(&st.dm.layout, b);
-            let mut x = match x0 {
-                Some(g) => scatter_vector(&st.dm.layout, g),
-                None => vec![0.0; n_owned],
-            };
-            let rep = DistGmres::new(self.cfg.gmres).solve_with_checkpoint(
-                comm,
-                &st.dm,
-                &st.precond,
-                &b_loc,
-                &mut x,
-                ckpt,
-            );
-            // True residual ‖b − Ax‖ / ‖b‖, assembled distributed.
-            let mut ax = vec![0.0; n_owned];
-            DistOp::apply(&st.dm, comm, &x, &mut ax);
-            let r: Vec<f64> = b_loc.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
-            let rnorm = st.dm.layout.norm2(comm, &r);
-            let bnorm = st.dm.layout.norm2(comm, &b_loc);
-            let x_global = gather_vector(comm, &st.dm.layout, &x, self.n_global);
-            RankOut {
-                iterations: rep.iterations,
-                converged: rep.converged,
-                final_relres: rep.final_relres,
-                breakdown: rep.breakdown,
-                rnorm,
-                bnorm,
-                x_global,
-                trace: if trace { parapre_trace::take() } else { None },
-                busy_s: rank_t0.elapsed().as_secs_f64(),
-                comm: comm.stats(),
-            }
-        });
+        let outs = Universe::try_run_with_threads(
+            p,
+            self.cfg.recv_timeout,
+            faults,
+            self.cfg.threads_per_rank,
+            |comm| {
+                if trace {
+                    parapre_trace::install(comm.rank());
+                }
+                let rank_t0 = Instant::now();
+                let st = &self.ranks[comm.rank()];
+                let n_owned = st.dm.layout.n_owned();
+                let b_loc = scatter_vector(&st.dm.layout, b);
+                let mut x = match x0 {
+                    Some(g) => scatter_vector(&st.dm.layout, g),
+                    None => vec![0.0; n_owned],
+                };
+                let rep = DistGmres::new(self.cfg.gmres).solve_with_checkpoint(
+                    comm,
+                    &st.dm,
+                    &st.precond,
+                    &b_loc,
+                    &mut x,
+                    ckpt,
+                );
+                // True residual ‖b − Ax‖ / ‖b‖, assembled distributed.
+                let mut ax = vec![0.0; n_owned];
+                DistOp::apply(&st.dm, comm, &x, &mut ax);
+                let r: Vec<f64> = b_loc.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+                let rnorm = st.dm.layout.norm2(comm, &r);
+                let bnorm = st.dm.layout.norm2(comm, &b_loc);
+                let x_global = gather_vector(comm, &st.dm.layout, &x, self.n_global);
+                RankOut {
+                    iterations: rep.iterations,
+                    converged: rep.converged,
+                    final_relres: rep.final_relres,
+                    breakdown: rep.breakdown,
+                    rnorm,
+                    bnorm,
+                    x_global,
+                    trace: if trace { parapre_trace::take() } else { None },
+                    busy_s: rank_t0.elapsed().as_secs_f64(),
+                    comm: comm.stats(),
+                }
+            },
+        );
         let solve_seconds = t0.elapsed().as_secs_f64();
         let mut ranks = Vec::with_capacity(p);
         let mut failures = Vec::new();

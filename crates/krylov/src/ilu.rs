@@ -55,6 +55,15 @@ impl LuFactors {
         }
         let diag_inv = ops::diag_reciprocals_checked(&lu, &diag_ptr)?;
         let levels = SweepLevels::from_merged(&lu, &diag_ptr);
+        if parapre_metrics::enabled() {
+            use parapre_metrics::names;
+            let n_levels = levels.n_lower_levels() + levels.n_upper_levels();
+            parapre_metrics::gauge_set(names::SWEEP_LEVEL_COUNT, n_levels as f64);
+            parapre_metrics::gauge_set(
+                names::SWEEP_MAX_LEVEL_WIDTH,
+                levels.max_level_width() as f64,
+            );
+        }
         Ok(LuFactors {
             lu,
             diag_ptr,
@@ -105,7 +114,16 @@ impl LuFactors {
     }
 
     /// Solves `L U x = b` in place (`x` holds `b` on entry).
+    ///
+    /// When the caller's thread budget allows more than one worker
+    /// (see `parapre_sparse::parallel`), the sweep runs level-scheduled
+    /// with wide levels fanned out across the pool; the level order
+    /// respects every dependency, so the result is bitwise identical to
+    /// the sequential sweep either way.
     pub fn solve_in_place(&self, x: &mut [f64]) {
+        if parapre_sparse::parallel::current_budget() > 1 {
+            return self.solve_in_place_leveled(x);
+        }
         let n = self.dim();
         debug_assert_eq!(x.len(), n);
         let row_ptr = self.lu.row_ptr();
@@ -134,32 +152,11 @@ impl LuFactors {
     /// rows level by level instead of strictly sequentially. Rows within a
     /// level are independent and every dependency lives in an earlier
     /// level, so the result is **bitwise identical** to the sequential
-    /// sweep — this is the execution order a parallel sweep would use.
+    /// sweep. Wide levels are fanned out across the shared worker pool
+    /// when the caller's thread budget allows (`ops::solve_lu_leveled_par`).
     pub fn solve_in_place_leveled(&self, x: &mut [f64]) {
-        let n = self.dim();
-        debug_assert_eq!(x.len(), n);
-        let row_ptr = self.lu.row_ptr();
-        let cols = self.lu.col_idx();
-        let vals = self.lu.vals();
-        for l in 0..self.levels.n_lower_levels() {
-            for &i in self.levels.lower_level(l) {
-                let mut acc = x[i];
-                for k in row_ptr[i]..self.diag_ptr[i] {
-                    acc -= vals[k] * x[cols[k]];
-                }
-                x[i] = acc;
-            }
-        }
-        for l in 0..self.levels.n_upper_levels() {
-            for &i in self.levels.upper_level(l) {
-                let d = self.diag_ptr[i];
-                let mut acc = x[i];
-                for k in (d + 1)..row_ptr[i + 1] {
-                    acc -= vals[k] * x[cols[k]];
-                }
-                x[i] = acc * self.diag_inv[i];
-            }
-        }
+        debug_assert_eq!(x.len(), self.dim());
+        ops::solve_lu_leveled_par(&self.lu, &self.diag_ptr, &self.diag_inv, &self.levels, x);
     }
 
     /// Solves with the **leading** `nb × nb` principal block of the factor,

@@ -38,6 +38,7 @@ pub mod ilu;
 pub mod ilutp;
 pub mod op;
 pub mod precond;
+pub mod proj;
 pub mod ssor;
 
 pub use arms::{Arms, ArmsConfig};

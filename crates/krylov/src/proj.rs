@@ -1,0 +1,142 @@
+//! Fused classical Gram–Schmidt projection kernels.
+//!
+//! A CGS orthogonalization step against a basis `v_0..v_{k-1}` is two
+//! batched BLAS-1 passes: `h_i = ⟨w, v_i⟩` for every basis vector, then
+//! `w ← w − Σ_i h_i v_i`. Keeping the passes batched (instead of a
+//! dot/axpy pair per vector, as MGS does) lets the distributed solver
+//! combine all `k` inner products into a single allreduce *and* lets the
+//! local work fan out across the in-rank worker pool
+//! (`parapre_sparse::parallel`).
+//!
+//! Determinism: [`batched_dots`] evaluates each coefficient with the
+//! fixed-chunk reduction of [`ops::dot`], and [`subtract_projections`]
+//! updates element-disjoint windows of `w` while walking the basis in
+//! ascending order inside each window — both are bitwise identical at
+//! any worker count, including 1.
+
+use parapre_sparse::{ops, parallel};
+
+/// Minimum vector length before the projection kernels fan out; below
+/// this the pool hand-off costs more than the arithmetic.
+const PAR_MIN_LEN: usize = 8192;
+
+/// Computes `out[i] = ⟨w, basis[i]⟩` for every basis vector, fanning the
+/// independent dot products out across the worker pool when the caller's
+/// thread budget allows. Each dot uses the deterministic chunked
+/// reduction, so results do not depend on the worker count.
+pub fn batched_dots<V: AsRef<[f64]> + Sync>(w: &[f64], basis: &[V], out: &mut [f64]) {
+    debug_assert_eq!(basis.len(), out.len());
+    let budget = parallel::current_budget();
+    if budget <= 1 || basis.len() < 2 || w.len() * basis.len() < PAR_MIN_LEN {
+        for (o, v) in out.iter_mut().zip(basis) {
+            debug_assert_eq!(v.as_ref().len(), w.len());
+            *o = ops::dot(w, v.as_ref());
+        }
+        return;
+    }
+    parallel::for_each_chunk_mut(out, basis.len().min(budget), |_, start, chunk| {
+        let len = chunk.len();
+        for (o, v) in chunk.iter_mut().zip(&basis[start..start + len]) {
+            *o = ops::dot(w, v.as_ref());
+        }
+    });
+}
+
+/// Applies `w ← w − Σ_i coeffs[i] · basis[i]`, chunked over the elements
+/// of `w`: each window of `w` subtracts every projection in ascending
+/// basis order, so the update is bitwise identical to the serial loop at
+/// any worker count.
+pub fn subtract_projections<V: AsRef<[f64]> + Sync>(w: &mut [f64], basis: &[V], coeffs: &[f64]) {
+    debug_assert_eq!(basis.len(), coeffs.len());
+    let budget = parallel::current_budget();
+    if budget <= 1 || w.len() < PAR_MIN_LEN {
+        for (v, &c) in basis.iter().zip(coeffs) {
+            ops::axpy(-c, v.as_ref(), w);
+        }
+        return;
+    }
+    parallel::for_each_chunk_mut(w, budget, |_, start, wc| {
+        let len = wc.len();
+        for (v, &c) in basis.iter().zip(coeffs) {
+            ops::axpy(-c, &v.as_ref()[start..start + len], wc);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize, k: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+        let w: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2).collect();
+        let basis: Vec<Vec<f64>> = (0..k)
+            .map(|j| {
+                (0..n)
+                    .map(|i| ((i * (j + 2)) as f64 * 0.11).cos() - 0.1 * j as f64)
+                    .collect()
+            })
+            .collect();
+        (w, basis)
+    }
+
+    #[test]
+    fn batched_dots_matches_serial_dots_bitwise() {
+        for n in [5, 1000, 20_000] {
+            let (w, basis) = vecs(n, 6);
+            let serial: Vec<f64> = basis.iter().map(|v| ops::dot(&w, v)).collect();
+            for threads in [1usize, 2, 4, 8] {
+                let _b = parallel::enter_budget(threads);
+                let mut out = vec![0.0; basis.len()];
+                batched_dots(&w, &basis, &mut out);
+                assert_eq!(out, serial, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_projections_matches_serial_axpys_bitwise() {
+        for n in [5, 1000, 20_000] {
+            let (w, basis) = vecs(n, 5);
+            let coeffs: Vec<f64> = (0..basis.len()).map(|i| 0.3 - 0.17 * i as f64).collect();
+            let mut expect = w.clone();
+            for (v, &c) in basis.iter().zip(&coeffs) {
+                ops::axpy(-c, v, &mut expect);
+            }
+            for threads in [1usize, 2, 4, 8] {
+                let _b = parallel::enter_budget(threads);
+                let mut got = w.clone();
+                subtract_projections(&mut got, &basis, &coeffs);
+                assert_eq!(got, expect, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_orthogonalizes_against_basis() {
+        // One CGS pass against an orthonormal basis must leave w with
+        // negligible components along it.
+        let n = 4096;
+        let mut e1 = vec![0.0; n];
+        e1[7] = 1.0;
+        let mut e2 = vec![0.0; n];
+        e2[123] = 1.0;
+        let basis = [e1, e2];
+        let mut w: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
+        let mut h = vec![0.0; 2];
+        batched_dots(&w, &basis, &mut h);
+        subtract_projections(&mut w, &basis, &h);
+        assert!(w[7].abs() < 1e-14);
+        assert!(w[123].abs() < 1e-14);
+    }
+
+    #[test]
+    fn empty_basis_is_a_no_op() {
+        let w = vec![1.0, 2.0, 3.0];
+        let basis: Vec<Vec<f64>> = Vec::new();
+        let mut out: Vec<f64> = Vec::new();
+        batched_dots(&w, &basis, &mut out);
+        let mut w2 = w.clone();
+        subtract_projections(&mut w2, &basis, &[]);
+        assert_eq!(w2, w);
+    }
+}

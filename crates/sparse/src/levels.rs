@@ -105,6 +105,13 @@ impl SweepLevels {
         }
         (self.lower_rows.len() + self.upper_rows.len()) as f64 / levels as f64
     }
+
+    /// Widest level across both sweeps — the peak fan-out a level-parallel
+    /// sweep of this factor can use.
+    pub fn max_level_width(&self) -> usize {
+        let widths = |ptr: &[usize]| ptr.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        widths(&self.lower_ptr).max(widths(&self.upper_ptr))
+    }
 }
 
 /// Buckets row indices by their level into a flat (ptr, rows) pair.

@@ -15,10 +15,15 @@
 //!   [`ops`] and [`perm`].
 //!
 //! Hot kernels follow the idioms of the Rust Performance Book: flat `Vec`
-//! storage, slice iteration instead of indexing, and optional data-parallel
-//! row-chunked SpMV over scoped threads ([`Csr::spmv_par`]).
+//! storage, slice iteration instead of indexing, 4-lane-chunked
+//! autovec-friendly BLAS-1 loops, and budget-bounded data-parallel kernels
+//! over a shared worker pool ([`Csr::spmv_par`], [`parallel`]).
 
-#![forbid(unsafe_code)]
+// The worker pool (`parallel` feature) needs two well-fenced unsafe
+// blocks (lifetime-erased job pointer + disjoint slice shards); everything
+// else stays unsafe-free, and the default build forbids it outright.
+#![cfg_attr(not(feature = "parallel"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 // Index loops mirror the papers' pseudocode in the numeric kernels.
 #![allow(clippy::needless_range_loop)]

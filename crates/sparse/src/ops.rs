@@ -1,12 +1,85 @@
 //! Vector kernels and triangular solves shared across the workspace.
+//!
+//! The BLAS-1 kernels are written as explicit 4-lane-chunked loops: the
+//! lane accumulators autovectorize without intrinsics, and reductions use
+//! **fixed chunk boundaries with an ordered combine** ([`REDUCE_CHUNK`]),
+//! so the `_par` variants are bitwise identical to the serial kernels at
+//! every worker count.
 
+use crate::levels::SweepLevels;
+use crate::parallel;
 use crate::{Csr, Error, Result};
 
-/// Dot product of two equally sized slices.
+/// Accumulator lanes of the chunked BLAS-1 loops (autovec-friendly f64x4).
+const LANES: usize = 4;
+
+/// Fixed reduction-chunk length (elements). Partial sums are always taken
+/// over `[c·CHUNK, (c+1)·CHUNK)` windows and combined in ascending chunk
+/// order, independent of how many workers computed them.
+pub const REDUCE_CHUNK: usize = 4096;
+
+/// Below this length the pool dispatch overhead dominates; `_par` kernels
+/// fall back to the serial path.
+const PAR_MIN_LEN: usize = 8192;
+
+/// Narrowest sweep level worth fanning out across the pool.
+const SWEEP_PAR_MIN_WIDTH: usize = 512;
+
+/// One fixed reduction chunk of the dot product: four independent lane
+/// accumulators over the 4-aligned head, a scalar tail, and a fixed
+/// combine order.
+#[inline]
+fn dot_chunk(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let n4 = x.len() & !(LANES - 1);
+    let mut acc = [0.0f64; LANES];
+    for (xs, ys) in x[..n4].chunks_exact(LANES).zip(y[..n4].chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] += xs[l] * ys[l];
+        }
+    }
+    let mut tail = 0.0;
+    for (a, b) in x[n4..].iter().zip(&y[n4..]) {
+        tail += a * b;
+    }
+    (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail
+}
+
+/// Dot product of two equally sized slices (chunked, deterministic: see
+/// [`REDUCE_CHUNK`]).
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     debug_assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    let mut total = 0.0;
+    for (xc, yc) in x.chunks(REDUCE_CHUNK).zip(y.chunks(REDUCE_CHUNK)) {
+        total += dot_chunk(xc, yc);
+    }
+    total
+}
+
+/// Budget-aware [`dot`]: chunk partials are computed on the worker pool
+/// and combined in ascending chunk order, so the sum is **bitwise
+/// identical** to the serial kernel regardless of worker count.
+pub fn dot_par(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let budget = parallel::current_budget();
+    if budget <= 1 || x.len() < PAR_MIN_LEN {
+        return dot(x, y);
+    }
+    let n_chunks = x.len().div_ceil(REDUCE_CHUNK);
+    let mut partials = vec![0.0f64; n_chunks];
+    parallel::for_each_chunk_mut(&mut partials, budget.min(n_chunks), |_, start, out| {
+        for (c, o) in out.iter_mut().enumerate() {
+            let lo = (start + c) * REDUCE_CHUNK;
+            let hi = (lo + REDUCE_CHUNK).min(x.len());
+            *o = dot_chunk(&x[lo..hi], &y[lo..hi]);
+        }
+    });
+    let mut total = 0.0;
+    for p in partials {
+        total += p;
+    }
+    total
 }
 
 /// Euclidean norm.
@@ -15,36 +88,93 @@ pub fn norm2(x: &[f64]) -> f64 {
     dot(x, x).sqrt()
 }
 
+/// Budget-aware [`norm2`] (bitwise identical to the serial kernel).
+pub fn norm2_par(x: &[f64]) -> f64 {
+    dot_par(x, x).sqrt()
+}
+
 /// Infinity norm.
 #[inline]
 pub fn norm_inf(x: &[f64]) -> f64 {
     x.iter().fold(0.0, |m, v| m.max(v.abs()))
 }
 
+/// `y += alpha * x` over one chunk, 4-lane unrolled.
+#[inline]
+fn axpy_chunk(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let n4 = y.len() & !(LANES - 1);
+    for (ys, xs) in y[..n4]
+        .chunks_exact_mut(LANES)
+        .zip(x[..n4].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            ys[l] += alpha * xs[l];
+        }
+    }
+    for (yi, &xi) in y[n4..].iter_mut().zip(&x[n4..]) {
+        *yi += alpha * xi;
+    }
+}
+
 /// `y += alpha * x`.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
+    axpy_chunk(alpha, x, y);
+}
+
+/// Budget-aware [`axpy`]: element-disjoint chunks, so bitwise identical
+/// to the serial kernel at every worker count.
+pub fn axpy_par(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let budget = parallel::current_budget();
+    if budget <= 1 || y.len() < PAR_MIN_LEN {
+        return axpy(alpha, x, y);
     }
+    parallel::for_each_chunk_mut(y, budget, |_, start, ys| {
+        axpy_chunk(alpha, &x[start..start + ys.len()], ys);
+    });
 }
 
 /// `y = alpha * x + beta * y`.
 #[inline]
 pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
+    let n4 = y.len() & !(LANES - 1);
+    for (ys, xs) in y[..n4]
+        .chunks_exact_mut(LANES)
+        .zip(x[..n4].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            ys[l] = alpha * xs[l] + beta * ys[l];
+        }
+    }
+    for (yi, &xi) in y[n4..].iter_mut().zip(&x[n4..]) {
         *yi = alpha * xi + beta * *yi;
     }
 }
 
-/// Scales `x` in place.
+/// Scales `x` in place (4-lane unrolled).
 #[inline]
 pub fn scale(alpha: f64, x: &mut [f64]) {
-    for xi in x {
+    let n4 = x.len() & !(LANES - 1);
+    for xs in x[..n4].chunks_exact_mut(LANES) {
+        for l in 0..LANES {
+            xs[l] *= alpha;
+        }
+    }
+    for xi in &mut x[n4..] {
         *xi *= alpha;
     }
+}
+
+/// Budget-aware [`scale`] (bitwise identical to the serial kernel).
+pub fn scale_par(alpha: f64, x: &mut [f64]) {
+    let budget = parallel::current_budget();
+    if budget <= 1 || x.len() < PAR_MIN_LEN {
+        return scale(alpha, x);
+    }
+    parallel::for_each_chunk_mut(x, budget, |_, _, xs| scale(alpha, xs));
 }
 
 /// Solves `L x = b` where `L` is **unit** lower triangular stored in CSR.
@@ -164,6 +294,89 @@ pub fn solve_lu_merged(lu: &Csr, x: &mut [f64]) {
     solve_upper(lu, x);
 }
 
+/// Level-scheduled `L U x = b` sweep of a merged factor, fanning the rows
+/// of each sufficiently wide level across the worker pool.
+///
+/// Rows within a level are mutually independent and read only values
+/// produced by earlier levels, so each row's accumulation order is exactly
+/// that of the sequential sweep — the result is **bitwise identical** to
+/// the row-ordered solve for any budget. Wide levels are computed into a
+/// scratch buffer in parallel and scattered back serially (the scatter is
+/// one store per row); narrow levels run in place.
+pub fn solve_lu_leveled_par(
+    lu: &Csr,
+    diag_ptr: &[usize],
+    diag_inv: &[f64],
+    levels: &SweepLevels,
+    x: &mut [f64],
+) {
+    let n = lu.n_rows();
+    debug_assert_eq!(x.len(), n);
+    let row_ptr = lu.row_ptr();
+    let cols = lu.col_idx();
+    let vals = lu.vals();
+    let budget = parallel::current_budget();
+    let mut scratch: Vec<f64> = Vec::new();
+    for l in 0..levels.n_lower_levels() {
+        let rows = levels.lower_level(l);
+        if budget <= 1 || rows.len() < SWEEP_PAR_MIN_WIDTH {
+            for &i in rows {
+                let mut acc = x[i];
+                for k in row_ptr[i]..diag_ptr[i] {
+                    acc -= vals[k] * x[cols[k]];
+                }
+                x[i] = acc;
+            }
+        } else {
+            scratch.resize(rows.len(), 0.0);
+            let xs: &[f64] = x;
+            parallel::for_each_chunk_mut(&mut scratch, budget, |_, start, out| {
+                let len = out.len();
+                for (o, &i) in out.iter_mut().zip(&rows[start..start + len]) {
+                    let mut acc = xs[i];
+                    for k in row_ptr[i]..diag_ptr[i] {
+                        acc -= vals[k] * xs[cols[k]];
+                    }
+                    *o = acc;
+                }
+            });
+            for (&i, &v) in rows.iter().zip(&scratch) {
+                x[i] = v;
+            }
+        }
+    }
+    for l in 0..levels.n_upper_levels() {
+        let rows = levels.upper_level(l);
+        if budget <= 1 || rows.len() < SWEEP_PAR_MIN_WIDTH {
+            for &i in rows {
+                let d = diag_ptr[i];
+                let mut acc = x[i];
+                for k in (d + 1)..row_ptr[i + 1] {
+                    acc -= vals[k] * x[cols[k]];
+                }
+                x[i] = acc * diag_inv[i];
+            }
+        } else {
+            scratch.resize(rows.len(), 0.0);
+            let xs: &[f64] = x;
+            parallel::for_each_chunk_mut(&mut scratch, budget, |_, start, out| {
+                let len = out.len();
+                for (o, &i) in out.iter_mut().zip(&rows[start..start + len]) {
+                    let d = diag_ptr[i];
+                    let mut acc = xs[i];
+                    for k in (d + 1)..row_ptr[i + 1] {
+                        acc -= vals[k] * xs[cols[k]];
+                    }
+                    *o = acc * diag_inv[i];
+                }
+            });
+            for (&i, &v) in rows.iter().zip(&scratch) {
+                x[i] = v;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +470,64 @@ mod tests {
         solve_lu_merged(&merged, &mut x);
         for (a, b) in x.iter().zip(&x_true) {
             assert!((a - b).abs() < 1e-14, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn large_blas1_par_kernels_are_budget_invariant() {
+        // Vectors past PAR_MIN_LEN so the pooled paths actually run.
+        let n = 3 * PAR_MIN_LEN + 17;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.013).sin() + 0.2).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.007).cos() - 0.1).collect();
+        let want_dot = dot(&x, &y);
+        let want_norm = {
+            let _b = crate::parallel::enter_budget(1);
+            norm2_par(&x)
+        };
+        let mut want_axpy = y.clone();
+        axpy(0.37, &x, &mut want_axpy);
+        let mut want_scale = x.clone();
+        scale(-1.25, &mut want_scale);
+        for threads in [1usize, 2, 4, 8] {
+            let _b = crate::parallel::enter_budget(threads);
+            assert_eq!(dot_par(&x, &y).to_bits(), want_dot.to_bits(), "t={threads}");
+            assert_eq!(norm2_par(&x).to_bits(), want_norm.to_bits(), "t={threads}");
+            let mut got = y.clone();
+            axpy_par(0.37, &x, &mut got);
+            assert_eq!(got, want_axpy, "t={threads}");
+            let mut got = x.clone();
+            scale_par(-1.25, &mut got);
+            assert_eq!(got, want_scale, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn wide_level_sweep_fans_out_and_stays_bitwise() {
+        // Block-diagonal merged factor: n rows, every row independent, one
+        // level of width n >= SWEEP_PAR_MIN_WIDTH so the pooled branch runs.
+        let n = 2 * SWEEP_PAR_MIN_WIDTH;
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut r = vec![0.0; n];
+            r[i] = 2.0 + (i % 7) as f64 * 0.25;
+            rows.push(r);
+        }
+        let lu = Csr::from_dense_rows(&rows);
+        let diag_ptr = diag_pointers(&lu).unwrap();
+        let diag_inv = diag_reciprocals(&lu, &diag_ptr);
+        let levels = SweepLevels::from_merged(&lu, &diag_ptr);
+        assert!(levels.max_level_width() >= SWEEP_PAR_MIN_WIDTH);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+        let mut want = b.clone();
+        {
+            let _b1 = crate::parallel::enter_budget(1);
+            solve_lu_leveled_par(&lu, &diag_ptr, &diag_inv, &levels, &mut want);
+        }
+        for threads in [2usize, 4, 8] {
+            let _bt = crate::parallel::enter_budget(threads);
+            let mut got = b.clone();
+            solve_lu_leveled_par(&lu, &diag_ptr, &diag_inv, &levels, &mut got);
+            assert_eq!(got, want, "t={threads}");
         }
     }
 }

@@ -1,7 +1,7 @@
 #![allow(clippy::needless_range_loop)]
 //! Property-based tests for the sparse substrate.
 
-use parapre_sparse::{ops, Coo, Csr, Permutation};
+use parapre_sparse::{ops, parallel, Coo, Csr, Permutation, SweepLevels};
 use proptest::prelude::*;
 
 /// Strategy producing a random COO matrix together with its dense mirror.
@@ -89,10 +89,88 @@ proptest! {
         let n = a.n_cols();
         let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let mut y1 = vec![0.0; n];
-        let mut y2 = vec![0.0; n];
         a.spmv(&x, &mut y1);
-        a.spmv_par(&x, &mut y2);
-        prop_assert_eq!(y1, y2);
+        // Bitwise identical at every thread budget: chunking is
+        // element-disjoint and per-row accumulation order is fixed.
+        for threads in [1usize, 2, 4, 8] {
+            let _b = parallel::enter_budget(threads);
+            let mut y2 = vec![0.0; n];
+            a.spmv_par(&x, &mut y2);
+            prop_assert_eq!(&y1, &y2, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn dot_and_norm_are_budget_invariant(
+        xs in proptest::collection::vec(-100.0f64..100.0, 0..6000),
+        seed in any::<u64>(),
+    ) {
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * 0.5 + ((seed ^ i as u64) % 97) as f64 / 97.0)
+            .collect();
+        let want_dot = ops::dot(&xs, &ys);
+        let want_norm = ops::norm2_par(&xs);
+        for threads in [1usize, 2, 4, 8] {
+            let _b = parallel::enter_budget(threads);
+            prop_assert_eq!(ops::dot_par(&xs, &ys).to_bits(), want_dot.to_bits());
+            prop_assert_eq!(ops::norm2_par(&xs).to_bits(), want_norm.to_bits());
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale_are_budget_invariant(
+        xs in proptest::collection::vec(-10.0f64..10.0, 0..6000),
+        alpha in -3.0f64..3.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|&v| 1.0 - v).collect();
+        let mut want = ys.clone();
+        ops::axpy(alpha, &xs, &mut want);
+        ops::scale(alpha, &mut want);
+        for threads in [1usize, 2, 4, 8] {
+            let _b = parallel::enter_budget(threads);
+            let mut got = ys.clone();
+            ops::axpy_par(alpha, &xs, &mut got);
+            ops::scale_par(alpha, &mut got);
+            prop_assert_eq!(&got, &want, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn leveled_lu_sweep_is_budget_invariant(n in 1usize..40, seed in any::<u32>()) {
+        // Random well-conditioned merged LU factor (unit lower implicit,
+        // diagonal + upper stored), solved at every thread budget.
+        let mut state = seed as u64 | 1;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut m = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            m[i][i] = 2.0 + rnd().abs();
+            for j in 0..n {
+                if j != i && rnd() > 0.4 {
+                    m[i][j] = 0.5 * rnd();
+                }
+            }
+        }
+        let lu = Csr::from_dense_rows(&m);
+        let diag_ptr = ops::diag_pointers(&lu).unwrap();
+        let diag_inv = ops::diag_reciprocals(&lu, &diag_ptr);
+        let levels = SweepLevels::from_merged(&lu, &diag_ptr);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut want = b.clone();
+        {
+            let _b1 = parallel::enter_budget(1);
+            ops::solve_lu_leveled_par(&lu, &diag_ptr, &diag_inv, &levels, &mut want);
+        }
+        for threads in [2usize, 4, 8] {
+            let _bt = parallel::enter_budget(threads);
+            let mut got = b.clone();
+            ops::solve_lu_leveled_par(&lu, &diag_ptr, &diag_inv, &levels, &mut got);
+            prop_assert_eq!(&got, &want, "threads={}", threads);
+        }
     }
 
     #[test]
