@@ -387,12 +387,20 @@ fn main() {
             "\"speedup\": {gs:.4}, \"iters\": {it}, ",
             "\"mgs_msgs_per_iter\": {mmpi:.2}, \"cgs_msgs_per_iter\": {cmpi:.2}, ",
             "\"modeled_comm_secs_mgs\": {mcm}, \"modeled_comm_secs_cgs\": {mcc}}},\n",
-            "  \"scaling\": {{\"cores\": {cores}, \"bar_enforced\": {bar}, \"grid\": [\n{grid}\n  ]}},\n",
+            "  \"available_cores\": {cores},\n",
+            "  \"scaling\": {{\"cores\": {cores}, \"bar\": {{\"threshold\": 1.3, ",
+            "\"cell\": \"P=2,T=4\", \"armed\": {bar}, \"reason\": \"{bar_reason}\"}}, ",
+            "\"grid\": [\n{grid}\n  ]}},\n",
             "  \"combined_speedup\": {comb:.4}\n",
             "}}\n"
         ),
         cores = cores,
         bar = bar_enforceable,
+        bar_reason = if bar_enforceable {
+            format!("{cores} cores >= 8 needed for P=2 x T=4")
+        } else {
+            format!("{cores} cores < 8 needed for P=2 x T=4")
+        },
         grid = scaling_json,
         ranks = ranks,
         quick = quick,

@@ -14,6 +14,11 @@
 //! | `Schur 2`  | expanded-Schur: group-independent sets (ARMS), distributed GMRES + distributed ILU(0) on the expanded Schur system | [`schur2::Schur2Precond`] |
 //! | additive Schwarz (±CGC) | overlapping blocks + FFT subdomain solves + coarse grid | [`schwarz::AdditiveSchwarz`] |
 //!
+//! Beyond the paper's four, [`schurml::SchurMLPrecond`] (`SchurML`) recurses
+//! the expanded-Schur splitting into a multilevel hierarchy with per-level
+//! low-rank corrections — the algorithmic-scalability rung that keeps
+//! interface iteration counts flat(ter) as the subdomain count grows.
+//!
 //! [`cases`] builds Test Cases 1–6 at any resolution; [`runner`] partitions,
 //! distributes, solves with FGMRES(20) to `‖r‖/‖r₀‖ ≤ 10⁻⁶` (paper §4.3)
 //! and reports iteration counts, wall time and the α–β modeled time for the
@@ -28,6 +33,7 @@ pub mod overlap;
 pub mod runner;
 pub mod schur;
 pub mod schur2;
+pub mod schurml;
 pub mod schwarz;
 
 pub use block::{BlockPrecond, JacobiDistPrecond};
@@ -40,4 +46,5 @@ pub use runner::{
 };
 pub use schur::{Schur1Config, Schur1Precond};
 pub use schur2::{Schur2Config, Schur2Precond};
+pub use schurml::{SchurMLConfig, SchurMLPrecond};
 pub use schwarz::{AdditiveSchwarz, SchwarzConfig};

@@ -13,6 +13,7 @@ use crate::block::BlockPrecond;
 use crate::cases::AssembledCase;
 use crate::schur::{Schur1Config, Schur1Precond};
 use crate::schur2::{Schur2Config, Schur2Precond};
+use crate::schurml::{SchurMLConfig, SchurMLPrecond};
 use parapre_dist::{scatter_vector, DistGmres, DistGmresConfig, DistMatrix, DistPrecond};
 use parapre_krylov::IlutConfig;
 use parapre_mpisim::{CommStats, MachineModel, Universe};
@@ -33,6 +34,16 @@ pub enum PrecondKind {
     Schur1,
     /// Expanded-Schur with ARMS and distributed ILU(0).
     Schur2,
+    /// Multilevel expanded-Schur with per-level low-rank corrections
+    /// (parGeMSLR / Li–Saad style) — the rung above `Schur 2`; not part of
+    /// the paper's four. `levels` is the depth of the local hierarchy,
+    /// `rank` the Arnoldi vectors per level (≤ 16).
+    SchurML {
+        /// Elimination levels in the local hierarchy.
+        levels: usize,
+        /// Low-rank correction vectors per level.
+        rank: usize,
+    },
     /// One-layer-overlap RAS block preconditioner (ILUT) — the paper's
     /// §1.1 "increased overlap" hypothesis; not part of the paper's four,
     /// used by the ablation benches.
@@ -51,6 +62,19 @@ impl PrecondKind {
         PrecondKind::Block2,
     ];
 
+    /// Default hierarchy depth of `"schurml"` when parsed without knobs.
+    pub const SCHURML_DEFAULT_LEVELS: usize = 2;
+    /// Default correction rank of `"schurml"` when parsed without knobs.
+    pub const SCHURML_DEFAULT_RANK: usize = 8;
+
+    /// `SchurML` with its default `levels`/`rank` knobs.
+    pub const fn schurml_default() -> PrecondKind {
+        PrecondKind::SchurML {
+            levels: Self::SCHURML_DEFAULT_LEVELS,
+            rank: Self::SCHURML_DEFAULT_RANK,
+        }
+    }
+
     /// Paper-style label.
     pub fn label(self) -> &'static str {
         match self {
@@ -58,6 +82,7 @@ impl PrecondKind {
             PrecondKind::Block2 => "Block 2",
             PrecondKind::Schur1 => "Schur 1",
             PrecondKind::Schur2 => "Schur 2",
+            PrecondKind::SchurML { .. } => "SchurML",
             PrecondKind::BlockOverlap => "Block+ovl",
             PrecondKind::Jacobi => "Jacobi",
         }
@@ -70,8 +95,19 @@ impl PrecondKind {
             PrecondKind::Block2 => "block2",
             PrecondKind::Schur1 => "schur1",
             PrecondKind::Schur2 => "schur2",
+            PrecondKind::SchurML { .. } => "schurml",
             PrecondKind::BlockOverlap => "overlap",
             PrecondKind::Jacobi => "jacobi",
+        }
+    }
+
+    /// Cache-key form of the kind: like [`PrecondKind::key`] but carrying
+    /// the variant knobs, so sessions built with different `SchurML`
+    /// `levels`/`rank` never collide in the session cache.
+    pub fn cache_key(self) -> String {
+        match self {
+            PrecondKind::SchurML { levels, rank } => format!("schurml:l{levels}:r{rank}"),
+            other => other.key().to_string(),
         }
     }
 
@@ -82,6 +118,7 @@ impl PrecondKind {
             "block2" => Some(PrecondKind::Block2),
             "schur1" => Some(PrecondKind::Schur1),
             "schur2" => Some(PrecondKind::Schur2),
+            "schurml" => Some(PrecondKind::schurml_default()),
             "overlap" | "blockoverlap" => Some(PrecondKind::BlockOverlap),
             "jacobi" => Some(PrecondKind::Jacobi),
             _ => None,
@@ -91,11 +128,12 @@ impl PrecondKind {
     /// The next (cheaper, more robust) rung of the fallback ladder, or
     /// `None` from the infallible bottom rung.
     ///
-    /// Ladder: `Schur 2 → Schur 1 → Block 2 → Block 1 → Jacobi` — each step
-    /// trades convergence strength for constructibility, ending on a
-    /// preconditioner that cannot fail to build.
+    /// Ladder: `SchurML → Schur 2 → Schur 1 → Block 2 → Block 1 → Jacobi` —
+    /// each step trades convergence strength for constructibility, ending
+    /// on a preconditioner that cannot fail to build.
     pub fn fallback(self) -> Option<PrecondKind> {
         match self {
+            PrecondKind::SchurML { .. } => Some(PrecondKind::Schur2),
             PrecondKind::Schur2 => Some(PrecondKind::Schur1),
             PrecondKind::Schur1 => Some(PrecondKind::Block2),
             PrecondKind::BlockOverlap => Some(PrecondKind::Block2),
@@ -151,6 +189,9 @@ pub struct PrecondParams {
     pub schur1: Schur1Config,
     /// `Schur 2` parameters.
     pub schur2: Schur2Config,
+    /// `SchurML` parameters (its `levels`/`rank` fields are overridden by
+    /// the knobs carried in [`PrecondKind::SchurML`] at build time).
+    pub schurml: SchurMLConfig,
 }
 
 impl Default for PrecondParams {
@@ -163,6 +204,7 @@ impl Default for PrecondParams {
             },
             schur1: Schur1Config::default(),
             schur2: Schur2Config::default(),
+            schurml: SchurMLConfig::default(),
         }
     }
 }
@@ -186,6 +228,8 @@ pub struct RunConfig {
     pub schur1: Schur1Config,
     /// `Schur 2` parameters.
     pub schur2: Schur2Config,
+    /// `SchurML` parameters.
+    pub schurml: SchurMLConfig,
 }
 
 impl RunConfig {
@@ -219,6 +263,7 @@ impl RunConfig {
             },
             schur1: Schur1Config::default(),
             schur2: Schur2Config::default(),
+            schurml: SchurMLConfig::default(),
         }
     }
 
@@ -234,6 +279,7 @@ impl RunConfig {
             ilut: self.ilut,
             schur1: self.schur1,
             schur2: self.schur2,
+            schurml: self.schurml,
         }
     }
 }
@@ -327,6 +373,14 @@ pub fn build_dist_precond(
         PrecondKind::Schur2 => {
             Box::new(Schur2Precond::build(dm, comm, params.schur2).expect("Schur2 setup"))
         }
+        PrecondKind::SchurML { levels, rank } => {
+            let cfg = SchurMLConfig {
+                levels,
+                rank,
+                ..params.schurml
+            };
+            Box::new(SchurMLPrecond::build(dm, comm, cfg).expect("SchurML setup"))
+        }
         PrecondKind::BlockOverlap => Box::new(
             crate::overlap::OverlapBlockPrecond::build(dm, a_global, &params.ilut)
                 .expect("overlap ILUT factorization"),
@@ -369,6 +423,18 @@ pub fn try_build_dist_precond(
             let m = Schur2Precond::build_shifted(dm, comm, params.schur2)?;
             let shifts = m.report().shift_attempts;
             Ok((Box::new(m), shifts))
+        }
+        PrecondKind::SchurML { levels, rank } => {
+            // No shifted variant on purpose: SchurML refuses builds that
+            // would need shifts or pivot fixes (the corrections would
+            // amplify them) and lets the ladder descend to Schur 2.
+            let cfg = SchurMLConfig {
+                levels,
+                rank,
+                ..params.schurml
+            };
+            let m = SchurMLPrecond::build(dm, comm, cfg)?;
+            Ok((Box::new(m), 0))
         }
         PrecondKind::BlockOverlap => {
             let m = crate::overlap::OverlapBlockPrecond::build_shifted(dm, a_global, &params.ilut)?;

@@ -89,10 +89,14 @@ proptest! {
     fn ladder_always_terminates_without_panic(
         seed in any::<u64>(),
         p_ix in 0usize..4,
-        kind_ix in 0usize..4,
+        kind_ix in 0usize..5,
     ) {
         let p = [1usize, 2, 4, 8][p_ix];
-        let kind = PrecondKind::ALL[kind_ix];
+        let kind = if kind_ix == 4 {
+            PrecondKind::schurml_default()
+        } else {
+            PrecondKind::ALL[kind_ix]
+        };
         let a = hostile(96, seed);
         let outs = ladder_solve(&a, p, kind);
         let first = outs[0].0;
@@ -180,9 +184,45 @@ fn clean_tc1_never_pays_for_the_ladder() {
     }
 }
 
+/// A matrix hostile enough to break the `SchurML` build on every rank —
+/// alternating exactly-zero and near-zero diagonals leave the coarse-level
+/// factorization unhealthy no matter how the rows are partitioned — must
+/// vote down exactly one rung to `Schur 2` (whose shift ladder absorbs the
+/// bad pivots) and still converge, at every rank count.
+#[test]
+fn schurml_zero_coarse_pivots_vote_down_to_schur2() {
+    let n = 96;
+    let mut coo = Coo::new(n, n);
+    for i in 0..n - 1 {
+        coo.push(i, i + 1, -1.0);
+        coo.push(i + 1, i, -1.0);
+    }
+    for i in 0..n {
+        coo.push(i, i, if i % 2 == 0 { 0.0 } else { 1e-14 });
+    }
+    let a = coo.to_csr();
+    for p in [1usize, 2, 4, 8] {
+        let outs = ladder_solve(&a, p, PrecondKind::schurml_default());
+        for (kind_used, fallbacks, _ps, converged, _bd, x_finite) in outs {
+            assert_eq!(
+                kind_used,
+                PrecondKind::Schur2,
+                "P={p}: expected the SchurML→Schur2 vote-down"
+            );
+            assert_eq!(fallbacks, 1, "P={p}: exactly one rung descended");
+            assert!(converged, "P={p}: Schur2 must converge on this matrix");
+            assert!(x_finite, "P={p}: converged answer must be finite");
+        }
+    }
+}
+
 /// The ladder order itself is part of the contract.
 #[test]
 fn fallback_ladder_is_the_documented_chain() {
+    assert_eq!(
+        PrecondKind::schurml_default().fallback(),
+        Some(PrecondKind::Schur2)
+    );
     assert_eq!(PrecondKind::Schur2.fallback(), Some(PrecondKind::Schur1));
     assert_eq!(PrecondKind::Schur1.fallback(), Some(PrecondKind::Block2));
     assert_eq!(PrecondKind::Block2.fallback(), Some(PrecondKind::Block1));
@@ -193,4 +233,8 @@ fn fallback_ladder_is_the_documented_chain() {
         Some(PrecondKind::Block2)
     );
     assert_eq!(PrecondKind::parse("jacobi"), Some(PrecondKind::Jacobi));
+    assert_eq!(
+        PrecondKind::parse("schurml"),
+        Some(PrecondKind::schurml_default())
+    );
 }

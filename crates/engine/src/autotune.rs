@@ -30,11 +30,19 @@ use std::sync::Mutex;
 
 /// The candidate rungs an `"auto"` job sweeps, cheapest-to-build first so
 /// exploration makes forward progress even on hostile matrices.
-pub const AUTO_CANDIDATES: [PrecondKind; 4] = [
+///
+/// `SchurML` is in the arm set but conditionally: its strict build policy
+/// refuses matrices whose coarse factorization needs shifts, and a refused
+/// build records a fallback rung. [`AutoTuner::select`] drops the arm for
+/// any fingerprint whose `SchurML` record shows `fallbacks > 0`, so a
+/// matrix that cannot host the rung falls out of the sweep instead of
+/// poisoning the tuner state with repeat build failures.
+pub const AUTO_CANDIDATES: [PrecondKind; 5] = [
     PrecondKind::Block1,
     PrecondKind::Block2,
     PrecondKind::Schur1,
     PrecondKind::Schur2,
+    PrecondKind::schurml_default(),
 ];
 
 /// Accumulated outcomes of one (fingerprint, preconditioner) pair.
@@ -172,11 +180,20 @@ impl AutoTuner {
     pub fn select(&self, fingerprint: u64) -> (PrecondKind, TuneDecision) {
         let mut inner = self.inner.lock().expect("tuner lock");
         let recs = inner.by_fp.get(&fingerprint).cloned().unwrap_or_default();
+        // Conditional arms first: a `SchurML` record carrying fallbacks
+        // means the strict build refused this matrix and the ladder paid a
+        // rung — retrying the arm would keep failing the same way, so it
+        // falls out of the sweep for this fingerprint.
+        let armed = |k: PrecondKind| {
+            !matches!(k, PrecondKind::SchurML { .. })
+                || recs.get(&k).is_none_or(|r| r.fallbacks == 0)
+        };
         // Explore: any candidate below the trial floor? Take the least
         // tried (first in AUTO_CANDIDATES order on ties, so cold matrices
         // start on the cheapest build).
         let undertried = AUTO_CANDIDATES
             .iter()
+            .filter(|&&k| armed(k))
             .map(|&k| (k, recs.get(&k).map_or(0, |r| r.n)))
             .filter(|&(_, n)| n < self.explore_trials)
             .min_by_key(|&(_, n)| n);
@@ -187,6 +204,7 @@ impl AutoTuner {
         } else {
             let best = AUTO_CANDIDATES
                 .iter()
+                .filter(|&&k| armed(k))
                 .map(|&k| {
                     let r = recs.get(&k).copied().unwrap_or_default();
                     (k, r.mean_solve_us(), r.mean_iterations())
@@ -374,6 +392,67 @@ mod tests {
             );
         }
         assert_eq!(t.select(fp).0, PrecondKind::Schur1);
+    }
+
+    #[test]
+    fn schurml_arm_falls_out_after_build_fallback() {
+        let t = AutoTuner::new(1);
+        let fp = 0x5c4au64;
+        let schurml = PrecondKind::schurml_default();
+        // The SchurML build was refused: the ladder descended a rung. The
+        // converged result belongs to the substitute, not the arm.
+        t.record(
+            fp,
+            schurml,
+            TuneSample {
+                converged: true,
+                solve_us: 1, // would win exploitation if the arm stayed live
+                iterations: 1,
+                fallbacks: 1,
+                ..TuneSample::default()
+            },
+        );
+        // Exploration sweeps the remaining arms only…
+        for _ in 0..AUTO_CANDIDATES.len() - 1 {
+            let (k, d) = t.select(fp);
+            assert_eq!(d, TuneDecision::Explore);
+            assert_ne!(k, schurml, "disarmed rung must not be explored");
+            t.record(
+                fp,
+                k,
+                TuneSample {
+                    converged: true,
+                    solve_us: 500,
+                    iterations: 10,
+                    ..TuneSample::default()
+                },
+            );
+        }
+        // …and exploitation never resurrects the disarmed rung either.
+        let (k, d) = t.select(fp);
+        assert_eq!(d, TuneDecision::Exploit);
+        assert_ne!(k, schurml, "disarmed rung must not win exploitation");
+    }
+
+    #[test]
+    fn schurml_arm_stays_live_on_clean_builds() {
+        let t = AutoTuner::new(1);
+        let fp = 0x11u64;
+        let schurml = PrecondKind::schurml_default();
+        for &k in AUTO_CANDIDATES.iter() {
+            let us = if k == schurml { 10 } else { 800 };
+            t.record(
+                fp,
+                k,
+                TuneSample {
+                    converged: true,
+                    solve_us: us,
+                    iterations: 5,
+                    ..TuneSample::default()
+                },
+            );
+        }
+        assert_eq!(t.select(fp), (schurml, TuneDecision::Exploit));
     }
 
     #[test]

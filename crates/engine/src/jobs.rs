@@ -14,8 +14,10 @@
 //! ```
 //!
 //! Recognized keys: `id`, `case` *or* `mtx`, `n` (explicit grid extent,
-//! overrides `size`), `size` (`tiny`/`default`/`full`), `precond`, `ranks`,
-//! `scheme`, `seed`, `repeat`, `rhs`, `tol`, `maxit`, `restart`. Resilience
+//! overrides `size`), `size` (`tiny`/`default`/`full`), `precond` (one of
+//! [`VALID_PRECONDS`]; `"schurml"` additionally honours `levels` and
+//! `rank`), `ranks`, `scheme`, `seed`, `repeat`, `rhs`, `tol`, `maxit`,
+//! `restart`. Resilience
 //! keys: `retries`, `backoff_ms`, `degrade`, `checkpoint` (recovery
 //! policy), `fallback` (numerical-safety ladder, default on);
 //! `fault_seed`, `drop_prob`, `delay_prob`, `delay_us`,
@@ -259,6 +261,11 @@ impl JobResult {
     }
 }
 
+/// The full set of `precond` values a job line may carry — spelled out in
+/// the rejection message so a misspelled client learns the valid set from
+/// the structured `"rejected"` record instead of a bare "unknown" error.
+pub const VALID_PRECONDS: &str = "block1, block2, schur1, schur2, schurml, overlap, jacobi, auto";
+
 /// Hard ceiling on one job line. Anything larger is rejected before the
 /// parser touches it — a mis-framed client must not make the service
 /// buffer or scan unbounded garbage. (Matrices travel through the `put`
@@ -320,14 +327,24 @@ pub fn parse_job_line(line: &str, seq: usize) -> Result<SolveJob, EngineError> {
 
     let precond_str = get_str("precond").unwrap_or("schur1");
     let auto_precond = precond_str.eq_ignore_ascii_case("auto");
-    let precond = if auto_precond {
+    let mut precond = if auto_precond {
         // Pre-selection placeholder; the service's autotuner replaces it
         // once the matrix fingerprint is known.
         PrecondKind::Schur1
     } else {
-        PrecondKind::parse(precond_str)
-            .ok_or_else(|| EngineError::BadJob(format!("unknown precond {precond_str:?}")))?
+        PrecondKind::parse(precond_str).ok_or_else(|| {
+            EngineError::BadJob(format!(
+                "unknown precond {precond_str:?}; valid: {VALID_PRECONDS}"
+            ))
+        })?
     };
+    // SchurML knobs: `levels`/`rank` refine the parsed default variant.
+    if let PrecondKind::SchurML { levels, rank } = precond {
+        precond = PrecondKind::SchurML {
+            levels: get_u("levels").map_or(levels, |v| v as usize),
+            rank: get_u("rank").map_or(rank, |v| v as usize),
+        };
+    }
     let n_ranks = get_u("ranks").unwrap_or(4) as usize;
     if n_ranks == 0 {
         return Err(EngineError::BadJob("ranks must be >= 1".into()));

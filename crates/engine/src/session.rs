@@ -90,7 +90,7 @@ impl SessionConfig {
         // cache key.
         format!(
             "{}|{}|P{}|seed{}|{:?}|{:?}|fb{}",
-            self.precond.key(),
+            self.precond.cache_key(),
             self.scheme.key(),
             self.n_ranks,
             self.partition_seed,

@@ -34,6 +34,49 @@ fn hostile_job_lines_reject_without_panic() {
 }
 
 #[test]
+fn unknown_precond_rejection_names_the_valid_set() {
+    // An unrecognized rung must come back as a structured rejection that
+    // echoes the offender and lists every accepted name, so a client can
+    // fix the job without reading the source.
+    for bad in ["schur3", "ILU", "schurml2", "block"] {
+        let line = format!(r#"{{"case":"tc1","precond":"{bad}"}}"#);
+        let err = parse_job_line(&line, 0).unwrap_err().to_string();
+        assert!(err.contains(&format!("{bad:?}")), "missing offender: {err}");
+        for valid in [
+            "block1", "block2", "schur1", "schur2", "schurml", "overlap", "jacobi", "auto",
+        ] {
+            assert!(err.contains(valid), "valid set missing {valid}: {err}");
+        }
+    }
+}
+
+#[test]
+fn schurml_jobs_honour_levels_and_rank_keys() {
+    // Bare "schurml" takes the documented defaults…
+    let job = parse_job_line(r#"{"case":"tc1","precond":"schurml"}"#, 0).expect("parses");
+    assert_eq!(job.session.precond, PrecondKind::schurml_default());
+
+    // …and explicit knobs override them.
+    let job = parse_job_line(
+        r#"{"case":"tc1","precond":"schurml","levels":3,"rank":4}"#,
+        0,
+    )
+    .expect("parses");
+    assert_eq!(
+        job.session.precond,
+        PrecondKind::SchurML { levels: 3, rank: 4 }
+    );
+
+    // The knobs are inert on other rungs.
+    let job = parse_job_line(
+        r#"{"case":"tc1","precond":"schur2","levels":3,"rank":4}"#,
+        0,
+    )
+    .expect("parses");
+    assert_eq!(job.session.precond, PrecondKind::Schur2);
+}
+
+#[test]
 fn duplicate_keys_resolve_deterministically() {
     // The flat parser is last-wins on duplicates; a client repeating a key
     // gets a deterministic job, not a panic or an ambiguous one.

@@ -20,6 +20,9 @@
 //! * [`arms::Arms`] — the Algebraic Recursive Multilevel Solver with
 //!   group-independent-set orderings (Saad & Suchomel), the subdomain engine
 //!   of `Schur 2`.
+//! * [`schurml::SchurMlHierarchy`] — the ARMS hierarchy with per-level
+//!   low-rank corrections learned from Arnoldi sweeps on the approximation
+//!   error (parGeMSLR / Li–Saad style), the subdomain engine of `SchurML`.
 //!
 //! Everything here is single-threaded by design: in the paper's SPMD setting
 //! each MPI rank runs these kernels on its own subdomain matrix. The
@@ -39,6 +42,7 @@ pub mod ilutp;
 pub mod op;
 pub mod precond;
 pub mod proj;
+pub mod schurml;
 pub mod ssor;
 
 pub use arms::{Arms, ArmsConfig};
@@ -49,6 +53,7 @@ pub use ilu::{factor_with_shifts, Ilu0, Ilut, IlutConfig, LuFactors, SHIFT_LADDE
 pub use ilutp::{Ilutp, IlutpConfig, PivotedLu};
 pub use op::LinOp;
 pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner};
+pub use schurml::{LowRankCorrection, SchurMlConfig, SchurMlHierarchy, MAX_CORRECTION_RANK};
 pub use ssor::Ssor;
 
 /// Why a Krylov solve stopped before meeting its tolerance — the typed

@@ -273,6 +273,33 @@ fn malformed_frames_get_structured_errors() {
 }
 
 #[test]
+fn schurml_jobs_run_over_the_wire() {
+    let server = start_tcp(NetConfig::default());
+    let mut client = connect(&server);
+    // The multilevel rung is reachable from the wire, knobs included.
+    let line = client
+        .request(
+            "{\"id\":\"ml\",\"case\":\"tc1\",\"size\":\"tiny\",\
+             \"precond\":\"schurml\",\"levels\":2,\"rank\":4,\"ranks\":2}",
+        )
+        .expect("request")
+        .expect("open");
+    assert_eq!(bool_field(&line, "ok"), Some(true), "line: {line}");
+    assert_eq!(bool_field(&line, "converged"), Some(true), "line: {line}");
+    assert_eq!(str_field(&line, "precond").as_deref(), Some("schurml"));
+
+    // An unknown rung bounces with a rejection naming the valid set.
+    let line = client
+        .request("{\"id\":\"bad\",\"case\":\"tc1\",\"precond\":\"schur9\"}")
+        .expect("request")
+        .expect("open");
+    assert_eq!(bool_field(&line, "ok"), Some(false), "line: {line}");
+    assert_eq!(str_field(&line, "error_kind").as_deref(), Some("rejected"));
+    let err = str_field(&line, "error").unwrap_or_default();
+    assert!(err.contains("schurml"), "valid set missing: {line}");
+}
+
+#[test]
 fn stats_and_auto_jobs_over_the_wire() {
     let server = start_tcp(NetConfig::default());
     let mut client = connect(&server);
