@@ -359,9 +359,13 @@ fn main() {
     let combined = (sync.secs + mgs.secs) / (over.secs + cgs.secs);
     eprintln!("combined speedup: {combined:.2}x");
 
-    let cores = parallel::machine_parallelism();
+    // The widest compared cell is P=2 × T=4 = 8 real cores; the shared
+    // helper decides (and spells out) whether the wall-clock bar is armed.
+    let arm = parapre_bench::ScalingArm::decide("P=2,T=4", 8);
+    let cores = arm.available_cores;
     eprintln!("scaling grid: P x T over TC1-TC4 ({cores} cores visible)");
-    let (scaling, bar_enforceable) = bench_scaling_grid(quick);
+    let (scaling, _) = bench_scaling_grid(quick);
+    let bar_enforceable = arm.armed;
     let scaling_json: String = scaling
         .iter()
         .map(|c| {
@@ -389,18 +393,13 @@ fn main() {
             "\"modeled_comm_secs_mgs\": {mcm}, \"modeled_comm_secs_cgs\": {mcc}}},\n",
             "  \"available_cores\": {cores},\n",
             "  \"scaling\": {{\"cores\": {cores}, \"bar\": {{\"threshold\": 1.3, ",
-            "\"cell\": \"P=2,T=4\", \"armed\": {bar}, \"reason\": \"{bar_reason}\"}}, ",
+            "\"arm\": {arm_json}}}, ",
             "\"grid\": [\n{grid}\n  ]}},\n",
             "  \"combined_speedup\": {comb:.4}\n",
             "}}\n"
         ),
         cores = cores,
-        bar = bar_enforceable,
-        bar_reason = if bar_enforceable {
-            format!("{cores} cores >= 8 needed for P=2 x T=4")
-        } else {
-            format!("{cores} cores < 8 needed for P=2 x T=4")
-        },
+        arm_json = arm.to_json(),
         grid = scaling_json,
         ranks = ranks,
         quick = quick,
@@ -461,6 +460,6 @@ fn main() {
             std::process::exit(2);
         }
     } else {
-        eprintln!("scaling bar skipped: {cores} cores < 8 needed for P=2 x T=4");
+        eprintln!("scaling bar skipped: {}", arm.reason);
     }
 }

@@ -98,6 +98,7 @@ fn main() {
                     session,
                     recovery: parapre_engine::RecoveryPolicy::none(),
                     fault: None,
+                    deadline_ms: None,
                 }
             })
         })

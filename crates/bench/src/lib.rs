@@ -161,6 +161,55 @@ pub fn run_cell(case: &AssembledCase, cli: &Cli, cfg: &RunConfig) -> RunResult {
     res
 }
 
+/// One bench bin's wall-clock-bar arming decision, recorded uniformly in
+/// every `BENCH_*.json` as `{"available_cores": …, "armed": …,
+/// "reason": "…"}`.
+///
+/// CI machines come in every width; a bar that compares wall clocks is
+/// only meaningful when the cells it compares each had real cores to run
+/// on. Bench bins decide once through [`ScalingArm::decide`] and embed
+/// [`ScalingArm::to_json`], so every report spells the decision the same
+/// way instead of each bin keeping its own copy of the rule.
+#[derive(Debug, Clone)]
+pub struct ScalingArm {
+    /// Hardware parallelism visible to this process.
+    pub available_cores: usize,
+    /// Cores the widest compared cell needs.
+    pub needed_cores: usize,
+    /// Human label of that cell (e.g. `"P=2,T=4"`).
+    pub cell: String,
+    /// Whether the wall-clock bar is enforced on this machine.
+    pub armed: bool,
+    /// The decision, spelled out.
+    pub reason: String,
+}
+
+impl ScalingArm {
+    /// Decides whether a wall-clock bar whose widest cell is `cell`
+    /// (needing `needed_cores` real cores) may be enforced here.
+    pub fn decide(cell: &str, needed_cores: usize) -> ScalingArm {
+        let available_cores = parapre_sparse::parallel::machine_parallelism();
+        let armed = available_cores >= needed_cores;
+        let cmp = if armed { ">=" } else { "<" };
+        ScalingArm {
+            available_cores,
+            needed_cores,
+            cell: cell.to_string(),
+            armed,
+            reason: format!("{available_cores} cores {cmp} {needed_cores} needed for {cell}"),
+        }
+    }
+
+    /// The uniform JSON fragment (an object, no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"available_cores\": {}, \"needed_cores\": {}, \"cell\": \"{}\", \
+             \"armed\": {}, \"reason\": \"{}\"}}",
+            self.available_cores, self.needed_cores, self.cell, self.armed, self.reason
+        )
+    }
+}
+
 /// The phase columns of the summary tables: label + canonical phase name.
 pub const PHASE_COLUMNS: [(&str, &str); 5] = [
     ("setup", parapre_trace::phase::SETUP),

@@ -46,12 +46,27 @@ impl<T: DistPrecond + ?Sized> DistPrecond for &T {
     }
 }
 
+impl<T: DistPrecond + ?Sized> DistPrecond for std::sync::Arc<T> {
+    fn apply(&self, comm: &mut Comm, r: &[f64], z: &mut [f64]) {
+        (**self).apply(comm, r, z)
+    }
+}
+
 /// Identity distributed preconditioner.
 pub struct IdentityDistPrecond;
 
 impl DistPrecond for IdentityDistPrecond {
     fn apply(&self, _comm: &mut Comm, r: &[f64], z: &mut [f64]) {
         z.copy_from_slice(r);
+    }
+}
+
+impl<T: DistOp + ?Sized> DistOp for std::sync::Arc<T> {
+    fn n_owned(&self) -> usize {
+        (**self).n_owned()
+    }
+    fn apply(&self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+        (**self).apply(comm, x, y)
     }
 }
 

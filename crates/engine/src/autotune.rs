@@ -120,6 +120,27 @@ pub struct TunerStats {
     pub fingerprints: usize,
 }
 
+/// Plausibility ceiling on a state-file record's *total* converged solve
+/// time: 10^13 µs ≈ 115 days. Anything above is a corrupt or hostile line
+/// — folding it in would make the rung's mean time garbage forever.
+pub const MAX_STATE_SOLVE_US: u64 = 10_000_000_000_000;
+
+/// Warnings kept per [`AutoTuner::load`]; the rejected count is exact even
+/// when a hostile file would otherwise produce megabytes of them.
+const MAX_LOAD_WARNINGS: usize = 16;
+
+/// What one [`AutoTuner::load`] did: lines folded in, lines refused, and
+/// the first few per-line reasons (capped at 16).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TuneLoad {
+    /// Lines folded into the store.
+    pub absorbed: usize,
+    /// Lines refused by validation.
+    pub rejected: usize,
+    /// `"line <k>: <why>"` for the first rejected lines.
+    pub warnings: Vec<String>,
+}
+
 #[derive(Default)]
 struct Inner {
     by_fp: HashMap<u64, HashMap<PrecondKind, TuneRecord>>,
@@ -275,37 +296,70 @@ impl AutoTuner {
     }
 
     /// Folds one serialized record line back in (inverse of
-    /// [`AutoTuner::to_jsonl`] per line). Unknown rungs and malformed
-    /// lines are skipped, not fatal — a stale state file must never stop
-    /// the server.
-    pub fn absorb_jsonl_line(&self, line: &str) {
-        let Ok(fields) = flatjson::parse_flat_object(line) else {
-            return;
-        };
-        let get_u = |k: &str| fields.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
-        let Some(fp) = fields
+    /// [`AutoTuner::to_jsonl`] per line).
+    ///
+    /// A state file is attacker-adjacent input (it survives restarts and
+    /// is trivially hand-editable), so a line only lands if it is fully
+    /// well-formed: every numeric field a non-negative integer (`NaN`,
+    /// negatives, and fractions are rejected, not truncated),
+    /// `converged <= n`, `solve_us` under [`MAX_STATE_SOLVE_US`], and the
+    /// rung one of the known names. A rejected line returns the reason and
+    /// changes nothing — one poisoned record must never skew `select()`.
+    pub fn absorb_jsonl_line(&self, line: &str) -> Result<(), String> {
+        let fields =
+            flatjson::parse_flat_object(line).map_err(|e| format!("not a flat object: {e}"))?;
+        let fp = fields
             .get("fp")
             .and_then(JsonValue::as_str)
-            .and_then(|s| u64::from_str_radix(s, 16).ok())
-        else {
-            return;
-        };
-        let Some(kind) = fields
+            .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+            .ok_or("missing or non-hex \"fp\"")?;
+        let kind_str = fields
             .get("precond")
             .and_then(JsonValue::as_str)
-            .and_then(PrecondKind::parse)
-        else {
-            return;
+            .ok_or("missing \"precond\"")?;
+        let kind =
+            PrecondKind::parse(kind_str).ok_or_else(|| format!("unknown precond {kind_str:?}"))?;
+        // Strict counter read: absent is 0, present must be an exact
+        // non-negative integer (as_u64 alone would truncate 1.5 to 1 and
+        // wave NaN through as absent).
+        let get_counter = |k: &str| -> Result<u64, String> {
+            match fields.get(k) {
+                None => Ok(0),
+                Some(v) => {
+                    let f = v
+                        .as_f64()
+                        .ok_or_else(|| format!("\"{k}\" is not a number"))?;
+                    if !f.is_finite() || f < 0.0 || f.fract() != 0.0 || f > u64::MAX as f64 {
+                        return Err(format!("\"{k}\" is not a non-negative integer ({f})"));
+                    }
+                    Ok(f as u64)
+                }
+            }
         };
+        let n = get_counter("n")?;
+        let converged = get_counter("converged")?;
+        let solve_us = get_counter("solve_us")?;
+        let iterations = get_counter("iterations")?;
+        let pivot_shifts = get_counter("pivot_shifts")?;
+        let fallbacks = get_counter("fallbacks")?;
+        if converged > n {
+            return Err(format!("converged ({converged}) exceeds n ({n})"));
+        }
+        if solve_us > MAX_STATE_SOLVE_US {
+            return Err(format!(
+                "solve_us ({solve_us}) exceeds the plausibility cap ({MAX_STATE_SOLVE_US})"
+            ));
+        }
         let mut inner = self.inner.lock().expect("tuner lock");
         let rec = inner.by_fp.entry(fp).or_default().entry(kind).or_default();
-        rec.n += get_u("n");
-        rec.converged += get_u("converged");
-        rec.solve_us += get_u("solve_us");
-        rec.iterations += get_u("iterations");
-        rec.pivot_shifts += get_u("pivot_shifts");
-        rec.fallbacks += get_u("fallbacks");
+        rec.n += n;
+        rec.converged += converged;
+        rec.solve_us += solve_us;
+        rec.iterations += iterations;
+        rec.pivot_shifts += pivot_shifts;
+        rec.fallbacks += fallbacks;
         inner.records += 1;
+        Ok(())
     }
 
     /// Writes the store to `path` (atomic enough for a single writer:
@@ -321,22 +375,32 @@ impl AutoTuner {
     }
 
     /// Loads (merges) a state file previously written by
-    /// [`AutoTuner::save`]. A missing file is fine (cold start).
-    pub fn load(&self, path: &Path) -> std::io::Result<usize> {
+    /// [`AutoTuner::save`]. A missing file is fine (cold start); malformed
+    /// or implausible lines are rejected individually with structured
+    /// warnings rather than poisoning the store or aborting the load.
+    pub fn load(&self, path: &Path) -> std::io::Result<TuneLoad> {
         let f = match std::fs::File::open(path) {
             Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(TuneLoad::default()),
             Err(e) => return Err(e),
         };
-        let mut n = 0usize;
-        for line in std::io::BufReader::new(f).lines() {
+        let mut out = TuneLoad::default();
+        for (i, line) in std::io::BufReader::new(f).lines().enumerate() {
             let line = line?;
-            if !line.trim().is_empty() {
-                self.absorb_jsonl_line(&line);
-                n += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match self.absorb_jsonl_line(&line) {
+                Ok(()) => out.absorbed += 1,
+                Err(why) => {
+                    out.rejected += 1;
+                    if out.warnings.len() < MAX_LOAD_WARNINGS {
+                        out.warnings.push(format!("line {}: {why}", i + 1));
+                    }
+                }
             }
         }
-        Ok(n)
+        Ok(out)
     }
 }
 
@@ -491,7 +555,7 @@ mod tests {
         let text = t.to_jsonl();
         let u = AutoTuner::new(2);
         for line in text.lines() {
-            u.absorb_jsonl_line(line);
+            u.absorb_jsonl_line(line).expect("own output round-trips");
         }
         for (fp, k) in [
             (1, PrecondKind::Schur1),
@@ -500,9 +564,93 @@ mod tests {
         ] {
             assert_eq!(t.get(fp, k), u.get(fp, k), "fp={fp} {k:?}");
         }
-        // Malformed lines are ignored.
-        u.absorb_jsonl_line("not json");
-        u.absorb_jsonl_line("{\"fp\":\"zz\",\"precond\":\"schur1\"}");
+        // Malformed lines are rejected without changing the store.
+        assert!(u.absorb_jsonl_line("not json").is_err());
+        assert!(u
+            .absorb_jsonl_line("{\"fp\":\"zz\",\"precond\":\"schur1\"}")
+            .is_err());
         assert_eq!(u.stats().fingerprints, 2);
+    }
+
+    #[test]
+    fn hostile_state_lines_are_rejected_and_do_not_poison_select() {
+        let t = AutoTuner::new(1);
+        // Each line is hostile in a different way; none may land.
+        let hostile = [
+            // Unknown rung name.
+            "{\"fp\":\"1\",\"precond\":\"turbo9000\",\"n\":1,\"converged\":1,\"solve_us\":1}",
+            // Negative counter.
+            "{\"fp\":\"1\",\"precond\":\"schur1\",\"n\":-5}",
+            // Fractional counter (as_u64 would silently truncate it).
+            "{\"fp\":\"1\",\"precond\":\"schur1\",\"n\":2,\"converged\":1.5}",
+            // NaN-via-null counter.
+            "{\"fp\":\"1\",\"precond\":\"schur1\",\"n\":1,\"solve_us\":null}",
+            // More conversions than solves.
+            "{\"fp\":\"1\",\"precond\":\"schur1\",\"n\":1,\"converged\":2}",
+            // Absurd total solve time (would rig the mean forever).
+            "{\"fp\":\"1\",\"precond\":\"schur1\",\"n\":1,\"converged\":1,\
+             \"solve_us\":99000000000000}",
+            // String where a counter belongs.
+            "{\"fp\":\"1\",\"precond\":\"schur1\",\"n\":\"lots\"}",
+        ];
+        for line in hostile {
+            assert!(t.absorb_jsonl_line(line).is_err(), "must reject: {line}");
+        }
+        assert_eq!(t.stats().records, 0, "no hostile line may land");
+        // One honest record, then a hostile file load: selection still
+        // reflects only the honest data.
+        t.record(
+            1,
+            PrecondKind::Schur2,
+            TuneSample {
+                converged: true,
+                solve_us: 10,
+                iterations: 2,
+                ..TuneSample::default()
+            },
+        );
+        let dir = std::env::temp_dir().join("parapre-tuner-hostile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.jsonl");
+        std::fs::write(&path, hostile.join("\n")).unwrap();
+        let loaded = t.load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.absorbed, 0);
+        assert_eq!(loaded.rejected, hostile.len());
+        assert_eq!(loaded.warnings.len(), hostile.len());
+        assert!(loaded.warnings[0].starts_with("line 1:"));
+        assert_eq!(t.get(1, PrecondKind::Schur2).unwrap().solve_us, 10);
+    }
+
+    #[test]
+    fn save_load_round_trip_reports_counts() {
+        let t = AutoTuner::new(1);
+        t.record(
+            42,
+            PrecondKind::Block1,
+            TuneSample {
+                converged: true,
+                solve_us: 77,
+                iterations: 3,
+                ..TuneSample::default()
+            },
+        );
+        let dir = std::env::temp_dir().join("parapre-tuner-roundtrip-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.jsonl");
+        t.save(&path).unwrap();
+        let u = AutoTuner::new(1);
+        let loaded = u.load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.absorbed, 1);
+        assert_eq!(loaded.rejected, 0);
+        assert!(loaded.warnings.is_empty());
+        assert_eq!(
+            u.get(42, PrecondKind::Block1),
+            t.get(42, PrecondKind::Block1)
+        );
+        // Missing file: clean cold start.
+        let cold = u.load(&dir.join("nope.jsonl")).unwrap();
+        assert_eq!(cold, TuneLoad::default());
     }
 }

@@ -176,6 +176,57 @@ impl SessionCache {
         result
     }
 
+    /// Inserts (or replaces) a ready-made session under `key`, evicting
+    /// LRU entries if needed. Used by the elastic layer to swap in a
+    /// migrated session under its new topology-tagged key.
+    pub fn insert(&self, key: SessionKey, session: Arc<SolverSession>) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            Entry {
+                session,
+                last_used: tick,
+            },
+        );
+        while inner.map.len() > self.capacity {
+            let lru = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over capacity");
+            inner.map.remove(&lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            parapre_trace::counter("engine.cache.evict", 1);
+            parapre_metrics::inc(parapre_metrics::names::CACHE_EVICTIONS_TOTAL, 1);
+        }
+    }
+
+    /// Removes the entry for `key` (no-op when absent); returns whether an
+    /// entry was dropped. The elastic layer retires a superseded topology
+    /// with this once its successor passed the residual probe.
+    pub fn remove(&self, key: &SessionKey) -> bool {
+        self.inner
+            .lock()
+            .expect("cache lock")
+            .map
+            .remove(key)
+            .is_some()
+    }
+
+    /// Snapshot of every resident entry (most recently used last). The
+    /// elastic layer iterates this to find rebalance candidates.
+    pub fn entries(&self) -> Vec<(SessionKey, Arc<SolverSession>)> {
+        let inner = self.inner.lock().expect("cache lock");
+        let mut all: Vec<(&SessionKey, &Entry)> = inner.map.iter().collect();
+        all.sort_by_key(|(_, e)| e.last_used);
+        all.into_iter()
+            .map(|(k, e)| (k.clone(), Arc::clone(&e.session)))
+            .collect()
+    }
+
     /// Current counter snapshot.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache lock");

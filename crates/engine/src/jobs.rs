@@ -21,7 +21,9 @@
 //! keys: `retries`, `backoff_ms`, `degrade`, `checkpoint` (recovery
 //! policy), `fallback` (numerical-safety ladder, default on);
 //! `fault_seed`, `drop_prob`, `delay_prob`, `delay_us`,
-//! `kill_rank`, `kill_op` (deterministic fault injection — chaos jobs).
+//! `kill_rank`, `kill_op` (deterministic fault injection — chaos jobs);
+//! `deadline_ms` (wall-clock budget from submission — expired jobs come
+//! back as structured `timeout` records instead of occupying a worker).
 //! Results come back one flat-ish JSON line per job (the `iterations` and
 //! `dead_ranks` arrays are the only nesting).
 
@@ -102,6 +104,11 @@ pub struct SolveJob {
     pub recovery: RecoveryPolicy,
     /// Deterministic fault injection plan (chaos jobs only).
     pub fault: Option<FaultConfig>,
+    /// Wall-clock budget in milliseconds, measured from submission. A job
+    /// still queued past its deadline is rejected with a structured
+    /// `timeout` record instead of occupying a worker; a multi-repeat job
+    /// re-checks between repeats and stops early the same way.
+    pub deadline_ms: Option<u64>,
 }
 
 /// The outcome of one job, serializable as a JSONL result line.
@@ -422,6 +429,18 @@ pub fn parse_job_line(line: &str, seq: usize) -> Result<SolveJob, EngineError> {
         ));
     }
 
+    let deadline_ms = match fields.get("deadline_ms") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(ms) if ms > 0 => Some(ms),
+            _ => {
+                return Err(EngineError::BadJob(
+                    "deadline_ms must be a positive integer of milliseconds".into(),
+                ))
+            }
+        },
+    };
+
     Ok(SolveJob {
         id,
         problem,
@@ -432,6 +451,7 @@ pub fn parse_job_line(line: &str, seq: usize) -> Result<SolveJob, EngineError> {
         session,
         recovery,
         fault,
+        deadline_ms,
     })
 }
 

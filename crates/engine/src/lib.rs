@@ -28,14 +28,19 @@
 
 pub mod autotune;
 pub mod cache;
+pub mod elastic;
 pub mod jobs;
 pub mod resilient;
 pub mod service;
 pub mod session;
 pub mod timestep;
 
-pub use autotune::{AutoTuner, TuneDecision, TuneRecord, TuneSample, TunerStats, AUTO_CANDIDATES};
+pub use autotune::{
+    AutoTuner, TuneDecision, TuneLoad, TuneRecord, TuneSample, TunerStats, AUTO_CANDIDATES,
+    MAX_STATE_SOLVE_US,
+};
 pub use cache::{CacheStats, SessionCache, SessionKey};
+pub use elastic::{RebalanceManager, RebalanceRecord};
 pub use jobs::{
     batch_rhs, parse_job_line, problem_key, resolve_problem, resolve_problem_with, JobResult,
     ProblemSpec, ResolvedProblem, RhsSpec, SolveJob, MAX_JOB_LINE_BYTES,
@@ -46,7 +51,8 @@ pub use service::{
     SubmitError,
 };
 pub use session::{
-    BatchOptions, BatchSolveReport, SessionConfig, SessionSolveReport, SolverSession,
+    matrix_graph, BatchOptions, BatchSolveReport, MigrationReport, SessionConfig,
+    SessionSolveReport, SolverSession,
 };
 pub use timestep::{march_heat, StepReport, TimestepConfig, TimestepReport};
 

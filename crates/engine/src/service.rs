@@ -16,12 +16,14 @@
 
 use crate::autotune::AutoTuner;
 use crate::cache::{CacheStats, SessionCache, SessionKey};
+use crate::elastic::{RebalanceManager, RebalanceRecord};
 use crate::jobs::{
     batch_rhs, problem_key, resolve_problem_with, JobResult, ResolvedProblem, SolveJob,
 };
 use crate::resilient::solve_resilient;
 use crate::session::{BatchOptions, SolverSession};
 use parapre_mpisim::FaultHook;
+use parapre_resilience::elastic::RebalanceConfig;
 use parapre_resilience::FaultPlan;
 use parapre_sparse::Csr;
 use std::collections::{HashMap, VecDeque};
@@ -344,6 +346,7 @@ struct Shared {
     problems: ProblemCache,
     matrices: MatrixStore,
     tuner: AutoTuner,
+    rebalancer: RebalanceManager,
     cfg: ServiceConfig,
 }
 
@@ -371,6 +374,7 @@ impl SolveService {
             problems: ProblemCache::new(cfg.cache_capacity),
             matrices: MatrixStore::new(),
             tuner: AutoTuner::default(),
+            rebalancer: RebalanceManager::new(RebalanceConfig::default()),
             cfg,
         });
         let workers = (0..cfg.pool_size)
@@ -421,6 +425,17 @@ impl SolveService {
     /// The fingerprint-keyed autotuner serving `"precond":"auto"` jobs.
     pub fn tuner(&self) -> &AutoTuner {
         &self.shared.tuner
+    }
+
+    /// Runs one elastic rebalance pass over every cached session, acting
+    /// on its most recent load attribution. `force: true` (the
+    /// `{"cmd":"rebalance"}` control verb) decides on the latest
+    /// observation alone; `force: false` (the periodic auto-rebalance
+    /// loop) requires the policy's sustained streak. Migrated sessions
+    /// replace their predecessors in the cache under topology-tagged
+    /// keys; aborts leave the old sessions serving.
+    pub fn rebalance_pass(&self, force: bool) -> Vec<RebalanceRecord> {
+        self.shared.rebalancer.pass(&self.shared.cache, force)
     }
 
     /// One flat JSON line of live statistics: job/cache/store/tuner
@@ -543,12 +558,35 @@ fn worker_loop(shared: &Shared) {
         let now_active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
         shared.peak_active.fetch_max(now_active, Ordering::SeqCst);
         let run_t0 = Instant::now();
-        let mut result =
-            catch_unwind(AssertUnwindSafe(|| run_job(shared, job))).unwrap_or_else(|payload| {
-                let mut r = JobResult::failed(id, panic_message(payload));
-                r.error_kind = Some("panic".into());
-                r
-            });
+        // Per-job deadline, counted from submission. A job whose deadline
+        // expired while it sat in the queue is rejected *here*, before it
+        // can occupy the worker; `run_solve_job` re-checks between repeats
+        // so a multi-repeat job cannot hold the slot past its deadline
+        // either.
+        let deadline = match &job {
+            Job::Solve(j) => j.deadline_ms.map(|ms| enqueued + Duration::from_millis(ms)),
+            Job::Custom { .. } => None,
+        };
+        let expired_in_queue = deadline.is_some_and(|dl| Instant::now() >= dl);
+        let mut result = if expired_in_queue {
+            let mut r = JobResult::failed(
+                id,
+                format!(
+                    "deadline exceeded after {:.0} ms in queue",
+                    queued.as_secs_f64() * 1e3
+                ),
+            );
+            r.error_kind = Some("timeout".into());
+            r
+        } else {
+            catch_unwind(AssertUnwindSafe(|| run_job(shared, job, deadline))).unwrap_or_else(
+                |payload| {
+                    let mut r = JobResult::failed(id, panic_message(payload));
+                    r.error_kind = Some("panic".into());
+                    r
+                },
+            )
+        };
         result.queue_ms = queued.as_secs_f64() * 1e3;
         parapre_metrics::inc(parapre_metrics::names::JOBS_TOTAL, 1);
         if !result.ok {
@@ -575,7 +613,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn run_job(shared: &Shared, job: Job) -> JobResult {
+fn run_job(shared: &Shared, job: Job, deadline: Option<Instant>) -> JobResult {
     match job {
         Job::Custom { id, run } => match run() {
             Ok(()) => JobResult {
@@ -585,11 +623,11 @@ fn run_job(shared: &Shared, job: Job) -> JobResult {
             },
             Err(e) => JobResult::failed(id, e),
         },
-        Job::Solve(job) => run_solve_job(shared, &job),
+        Job::Solve(job) => run_solve_job(shared, &job, deadline),
     }
 }
 
-fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
+fn run_solve_job(shared: &Shared, job: &SolveJob, deadline: Option<Instant>) -> JobResult {
     let t0 = Instant::now();
     let resolved = match shared.problems.get_or_resolve(job, &shared.matrices) {
         Ok(r) => r,
@@ -658,7 +696,10 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
         // has no retry ladder inside the batch.)
         let rhss = batch_rhs(&resolved.b, job.batch);
         let opts = BatchOptions { warm_start: true };
-        for _ in 0..job.repeat {
+        for done in 0..job.repeat {
+            if let Some(r) = deadline_expired(job, deadline, done) {
+                return r;
+            }
             match session.solve_batch(&rhss, resolved.x0.as_deref(), opts) {
                 Ok(batch) => {
                     for rep in &batch.reports {
@@ -682,7 +723,10 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
             }
         }
     } else {
-        for _ in 0..job.repeat {
+        for done in 0..job.repeat {
+            if let Some(r) = deadline_expired(job, deadline, done) {
+                return r;
+            }
             let hook = plan.clone().map(|p| p as Arc<dyn FaultHook>);
             match solve_resilient(
                 &session,
@@ -760,6 +804,24 @@ fn run_solve_job(shared: &Shared, job: &SolveJob) -> JobResult {
         precond_used: Some(session.active_precond().key().to_string()),
         auto: job.auto_precond,
     }
+}
+
+/// Structured `timeout` rejection when a job's deadline has passed with
+/// `done` of its repeats finished; `None` while the job may keep going.
+/// The worker stays available for the next job instead of being occupied
+/// by a solve whose caller already gave up on it.
+fn deadline_expired(job: &SolveJob, deadline: Option<Instant>, done: usize) -> Option<JobResult> {
+    let dl = deadline?;
+    if Instant::now() < dl {
+        return None;
+    }
+    let mut r = JobResult::failed(
+        &job.id,
+        format!("deadline exceeded after {done} of {} repeats", job.repeat),
+    );
+    r.error_kind = Some("timeout".into());
+    r.batch = job.batch;
+    Some(r)
 }
 
 /// Feeds one job's outcome into the autotuner. Every solve job reports —

@@ -13,16 +13,17 @@
 
 use crate::EngineError;
 use parapre_core::{
-    build_dist_precond, build_dist_precond_with_fallback, partition_case_with, AssembledCase,
-    PartitionScheme, PrecondKind, PrecondParams,
+    build_dist_precond, build_dist_precond_with_fallback, partition_case_with,
+    try_build_dist_precond, AssembledCase, PartitionScheme, PrecondKind, PrecondParams,
 };
 use parapre_dist::{
-    gather_vector, scatter_vector, CheckpointCtx, DistGmres, DistGmresConfig, DistMatrix, DistOp,
-    DistPrecond,
+    gather_vector, scatter_vector, tags, CheckpointCtx, DistGmres, DistGmresConfig, DistMatrix,
+    DistOp, DistPrecond,
 };
 use parapre_grid::Adjacency;
 use parapre_mpisim::{FaultHook, MachineModel, RankFailure, Universe};
 use parapre_partition::partition_graph;
+use parapre_resilience::elastic::{MigrationPlan, RankDisposition};
 use parapre_sparse::Csr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -57,6 +58,12 @@ pub struct SessionConfig {
     /// environment override). Results are bitwise identical at any
     /// budget; the knob only trades wall-clock for cores.
     pub threads_per_rank: Option<usize>,
+    /// Topology digest of a *migrated* session's bespoke owner map
+    /// (`None` for sessions whose partition is derived from
+    /// `scheme + partition_seed`). Part of the cache key: a migrated
+    /// topology must never be served from (or shadow) an entry keyed for
+    /// the seed-derived partition, even at the same `P`.
+    pub partition_tag: Option<u64>,
 }
 
 impl SessionConfig {
@@ -78,6 +85,7 @@ impl SessionConfig {
             recv_timeout: Duration::from_secs(60),
             fallback: true,
             threads_per_rank: None,
+            partition_tag: None,
         }
     }
 
@@ -88,24 +96,32 @@ impl SessionConfig {
         // `threads_per_rank` is deliberately absent: kernels are bitwise
         // identical at any budget, so thread counts must not fragment the
         // cache key.
+        let topo = match self.partition_tag {
+            Some(tag) => format!("|topo{tag:016x}"),
+            None => String::new(),
+        };
         format!(
-            "{}|{}|P{}|seed{}|{:?}|{:?}|fb{}",
+            "{}|{}|P{}|seed{}|{:?}|{:?}|fb{}{}",
             self.precond.cache_key(),
             self.scheme.key(),
             self.n_ranks,
             self.partition_seed,
             self.gmres,
             self.params,
-            self.fallback
+            self.fallback,
+            topo
         )
     }
 }
 
 /// One rank's frozen setup product: its rows of the matrix and its factored
 /// preconditioner. Shared read-only (`Sync`) by every subsequent solve.
+/// Both halves sit behind `Arc` so a topology migration can share the
+/// states of unchanged subdomains with the successor session instead of
+/// re-factoring them.
 struct RankState {
-    dm: DistMatrix,
-    precond: Box<dyn DistPrecond>,
+    dm: Arc<DistMatrix>,
+    precond: Arc<dyn DistPrecond>,
     /// Ladder rung the preconditioner was actually built on (identical on
     /// every rank; equals the configured kind with `fallback: false`).
     kind_used: PrecondKind,
@@ -127,6 +143,13 @@ pub struct SolverSession {
     /// full-system residuals without re-partitioning.
     a_global: Csr,
     owner: Vec<u32>,
+    /// Initial guess carried across a topology migration (global
+    /// indexing, which repartitioning preserves). Used by solves that do
+    /// not supply their own guess; `None` for freshly built sessions.
+    warm_start: Option<Vec<f64>>,
+    /// Most recent solve's per-rank load attribution — the rebalance
+    /// policy's input. Interior mutability because solves take `&self`.
+    last_load: std::sync::Mutex<Option<parapre_metrics::LoadReport>>,
 }
 
 /// The outcome of one [`SolverSession::solve`].
@@ -216,8 +239,8 @@ impl SolverSession {
                         &cfg_ref.params,
                     );
                     RankState {
-                        dm,
-                        precond: built.precond,
+                        dm: Arc::new(dm),
+                        precond: Arc::from(built.precond),
                         kind_used: built.kind_used,
                         fallbacks: built.fallbacks,
                         pivot_shifts: built.pivot_shifts,
@@ -226,8 +249,8 @@ impl SolverSession {
                     let precond =
                         build_dist_precond(cfg_ref.precond, &dm, comm, a, &cfg_ref.params);
                     RankState {
-                        dm,
-                        precond,
+                        dm: Arc::new(dm),
+                        precond: Arc::from(precond),
                         kind_used: cfg_ref.precond,
                         fallbacks: 0,
                         pivot_shifts: 0,
@@ -254,6 +277,8 @@ impl SolverSession {
             ranks,
             a_global: a.clone(),
             owner: owner.to_vec(),
+            warm_start: None,
+            last_load: std::sync::Mutex::new(None),
         })
     }
 
@@ -311,6 +336,8 @@ impl SolverSession {
         if let Some(x0) = x0 {
             assert_eq!(x0.len(), self.n_global, "guess length");
         }
+        // A migrated session's carried iterate stands in for a missing guess.
+        let x0 = x0.or(self.warm_start.as_deref());
         struct RhsOut {
             iterations: usize,
             converged: bool,
@@ -490,6 +517,8 @@ impl SolverSession {
         if let Some(x0) = x0 {
             assert_eq!(x0.len(), self.n_global, "guess length");
         }
+        // A migrated session's carried iterate stands in for a missing guess.
+        let x0 = x0.or(self.warm_start.as_deref());
         struct RankOut {
             iterations: usize,
             converged: bool,
@@ -609,6 +638,7 @@ impl SolverSession {
         load: &parapre_metrics::LoadReport,
     ) {
         use parapre_metrics::names;
+        *self.last_load.lock().expect("load lock") = Some(load.clone());
         if !parapre_metrics::enabled() {
             return;
         }
@@ -689,6 +719,282 @@ impl SolverSession {
         }
         out
     }
+
+    /// The warm-start iterate carried through a migration (`None` for
+    /// freshly built sessions). Solves without an explicit guess use it.
+    pub fn warm_start(&self) -> Option<&[f64]> {
+        self.warm_start.as_deref()
+    }
+
+    /// Per-rank load attribution of the most recent solve on this session
+    /// (`None` until the first solve completes). The rebalance policy's
+    /// observation stream.
+    pub fn last_load(&self) -> Option<parapre_metrics::LoadReport> {
+        self.last_load.lock().expect("load lock").clone()
+    }
+
+    /// Migrates the session to a new rank topology between solves.
+    /// See [`SolverSession::migrate_opts`]; this is the plain form with no
+    /// warm-start carry and no fault injection.
+    pub fn migrate(
+        &self,
+        plan: &MigrationPlan,
+    ) -> Result<(SolverSession, MigrationReport), EngineError> {
+        self.migrate_opts(plan, None, None)
+    }
+
+    /// Migrates the session to the topology described by `plan`, returning
+    /// a **new** session; `self` stays fully intact and serving.
+    ///
+    /// Subdomains whose coupling closure the plan left untouched
+    /// ([`RankDisposition::Reuse`]) carry their factor, layout, and
+    /// communication plan over by `Arc` — no re-extraction, no
+    /// re-factorization. The rest re-extract their block from the retained
+    /// global matrix (the same principal-submatrix machinery the degraded
+    /// path uses) and re-factor **strictly** on the session's active
+    /// ladder rung: migration never silently changes the preconditioner.
+    ///
+    /// Robustness protocol, in order, inside one universe of `P'` ranks:
+    ///
+    /// 1. every rank votes on a digest of the new topology
+    ///    (`all_agree_u64`) — a torn plan aborts before any work;
+    /// 2. each rebuilding rank checks its re-extracted rows for non-finite
+    ///    entries, and the outcome is agreed collectively (`all_land`,
+    ///    like the fallback ladder) *before* any collective factorization,
+    ///    so no rank can enter a collective build alone;
+    /// 3. factorization failures are voted the same way;
+    /// 4. a rank killed mid-migration surfaces as a [`RankFailure`] and
+    ///    aborts the whole migration.
+    ///
+    /// On any abort this returns `Err` and the old topology — which was
+    /// never touched — keeps serving. On success the candidate still has
+    /// to pass a cheap distributed-SpMV residual probe (exercising the
+    /// comm plans of both reused and rebuilt ranks against the serial
+    /// matrix) before it is handed back.
+    ///
+    /// `warm_start` (global indexing, preserved across repartitioning) is
+    /// stored on the new session and seeds its guess-less solves.
+    pub fn migrate_opts(
+        &self,
+        plan: &MigrationPlan,
+        warm_start: Option<&[f64]>,
+        faults: Option<Arc<dyn FaultHook>>,
+    ) -> Result<(SolverSession, MigrationReport), EngineError> {
+        use parapre_metrics::names;
+        let abort = |msg: String| {
+            if parapre_metrics::enabled() {
+                parapre_metrics::inc(names::ELASTIC_ABORTS_TOTAL, 1);
+            }
+            Err(EngineError::Setup(msg))
+        };
+        if plan.old_p != self.cfg.n_ranks || plan.old_owner != self.owner {
+            return abort("migration plan was computed for a different topology".into());
+        }
+        if let Some(w) = warm_start {
+            if w.len() != self.n_global {
+                return abort("warm-start length mismatch".into());
+            }
+        }
+        let mut plan = plan.clone();
+        let kind = self.active_precond();
+        if matches!(kind, PrecondKind::Schur2 | PrecondKind::SchurML { .. }) {
+            // Collective builds: mixing reused and rebuilt subdomains
+            // would leave some ranks out of a build others join.
+            plan.make_collective();
+        }
+        let t0 = Instant::now();
+        let new_p = plan.new_p;
+        let topo_tag = plan.topology_tag();
+        let a = &self.a_global;
+        let plan_ref = &plan;
+        let fallbacks = self.ranks[0].fallbacks;
+        let params = &self.cfg.params;
+        let outs = Universe::try_run_with_threads(
+            new_p,
+            self.cfg.recv_timeout,
+            faults,
+            self.cfg.threads_per_rank,
+            move |comm| -> Option<RankState> {
+                let r = comm.rank();
+                // 1. Torn-plan tripwire: all ranks must hold one topology.
+                let agreed = comm.all_agree_u64(topo_tag, tags::REDUCE + 64);
+                let rebuild = plan_ref.disposition[r] == RankDisposition::Rebuild;
+                // 2. Re-extracted rows must be finite before any (possibly
+                //    collective) factorization may start.
+                let finite = !rebuild
+                    || (0..a.n_rows())
+                        .filter(|&i| plan_ref.new_owner[i] == r as u32)
+                        .all(|i| a.row(i).1.iter().all(|v| v.is_finite()));
+                if !comm.all_land(agreed && finite, tags::REDUCE + 67) {
+                    return None;
+                }
+                let local = if rebuild {
+                    let dm = DistMatrix::from_global(a, &plan_ref.new_owner, r, new_p);
+                    match try_build_dist_precond(kind, &dm, comm, a, params) {
+                        Ok((precond, shifts)) => Some(RankState {
+                            dm: Arc::new(dm),
+                            precond: Arc::from(precond),
+                            kind_used: kind,
+                            fallbacks,
+                            pivot_shifts: shifts,
+                        }),
+                        Err(_) => None,
+                    }
+                } else {
+                    let st = &self.ranks[r];
+                    Some(RankState {
+                        dm: st.dm.clone(),
+                        precond: st.precond.clone(),
+                        kind_used: st.kind_used,
+                        fallbacks: st.fallbacks,
+                        pivot_shifts: st.pivot_shifts,
+                    })
+                };
+                // 3. Factorization outcome is voted like the fallback
+                //    ladder: one failed block aborts everyone.
+                if !comm.all_land(local.is_some(), tags::REDUCE + 68) {
+                    return None;
+                }
+                local
+            },
+        );
+        let mut ranks = Vec::with_capacity(new_p);
+        let mut failures = Vec::new();
+        let mut vetoed = false;
+        for out in outs {
+            match out {
+                Ok(Some(st)) => ranks.push(st),
+                Ok(None) => vetoed = true,
+                Err(f) => failures.push(f.to_string()),
+            }
+        }
+        if !failures.is_empty() {
+            // 4. A rank died mid-migration (injected or real): abort, old
+            //    topology keeps serving.
+            return abort(format!(
+                "migration aborted, old topology retained: {}",
+                failures.join("; ")
+            ));
+        }
+        if vetoed || ranks.len() != new_p {
+            return abort(
+                "migration aborted by collective vote (torn plan, non-finite block, \
+                 or factorization failure); old topology retained"
+                    .into(),
+            );
+        }
+        let mut cfg = self.cfg.clone();
+        cfg.n_ranks = new_p;
+        cfg.partition_tag = Some(topo_tag);
+        let candidate = SolverSession {
+            cfg,
+            n_global: self.n_global,
+            fingerprint: self.fingerprint,
+            setup_seconds: t0.elapsed().as_secs_f64(),
+            ranks,
+            a_global: self.a_global.clone(),
+            owner: plan.new_owner.clone(),
+            warm_start: warm_start.map(|w| w.to_vec()),
+            last_load: std::sync::Mutex::new(None),
+        };
+        // Residual probe: one distributed SpMV through the candidate's
+        // comm plans (reused and rebuilt alike) against the serial matrix.
+        let probe_relerr = match candidate.probe_spmv() {
+            Ok(e) => e,
+            Err(msg) => return abort(format!("migration probe failed: {msg}")),
+        };
+        if probe_relerr > PROBE_RTOL {
+            return abort(format!(
+                "migration probe rejected the new topology \
+                 (relative SpMV error {probe_relerr:.3e} > {PROBE_RTOL:.1e}); \
+                 old topology retained"
+            ));
+        }
+        let report = MigrationReport {
+            reused_ranks: plan.reused_ranks(),
+            rebuilt_ranks: new_p - plan.reused_ranks(),
+            moved_rows: plan.moved_rows,
+            migrate_seconds: t0.elapsed().as_secs_f64(),
+            probe_relerr,
+        };
+        if parapre_metrics::enabled() {
+            parapre_metrics::inc(names::ELASTIC_REBALANCES_TOTAL, 1);
+            parapre_metrics::observe_us(
+                names::ELASTIC_MIGRATE_US,
+                (report.migrate_seconds * 1e6) as u64,
+            );
+            parapre_metrics::gauge_set(names::ELASTIC_REUSED_RANKS, report.reused_ranks as f64);
+        }
+        Ok((candidate, report))
+    }
+
+    /// Cheap correctness probe: applies the distributed operator to a
+    /// deterministic vector and compares against the serial SpMV. Returns
+    /// the relative error.
+    fn probe_spmv(&self) -> Result<f64, String> {
+        let n = self.n_global;
+        let v: Vec<f64> = (0..n).map(|i| (0.61 * i as f64).cos()).collect();
+        let mut y_ref = vec![0.0; n];
+        self.a_global.spmv(&v, &mut y_ref);
+        let p = self.cfg.n_ranks;
+        let v_ref = &v;
+        let outs = Universe::try_run_with_threads(
+            p,
+            self.cfg.recv_timeout,
+            None,
+            self.cfg.threads_per_rank,
+            move |comm| {
+                let st = &self.ranks[comm.rank()];
+                let v_loc = scatter_vector(&st.dm.layout, v_ref);
+                let mut y = vec![0.0; st.dm.layout.n_owned()];
+                DistOp::apply(&st.dm, comm, &v_loc, &mut y);
+                gather_vector(comm, &st.dm.layout, &y, v_ref.len())
+            },
+        );
+        let mut gathered = None;
+        for out in outs {
+            match out {
+                Ok(Some(y)) => gathered = Some(y),
+                Ok(None) => {}
+                Err(f) => return Err(f.to_string()),
+            }
+        }
+        let y = gathered.ok_or_else(|| "probe gathered nothing".to_string())?;
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (a, b) in y.iter().zip(&y_ref) {
+            num += (a - b) * (a - b);
+            den += b * b;
+        }
+        if !num.is_finite() || !den.is_finite() {
+            return Err("non-finite probe result".into());
+        }
+        Ok(if den > 0.0 {
+            (num / den).sqrt()
+        } else {
+            num.sqrt()
+        })
+    }
+}
+
+/// Relative SpMV error above which a migration probe rejects the
+/// candidate topology (the exchange is exact in exact arithmetic; the
+/// tolerance only absorbs non-associative summation order).
+const PROBE_RTOL: f64 = 1e-10;
+
+/// What a successful [`SolverSession::migrate`] did.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationReport {
+    /// Subdomains whose factor and comm plan were carried over verbatim.
+    pub reused_ranks: usize,
+    /// Subdomains re-extracted and re-factored.
+    pub rebuilt_ranks: usize,
+    /// Vertices whose owner changed.
+    pub moved_rows: usize,
+    /// Wall time of the migration (vote, re-extraction, factorization).
+    pub migrate_seconds: f64,
+    /// Relative error of the post-migration distributed-SpMV probe.
+    pub probe_relerr: f64,
 }
 
 /// Symmetrizes a general matrix's *pattern* (values untouched: the

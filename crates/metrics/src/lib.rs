@@ -684,6 +684,33 @@ impl LoadReport {
         }
     }
 
+    /// Imbalance ratio of *compute* seconds (busy minus comm-wait):
+    /// `max compute / mean compute`, 1.0 for empty or all-idle reports.
+    ///
+    /// This is the work-skew signal: synchronized solves equalize wall
+    /// (busy) time across ranks — an underloaded rank just waits longer
+    /// at the same collectives — so [`LoadReport::imbalance`] stays near
+    /// 1.0 no matter how skewed the partition is. Subtracting the
+    /// measured comm-wait recovers who actually did the work. With no
+    /// comm-wait attribution (metrics layer off) this degrades to the
+    /// busy-time ratio.
+    pub fn compute_imbalance(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 1.0;
+        }
+        let mean =
+            self.ranks.iter().map(RankLoad::compute_s).sum::<f64>() / self.ranks.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            self.ranks
+                .iter()
+                .map(RankLoad::compute_s)
+                .fold(0.0, f64::max)
+                / mean
+        }
+    }
+
     /// Fraction of total busy seconds spent blocked on communication,
     /// in `[0, 1]` (0 when idle).
     pub fn comm_fraction(&self) -> f64 {
@@ -919,6 +946,17 @@ pub mod names {
     /// Gauge: worker-pool threads currently executing a kernel
     /// (`pool.busy`; 0 unless the `parallel` feature is enabled).
     pub const POOL_BUSY: &str = "parapre_pool_busy";
+    /// Counter: completed elastic rebalances (refine or resize migrations
+    /// that passed the residual probe and were swapped in).
+    pub const ELASTIC_REBALANCES_TOTAL: &str = "parapre_elastic_rebalances_total";
+    /// Counter: migrations that aborted back to the old topology (vote
+    /// failure, rank death, or residual-probe failure).
+    pub const ELASTIC_ABORTS_TOTAL: &str = "parapre_elastic_aborts_total";
+    /// Histogram: wall time of a session migration in microseconds.
+    pub const ELASTIC_MIGRATE_US: &str = "parapre_elastic_migrate_us";
+    /// Gauge: subdomain factors reused (not rebuilt) by the most recent
+    /// migration.
+    pub const ELASTIC_REUSED_RANKS: &str = "parapre_elastic_reused_ranks";
 
     /// Builds the keyed solve-latency histogram name for one
     /// (fingerprint, preconditioner rung) pair.

@@ -16,6 +16,7 @@ use std::path::PathBuf;
 
 const USAGE: &str = "usage: parapre-netd [--tcp ADDR] [--unix PATH] [--pool N] [--queue N]
                     [--cache N] [--max-inflight N] [--tune-state FILE]
+                    [--auto-rebalance SECS]
   --tcp ADDR        listen on a TCP address (host:port; port 0 picks one)
   --unix PATH       listen on a unix-domain socket
   --pool N          worker threads / concurrent jobs (default 4)
@@ -23,6 +24,7 @@ const USAGE: &str = "usage: parapre-netd [--tcp ADDR] [--unix PATH] [--pool N] [
   --cache N         session-cache capacity (default 4)
   --max-inflight N  per-client in-flight job cap (default 8)
   --tune-state F    load/persist autotuner records (JSONL) at F
+  --auto-rebalance S  run an elastic rebalance pass every S seconds
 at least one of --tcp / --unix is required";
 
 fn main() {
@@ -46,6 +48,11 @@ fn main() {
                 cfg.max_inflight = parse_num(&take("--max-inflight"), "--max-inflight")
             }
             "--tune-state" => tune_state = Some(PathBuf::from(take("--tune-state"))),
+            "--auto-rebalance" => {
+                cfg.auto_rebalance_secs =
+                    Some(parse_num(&take("--auto-rebalance"), "--auto-rebalance") as u64)
+                        .filter(|s| *s > 0)
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -63,8 +70,17 @@ fn main() {
     };
     if let Some(path) = &tune_state {
         match server.service().tuner().load(path) {
-            Ok(n) if n > 0 => eprintln!("parapre-netd: loaded {n} tuner records"),
-            Ok(_) => {}
+            Ok(loaded) => {
+                if loaded.absorbed > 0 || loaded.rejected > 0 {
+                    eprintln!(
+                        "parapre-netd: loaded {} tuner records ({} rejected)",
+                        loaded.absorbed, loaded.rejected
+                    );
+                }
+                for w in &loaded.warnings {
+                    eprintln!("parapre-netd: tune state {}: {w}", path.display());
+                }
+            }
             Err(e) => eprintln!("parapre-netd: tune state {}: {e}", path.display()),
         }
     }

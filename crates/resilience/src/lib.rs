@@ -23,8 +23,13 @@
 
 pub mod checkpoint;
 pub mod degraded;
+pub mod elastic;
 pub mod fault;
 
 pub use checkpoint::{CheckpointStore, ConsistentCheckpoint};
 pub use degraded::{solve_degraded, DegradedReport};
+pub use elastic::{
+    apply_decision, owner_tag, plan_migration, MigrationPlan, RankDisposition, RebalanceConfig,
+    RebalanceDecision, RebalancePolicy,
+};
 pub use fault::{FaultAction, FaultConfig, FaultPlan, FaultRecord, RankOp};
